@@ -1,0 +1,25 @@
+"""E3 -- section 4.3: probe-message complexity.
+
+Paper predictions: at most one probe per edge per computation; hence at
+most N probes per computation on an N-cycle (E edges in general), i.e.
+probe volume linear in the cycle length.
+"""
+
+from repro.experiments import e3_messages
+
+from benchmarks.conftest import run_experiment
+
+
+def test_e3_message_complexity(benchmark, record_table):
+    table, results = run_experiment(benchmark, e3_messages)
+    record_table("E3", table.render())
+    for result in results:
+        assert result.within_bound, (
+            f"{result.label}: {result.max_probes_per_computation} probes "
+            f"exceeds bound {result.bound}"
+        )
+        assert result.max_probes_per_edge == 1
+    # Linear scaling on cycles: probes/computation equals the cycle length.
+    cycles = [r for r in results if r.label.endswith("-cycle")]
+    for result in cycles:
+        assert result.max_probes_per_computation == result.bound

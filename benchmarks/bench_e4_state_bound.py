@@ -1,0 +1,19 @@
+"""E4 -- section 4.3: per-vertex detector state is O(N).
+
+Paper prediction: each vertex tracks at most one record per initiator (the
+latest computation), so records never exceed N regardless of how many
+computations run.
+"""
+
+from repro.experiments import e4_state
+
+from benchmarks.conftest import run_experiment
+
+
+def test_e4_state_bound(benchmark, record_table):
+    table, results = run_experiment(benchmark, e4_state)
+    record_table("E4", table.render())
+    for result in results:
+        assert result.within_bound
+        # Far more computations ran than records are retained.
+        assert result.computations_initiated > result.max_tracked_records

@@ -1,0 +1,33 @@
+"""E5 -- section 4.3: the delayed-initiation T tradeoff.
+
+Paper predictions: computations initiated fall (weakly) as T grows;
+detection latency is at least T and grows with it; completeness holds for
+every T.
+"""
+
+from repro.experiments import e5_t_tradeoff
+
+from benchmarks.conftest import run_experiment
+
+
+def test_e5_t_tradeoff(benchmark, record_table):
+    table, results = run_experiment(benchmark, e5_t_tradeoff)
+    record_table("E5", table.render())
+    delayed = [r for r in results if r.timeout is not None]
+    assert len(delayed) >= 3
+    # Same workload at every T (delay streams are per message type), so
+    # the same deadlocks form everywhere.
+    formed = {r.components_formed for r in results}
+    assert len(formed) == 1
+    # Completeness at every T.
+    for result in results:
+        assert result.components_detected == result.components_formed
+    # Tradeoff, wing to wing: small T initiates more computations than
+    # large T; large T pays more latency, bounded below by T.
+    assert delayed[0].computations > delayed[-1].computations
+    assert delayed[0].avoided < delayed[-1].avoided
+    latencies = [r.mean_latency for r in delayed if r.mean_latency is not None]
+    assert latencies[0] < latencies[-1]
+    for result in delayed:
+        if result.mean_latency is not None and result.timeout:
+            assert result.mean_latency >= result.timeout

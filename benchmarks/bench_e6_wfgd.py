@@ -1,0 +1,22 @@
+"""E6 -- section 5: WFGD propagation.
+
+Paper predictions: the computation terminates, and every vertex with a
+permanent black path leading from it learns exactly those paths.
+"""
+
+from repro.experiments import e6_wfgd
+
+from benchmarks.conftest import run_experiment
+
+
+def test_e6_wfgd(benchmark, record_table):
+    table, results = run_experiment(benchmark, e6_wfgd)
+    record_table("E6", table.render())
+    for result in results:
+        assert result.deadlocked_vertices > 0
+        assert result.all_informed_exactly, (
+            f"{result.label}: {result.informed_vertices}/"
+            f"{result.deadlocked_vertices} informed, "
+            f"{result.exact_path_sets} exact"
+        )
+        assert result.wfgd_messages > 0

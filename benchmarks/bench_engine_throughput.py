@@ -1,0 +1,114 @@
+"""Engine micro-benchmarks: raw cost of the substrate and the detector.
+
+These are conventional performance benchmarks (multiple rounds, real
+timing): events/second of the simulator core, message throughput of the
+FIFO network, and end-to-end cost of detecting one large-cycle deadlock.
+They track regressions in the hot paths every experiment depends on.
+"""
+
+from repro.basic.system import BasicSystem
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+from repro.workloads.scenarios import schedule_cycle
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule-and-run 10k trivial events."""
+
+    def run() -> int:
+        simulator = Simulator(seed=0, trace=False)
+        for i in range(10_000):
+            simulator.schedule(float(i % 97) * 0.01, lambda: None)
+        simulator.run()
+        return simulator.events_executed
+
+    executed = benchmark(run)
+    assert executed == 10_000
+
+
+class _Sink(Process):
+    def __init__(self, pid, simulator):
+        super().__init__(pid, simulator)
+        self.received = 0
+
+    def on_message(self, sender, message):
+        self.received += 1
+
+
+def test_network_throughput(benchmark):
+    """Send 5k messages through the FIFO network."""
+
+    def run() -> int:
+        simulator = Simulator(seed=0, trace=False)
+        network = Network(simulator)
+        source = _Sink(0, simulator)
+        sink = _Sink(1, simulator)
+        network.register(source)
+        network.register(sink)
+        for i in range(5_000):
+            source.send(1, i)
+        simulator.run()
+        return sink.received
+
+    received = benchmark(run)
+    assert received == 5_000
+
+
+def test_large_cycle_detection(benchmark):
+    """Detect a 64-cycle deadlock end to end (tracing disabled)."""
+
+    def run() -> int:
+        system = BasicSystem(n_vertices=64, seed=0, trace=False)
+        schedule_cycle(system, list(range(64)), gap=0.1)
+        system.run_to_quiescence()
+        system.assert_soundness()
+        return len(system.declarations)
+
+    declarations = benchmark(run)
+    assert declarations >= 1
+
+
+def test_ddb_contention_round(benchmark):
+    """One contended DDB round: ring deadlock, detection, resolution."""
+    from repro._ids import ResourceId, SiteId, TransactionId
+    from repro.ddb.locks import LockMode
+    from repro.ddb.resolution import AbortAboutTransaction
+    from repro.ddb.system import DdbSystem
+    from repro.ddb.transaction import Think, TransactionSpec, acquire
+
+    def run() -> int:
+        n = 6
+        resources = {ResourceId(f"r{i}"): SiteId(i) for i in range(n)}
+        system = DdbSystem(
+            n_sites=n,
+            resources=resources,
+            resolution=AbortAboutTransaction(),
+            trace=False,
+        )
+
+        def restart(execution, aborted):
+            if aborted:
+                system.restart(
+                    execution.spec.tid, delay=3.0 + 4.0 * int(execution.spec.tid)
+                )
+
+        system.finished_callback = restart
+        for i in range(n):
+            system.begin(
+                TransactionSpec(
+                    tid=TransactionId(i + 1),
+                    home=SiteId(i),
+                    operations=(
+                        acquire((f"r{i}", LockMode.EXCLUSIVE)),
+                        Think(1.0),
+                        acquire((f"r{(i + 1) % n}", LockMode.EXCLUSIVE)),
+                    ),
+                ),
+                at=0.05 * i,
+            )
+        system.run_to_quiescence(max_events=500_000)
+        return sum(record.commits for record in system.transactions.values())
+
+    commits = benchmark(run)
+    assert commits == 6

@@ -1,0 +1,47 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_e*.py`` regenerates one experiment table (see DESIGN.md's
+experiment index), times it under pytest-benchmark, asserts the *shape*
+claims the paper makes, and writes the rendered table to
+``benchmarks/results/<id>.txt`` so EXPERIMENTS.md stays regenerable:
+
+    pytest benchmarks/ --benchmark-only
+
+Experiments run in ``quick`` mode by default so the whole harness stays
+within a few minutes; set ``REPRO_BENCH_FULL=1`` for the full sweeps used
+to produce EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture
+def record_table():
+    """Write a rendered experiment table under benchmarks/results/."""
+
+    def write(experiment_id: str, rendered: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id.lower()}.txt"
+        path.write_text(rendered + "\n")
+        print(f"\n{rendered}\n[written to {path}]")
+
+    return write
+
+
+def run_experiment(benchmark, module):
+    """Time one experiment run (a single round: experiments are long)."""
+    quick = not full_mode()
+    return benchmark.pedantic(
+        lambda: module.run(quick=quick), rounds=1, iterations=1
+    )

@@ -1,0 +1,41 @@
+"""Tuning the delayed-initiation parameter T (section 4.3).
+
+"The basic tradeoff is that if T is too small too many probe computations
+are initiated and if T is too large the time taken to detect deadlock
+(which is at least T) is too large."
+
+This example sweeps T over a fixed random workload and prints the curve:
+probe computations initiated and mean detection latency per T.  The same
+deadlocks form at every T (detection does not perturb the workload -- the
+simulator draws delays per message type), so the rows are directly
+comparable.
+
+Run:  python examples/tuning_initiation.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.e5_t_tradeoff import run_config
+
+
+def main() -> None:
+    seeds = tuple(range(5))
+    print(f"{'T':>10}{'computations':>14}{'avoided':>9}{'probes':>8}{'latency':>10}")
+    print("-" * 51)
+    for timeout in (0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0):
+        result = run_config(timeout, seeds)
+        latency = "-" if result.mean_latency is None else f"{result.mean_latency:.2f}"
+        print(
+            f"{timeout:>10g}{result.computations:>14}{result.avoided:>9}"
+            f"{result.probes:>8}{latency:>10}"
+        )
+        assert result.components_detected == result.components_formed
+    print(
+        "\nEvery row detected every deadlock (dark edges persist, so their "
+        "timers always fire);\nsmall T spends computations on waits that "
+        "were about to resolve, large T pays latency >= T."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""repro -- a production-quality reproduction of Chandy & Misra (PODC 1982),
+"A Distributed Algorithm for Detecting Resource Deadlocks in Distributed
+Systems".
+
+The library implements the paper end to end:
+
+* the **basic model** (coloured wait-for graphs, axioms G1-G4 / P1-P4) and
+  its probe computation A0/A1/A2 (:mod:`repro.basic`),
+* the **WFGD computation** of section 5 (:mod:`repro.basic.wfgd`),
+* the **Menasce-Muntz DDB model** of section 6 with controllers,
+  transactions, and a read/write lock manager (:mod:`repro.ddb`),
+* the initiation policies and performance machinery of section 4,
+* **baseline detectors** (centralized, path-pushing, timeout) for the
+  comparison experiments (:mod:`repro.baselines`),
+* a deterministic **discrete-event simulator** providing exactly the
+  paper's communication assumptions (:mod:`repro.sim`),
+* **verification** tooling: a global oracle, axiom invariant checkers, and
+  an exhaustive small-scope model checker (:mod:`repro.verification`),
+* **workload generators** and **analysis** helpers used by the examples
+  and the benchmark harness.
+
+Quickstart::
+
+    from repro import BasicSystem
+
+    system = BasicSystem(n_vertices=3)
+    system.schedule_request(0.0, 0, [1])
+    system.schedule_request(0.5, 1, [2])
+    system.schedule_request(1.0, 2, [0])   # closes the cycle 0 -> 1 -> 2 -> 0
+    system.run_to_quiescence()
+    assert system.declarations                  # deadlock was detected ...
+    assert not system.soundness_violations      # ... and never falsely.
+"""
+
+from repro._ids import ProbeTag, ProcessId, ResourceId, SiteId, TransactionId, VertexId
+from repro.basic import (
+    BasicSystem,
+    DelayedInitiation,
+    EdgeColor,
+    ImmediateInitiation,
+    ManualInitiation,
+    VertexProcess,
+    WaitForGraph,
+)
+from repro.ormodel import OrSystem
+from repro.errors import (
+    AxiomViolation,
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    TransactionAborted,
+)
+from repro.sim import (
+    ExponentialDelay,
+    FixedDelay,
+    Network,
+    Simulator,
+    UniformDelay,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AxiomViolation",
+    "BasicSystem",
+    "ConfigurationError",
+    "DelayedInitiation",
+    "EdgeColor",
+    "ExponentialDelay",
+    "FixedDelay",
+    "ImmediateInitiation",
+    "ManualInitiation",
+    "Network",
+    "OrSystem",
+    "ProbeTag",
+    "ProcessId",
+    "ProtocolError",
+    "ReproError",
+    "ResourceId",
+    "SimulationError",
+    "Simulator",
+    "SiteId",
+    "TransactionAborted",
+    "TransactionId",
+    "UniformDelay",
+    "VertexId",
+    "VertexProcess",
+    "WaitForGraph",
+    "__version__",
+]

@@ -1,0 +1,64 @@
+"""Typed identifiers used throughout the library.
+
+The paper identifies three kinds of named entities:
+
+* basic-model processes / vertices ``v_i`` (``VertexId``),
+* DDB computers / sites ``S_j`` and their controllers ``C_j`` (``SiteId``),
+* DDB transactions ``T_i`` (``TransactionId``).
+
+A DDB *process* is the pair ``(T_i, S_j)`` (``ProcessId``); resources are
+named by ``ResourceId``.  Probe computations are tagged ``(initiator, n)``
+(``ProbeTag``), matching the paper's ``(i, n)`` tags.
+
+All identifiers are lightweight ``NewType`` wrappers over ``int``/``str`` so
+they stay hashable, orderable, and cheap, while letting type checkers catch
+cross-wiring (e.g. passing a transaction id where a site id is expected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NewType
+
+VertexId = NewType("VertexId", int)
+SiteId = NewType("SiteId", int)
+TransactionId = NewType("TransactionId", int)
+ResourceId = NewType("ResourceId", str)
+
+
+@dataclass(frozen=True, order=True)
+class ProcessId:
+    """Identity of a DDB process: the tuple ``(T_i, S_j)`` from the paper.
+
+    A transaction is implemented by a collection of processes with at most
+    one process per computer; ``ProcessId`` uniquely identifies one of them.
+    """
+
+    transaction: TransactionId
+    site: SiteId
+
+    def __str__(self) -> str:
+        return f"(T{self.transaction},S{self.site})"
+
+
+@dataclass(frozen=True, order=True)
+class ProbeTag:
+    """Tag ``(i, n)`` of the n-th probe computation initiated by ``i``.
+
+    ``initiator`` is a :class:`VertexId` in the basic model and a
+    :class:`SiteId` (the controller) in the DDB model; both are ints, so the
+    tag is shared between the two models.  ``sequence`` is the per-initiator
+    computation counter ``n``.  Tags order lexicographically, which gives the
+    "computation (i, n) supersedes (i, k) for k < n" rule from section 4.3
+    for free.
+    """
+
+    initiator: int
+    sequence: int
+
+    def supersedes(self, other: "ProbeTag") -> bool:
+        """True iff this tag makes ``other`` obsolete per section 4.3."""
+        return self.initiator == other.initiator and self.sequence > other.sequence
+
+    def __str__(self) -> str:
+        return f"({self.initiator},{self.sequence})"

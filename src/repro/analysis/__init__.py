@@ -1,0 +1,6 @@
+"""Result aggregation and rendering for the experiment harness."""
+
+from repro.analysis.stats import confidence_interval_95, mean, stdev, summarize
+from repro.analysis.tables import Table
+
+__all__ = ["Table", "confidence_interval_95", "mean", "stdev", "summarize"]

@@ -1,0 +1,56 @@
+"""JSON export of experiment results.
+
+Experiment modules return dataclass lists; this module serialises them --
+together with the rendered table and reproduction metadata -- into a JSON
+document, so downstream tooling (plots, dashboards, regression diffing)
+can consume the harness output without scraping tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro import __version__
+from repro.analysis.tables import Table
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of result payloads to JSON-compatible data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        try:
+            items = sorted(value)
+        except TypeError:
+            items = list(value)
+        return [_jsonable(item) for item in items]
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, float) and value != value:  # NaN
+        return None
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def experiment_to_json(
+    experiment_id: str, table: Table, results: list, quick: bool
+) -> str:
+    """Serialise one experiment run to a JSON string."""
+    document = {
+        "experiment": experiment_id,
+        "library_version": __version__,
+        "quick_mode": quick,
+        "title": table.title,
+        "columns": table.columns,
+        "rows": table.rows,
+        "results": [_jsonable(result) for result in results],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,61 @@
+"""Fixed-width text tables for experiment output.
+
+The benchmark harness prints the regenerated tables with this renderer so
+EXPERIMENTS.md and the bench output stay visually identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class Table:
+    """A simple fixed-width table with a title and typed-ish columns."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ConfigurationError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append([self._format(value) for value in values])
+
+    @staticmethod
+    def _format(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) >= 10:
+                return f"{value:.1f}"
+            return f"{value:.3f}"
+        return str(value)
+
+    def render(self) -> str:
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        separator = "-+-".join("-" * width for width in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            " | ".join(column.ljust(width) for column, width in zip(self.columns, widths))
+        )
+        lines.append(separator)
+        for row in self.rows:
+            lines.append(
+                " | ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

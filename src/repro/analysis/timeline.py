@@ -1,0 +1,142 @@
+"""ASCII timelines from simulation traces.
+
+Turns a recorded trace into a human-readable protocol timeline -- the
+debugging view you want when a test's message choreography surprises you,
+and the rendering used by the documentation examples.  Two renderers:
+
+* :func:`render_timeline` -- chronological event list with aligned time
+  stamps and compact, per-category phrasing;
+* :func:`render_lanes` -- a lane per vertex with message arrows between
+  lanes (sequence-chart style) for small basic-model scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.sim.trace import TraceEvent, Tracer
+
+#: category -> formatter(event) -> str; unknown categories fall back to
+#: "<category> <details>".
+_FORMATTERS: dict[str, Callable[[TraceEvent], str]] = {
+    "basic.request.sent": lambda e: f"v{e['source']} requests v{e['target']}",
+    "basic.request.received": lambda e: (
+        f"v{e['target']} receives request from v{e['source']} "
+        f"(edge {e['source']}->{e['target']} turns black)"
+    ),
+    "basic.reply.sent": lambda e: f"v{e['source']} replies to v{e['target']}",
+    "basic.reply.received": lambda e: (
+        f"v{e['target']} receives reply (edge {e['target']}->{e['source']} gone)"
+    ),
+    "basic.unblocked": lambda e: f"v{e['vertex']} becomes active",
+    "basic.computation.initiated": lambda e: (
+        f"v{e['vertex']} initiates probe computation {e['tag']}"
+    ),
+    "basic.probe.sent": lambda e: (
+        f"v{e['source']} sends probe {e['tag']} to v{e['target']}"
+    ),
+    "basic.probe.received": lambda e: (
+        f"v{e['target']} receives probe {e['tag']} from v{e['source']} "
+        f"({'meaningful' if e['meaningful'] else 'not meaningful'})"
+    ),
+    "basic.deadlock.declared": lambda e: (
+        f"*** v{e['vertex']} DECLARES DEADLOCK (computation {e['tag']}) ***"
+    ),
+    "ddb.txn.begin": lambda e: (
+        f"C{e['site']}: T{e['tid']} begins (incarnation {e['incarnation']})"
+    ),
+    "ddb.txn.blocked": lambda e: f"C{e['site']}: T{e['tid']} blocks",
+    "ddb.txn.committed": lambda e: f"C{e['site']}: T{e['tid']} commits",
+    "ddb.txn.aborted": lambda e: f"C{e['site']}: T{e['tid']} aborted (victim)",
+    "ddb.deadlock.declared": lambda e: (
+        f"*** C{e['site']} DECLARES {e['process']} DEADLOCKED ***"
+    ),
+    "or.unblocked": lambda e: (
+        f"v{e['vertex']} unblocks (granted by v{e['granter']})"
+    ),
+    "or.deadlock.declared": lambda e: (
+        f"*** v{e['vertex']} DECLARES OR-DEADLOCK ({e['tag']}) ***"
+    ),
+}
+
+
+def render_timeline(
+    tracer: Tracer,
+    include: Iterable[str] | None = None,
+    limit: int | None = None,
+) -> str:
+    """Render the trace as ``t=...  description`` lines.
+
+    ``include`` filters by category prefix (default: categories with a
+    dedicated formatter); ``limit`` truncates with an ellipsis marker.
+    """
+    prefixes = tuple(include) if include is not None else tuple(_FORMATTERS)
+    lines: list[str] = []
+    for event in tracer:
+        if not event.category.startswith(prefixes):
+            continue
+        formatter = _FORMATTERS.get(event.category)
+        text = (
+            formatter(event)
+            if formatter is not None
+            else f"{event.category} {event.details}"
+        )
+        lines.append(f"t={event.time:8.3f}  {text}")
+        if limit is not None and len(lines) >= limit:
+            lines.append("... (truncated)")
+            break
+    return "\n".join(lines)
+
+
+def render_lanes(tracer: Tracer, n_vertices: int, width: int = 6) -> str:
+    """Sequence-chart rendering for small basic-model traces.
+
+    One column per vertex; message sends draw ``*``, deliveries ``o``,
+    declarations ``X``; a trailing annotation names the event.
+    """
+    header = "time".rjust(9) + "  " + "".join(
+        f"v{i}".center(width) for i in range(n_vertices)
+    )
+    lines = [header, "-" * len(header)]
+
+    def lane_row(marks: dict[int, str], time: float, note: str) -> str:
+        cells = "".join(
+            marks.get(i, "|").center(width) for i in range(n_vertices)
+        )
+        return f"{time:9.3f}  {cells}  {note}"
+
+    for event in tracer:
+        category = event.category
+        if category == "basic.request.sent":
+            lines.append(
+                lane_row(
+                    {int(event["source"]): "*", int(event["target"]): "."},
+                    event.time,
+                    f"request v{event['source']}->v{event['target']}",
+                )
+            )
+        elif category == "basic.probe.sent":
+            lines.append(
+                lane_row(
+                    {int(event["source"]): "*"},
+                    event.time,
+                    f"probe {event['tag']} ->v{event['target']}",
+                )
+            )
+        elif category == "basic.probe.received" and event["meaningful"]:
+            lines.append(
+                lane_row(
+                    {int(event["target"]): "o"},
+                    event.time,
+                    f"meaningful probe {event['tag']}",
+                )
+            )
+        elif category == "basic.deadlock.declared":
+            lines.append(
+                lane_row(
+                    {int(event["vertex"]): "X"},
+                    event.time,
+                    f"DEADLOCK {event['tag']}",
+                )
+            )
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Baseline deadlock detectors for the comparison experiments.
+
+The paper's introduction quotes Gligor & Shattuck: "few of these protocols
+are correct and fewer appear to be practical."  To quantify that claim
+(experiment E8) we implement the three families the 1980 literature used,
+as overlays on the basic model:
+
+* :class:`~repro.baselines.centralized.CentralizedDetector` -- a
+  coordinator periodically collects each vertex's outgoing edges and runs
+  cycle detection on the union (Ho-Ramamoorthy / centralized
+  Menasce-Muntz style).  Because the per-vertex snapshots are taken at
+  different instants, edges from different times can form cycles that
+  never coexisted: phantom deadlocks.
+* :class:`~repro.baselines.pathpush.PathPushingDetector` -- vertices
+  periodically push wait-for path strings downstream (Obermarck's R*
+  algorithm [reference 7], adapted from sites to vertices).  Stale path
+  fragments combine into phantom cycles under churn.
+* :class:`~repro.baselines.timeout.TimeoutDetector` -- declare any vertex
+  blocked longer than W deadlocked.  Trivially complete, wildly unsound.
+* :class:`~repro.baselines.snapshot.SnapshotDetector` -- consistent global
+  snapshots via the Chandy-Lamport marker algorithm (the first author's
+  1985 follow-up): the phantom-free fix for centralized collection, at
+  N*(N-1) markers per round.  Included to bracket the probe computation
+  from the *correct* side of the design space.
+
+Every baseline records its detections with a ground-truth verdict from the
+oracle and counts the messages it would have sent, so the E8 table compares
+correctness and cost on equal terms with the probe computation.
+"""
+
+from repro.baselines.base import BaselineDetection, BaselineReport
+from repro.baselines.centralized import CentralizedDetector
+from repro.baselines.pathpush import PathPushingDetector
+from repro.baselines.snapshot import SnapshotDetector
+from repro.baselines.timeout import TimeoutDetector
+
+__all__ = [
+    "BaselineDetection",
+    "BaselineReport",
+    "CentralizedDetector",
+    "PathPushingDetector",
+    "SnapshotDetector",
+    "TimeoutDetector",
+]

@@ -1,0 +1,44 @@
+"""The paper's *basic model* (sections 2-5).
+
+A distributed system of processes exchanging requests and replies, whose
+global state is a coloured wait-for graph.  This package implements:
+
+* the coloured graph with graph axioms G1-G4 enforced
+  (:mod:`repro.basic.graph`),
+* vertex processes with AND-model blocking behaviour
+  (:mod:`repro.basic.vertex`),
+* the probe computation A0/A1/A2 with ``(i, n)`` tags -- the paper's core
+  contribution (:mod:`repro.basic.detector`),
+* initiation policies, immediate and delayed-T, from section 4
+  (:mod:`repro.basic.initiation`),
+* the WFGD computation of section 5 (:mod:`repro.basic.wfgd`),
+* :class:`~repro.basic.system.BasicSystem`, which wires everything together
+  with the oracle for verification.
+"""
+
+from repro.basic.graph import Edge, EdgeColor, WaitForGraph
+from repro.basic.initiation import (
+    DelayedInitiation,
+    ImmediateInitiation,
+    InitiationPolicy,
+    ManualInitiation,
+)
+from repro.basic.messages import Probe, Reply, Request, WfgdMessage
+from repro.basic.system import BasicSystem
+from repro.basic.vertex import VertexProcess
+
+__all__ = [
+    "BasicSystem",
+    "DelayedInitiation",
+    "Edge",
+    "EdgeColor",
+    "ImmediateInitiation",
+    "InitiationPolicy",
+    "ManualInitiation",
+    "Probe",
+    "Reply",
+    "Request",
+    "VertexProcess",
+    "WaitForGraph",
+    "WfgdMessage",
+]

@@ -1,0 +1,103 @@
+"""Initiation policies for probe computations (section 4).
+
+The paper decouples *what* a probe computation does (section 3) from *when*
+one is started (section 4.2/4.3).  Three policies are provided:
+
+* :class:`ImmediateInitiation` -- section 4.2's rule: a vertex initiates a
+  probe computation whenever an outgoing edge is added.  Guarantees that if
+  the new edge closes a dark cycle, its creator detects the deadlock.
+* :class:`DelayedInitiation` -- section 4.3's optimisation: initiate only
+  if an outgoing edge has existed *continuously* for ``T`` time units.  If
+  the edge is deleted before the timer fires, the computation is avoided.
+  T trades message volume against detection latency (which is at least T);
+  experiment E5 sweeps this parameter.
+* :class:`ManualInitiation` -- no automatic initiation; scenario tests call
+  :meth:`VertexProcess.initiate_probe_computation` directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro._ids import VertexId
+from repro.errors import ConfigurationError
+from repro.sim.events import EventHandle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.basic.vertex import VertexProcess
+
+
+class InitiationPolicy:
+    """Interface: notified of edge additions/removals at a vertex."""
+
+    def on_edges_added(self, vertex: "VertexProcess", targets: Iterable[VertexId]) -> None:
+        """Called after ``vertex`` created grey edges to ``targets``."""
+        raise NotImplementedError
+
+    def on_edge_removed(self, vertex: "VertexProcess", target: VertexId) -> None:
+        """Called after the edge ``(vertex, target)`` was deleted (G4)."""
+        raise NotImplementedError
+
+
+class ManualInitiation(InitiationPolicy):
+    """Never initiates; for scripted tests and exhaustive exploration."""
+
+    def on_edges_added(self, vertex: "VertexProcess", targets: Iterable[VertexId]) -> None:
+        pass
+
+    def on_edge_removed(self, vertex: "VertexProcess", target: VertexId) -> None:
+        pass
+
+
+class ImmediateInitiation(InitiationPolicy):
+    """Section 4.2: initiate whenever an outgoing edge is added.
+
+    A batch of simultaneously created edges (one AND-request for several
+    resources) triggers a single computation -- A0 probes *all* outgoing
+    edges anyway, so per-edge initiation within one batch would only clone
+    identical computations.
+    """
+
+    def on_edges_added(self, vertex: "VertexProcess", targets: Iterable[VertexId]) -> None:
+        vertex.initiate_probe_computation()
+
+    def on_edge_removed(self, vertex: "VertexProcess", target: VertexId) -> None:
+        pass
+
+
+class DelayedInitiation(InitiationPolicy):
+    """Section 4.3: initiate after an edge survives for ``T`` time units.
+
+    One timer per outgoing edge; deleting the edge cancels its timer.  When
+    a timer fires and the edge still exists, a probe computation starts.
+    The basic tradeoff (quoted from the paper): "if T is too small too many
+    probe computations are initiated and if T is too large the time taken
+    to detect deadlock (which is at least T) is too large."
+    """
+
+    def __init__(self, timeout: float) -> None:
+        if timeout < 0:
+            raise ConfigurationError(f"T must be non-negative, got {timeout}")
+        self.timeout = timeout
+        self._timers: dict[tuple[VertexId, VertexId], EventHandle] = {}
+
+    def on_edges_added(self, vertex: "VertexProcess", targets: Iterable[VertexId]) -> None:
+        for target in targets:
+            key = (vertex.vertex_id, target)
+
+            def fire(vertex: "VertexProcess" = vertex, key: tuple[VertexId, VertexId] = key) -> None:
+                self._timers.pop(key, None)
+                # The timer is cancelled on deletion, so the edge existed
+                # continuously since creation; re-check defensively anyway.
+                if key[1] in vertex.pending_out:
+                    vertex.initiate_probe_computation()
+
+            self._timers[key] = vertex.simulator.schedule(
+                self.timeout, fire, name=f"T-timer {key}"
+            )
+
+    def on_edge_removed(self, vertex: "VertexProcess", target: VertexId) -> None:
+        handle = self._timers.pop((vertex.vertex_id, target), None)
+        if handle is not None:
+            handle.cancel()
+            vertex.simulator.metrics.counter("basic.computations.avoided").increment()

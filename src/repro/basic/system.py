@@ -1,0 +1,259 @@
+"""System wrapper for the basic model: wiring plus on-line verification.
+
+:class:`BasicSystem` assembles a simulator, a FIFO network, ``n`` vertex
+processes, the oracle graph, and an initiation policy, and installs trace
+subscribers that verify the paper's two theorems while the simulation runs:
+
+* **Soundness (QRP2 / Theorem 2):** at the instant any vertex declares "I am
+  on a black cycle", the oracle is consulted; if the vertex is not on an
+  all-black cycle at that exact moment, a violation is recorded (and raised
+  in strict mode).  Across the entire test suite and all benchmarks this
+  list stays empty -- the paper's "deadlocks will not be reported falsely".
+* **Completeness (QRP1 / Theorem 1 + section 4.2 initiation rule):** the
+  system records the instant each vertex first joins a dark cycle; at
+  quiescence, :meth:`assert_completeness` checks that every strongly
+  connected component of the dark subgraph that contains a cycle also
+  contains at least one vertex that declared.
+
+It also keeps the per-computation probe counts that experiment E3 reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro._algo import cyclic_sccs
+from repro._ids import ProbeTag, VertexId
+from repro.basic.graph import EdgeColor, WaitForGraph
+from repro.basic.initiation import ImmediateInitiation, InitiationPolicy
+from repro.basic.vertex import VertexProcess
+from repro.errors import ConfigurationError
+from repro.sim.network import DelayModel, Network
+from repro.sim.simulator import Simulator
+from repro.sim.trace import TraceEvent
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """One deadlock declaration (step A1) with its soundness verdict."""
+
+    time: float
+    vertex: VertexId
+    tag: ProbeTag
+    on_black_cycle: bool
+
+
+@dataclass
+class CompletenessReport:
+    """Result of the quiescence-time completeness check."""
+
+    deadlocked_vertices: set[VertexId]
+    declared_vertices: set[VertexId]
+    undetected_components: list[set[VertexId]] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.undetected_components
+
+
+class BasicSystem:
+    """A ready-to-run basic-model system.
+
+    Parameters
+    ----------
+    n_vertices:
+        Number of processes; ids are ``0 .. n_vertices - 1``.
+    seed:
+        Root seed for all randomness.
+    delay_model:
+        Network delay distribution (default: fixed delay 1.0).
+    service_delay:
+        Delay before an active vertex replies to a pending request.
+    auto_reply:
+        Whether vertices service requests automatically.
+    initiation:
+        The initiation policy shared by all vertices (default:
+        :class:`ImmediateInitiation`, the section 4.2 rule).
+    wfgd_on_declare:
+        Start the section 5 WFGD computation automatically whenever a
+        vertex declares deadlock.
+    strict:
+        Raise immediately on a soundness violation instead of recording it.
+    trace:
+        Record the full structured trace (disable for big sweeps).
+    fifo:
+        Channel FIFO guarantee; disable only in ablation tests.
+    """
+
+    def __init__(
+        self,
+        n_vertices: int,
+        seed: int = 0,
+        delay_model: DelayModel | None = None,
+        service_delay: float = 1.0,
+        auto_reply: bool = True,
+        initiation: InitiationPolicy | None = None,
+        wfgd_on_declare: bool = False,
+        strict: bool = True,
+        trace: bool = True,
+        fifo: bool = True,
+    ) -> None:
+        if n_vertices < 1:
+            raise ConfigurationError(f"need at least one vertex, got {n_vertices}")
+        self.simulator = Simulator(seed=seed, trace=trace)
+        self.network = Network(self.simulator, delay_model=delay_model, fifo=fifo)
+        self.oracle = WaitForGraph()
+        self.initiation = initiation if initiation is not None else ImmediateInitiation()
+        self.wfgd_on_declare = wfgd_on_declare
+        self.strict = strict
+        self.declarations: list[Declaration] = []
+        self.soundness_violations: list[Declaration] = []
+        #: Virtual time at which each vertex first joined a dark cycle.
+        self.deadlock_formed_at: dict[VertexId, float] = {}
+        #: Probes sent per computation tag (experiment E3).
+        self.probes_per_computation: dict[ProbeTag, int] = {}
+
+        self.vertices: dict[VertexId, VertexProcess] = {}
+        for i in range(n_vertices):
+            vid = VertexId(i)
+            vertex = VertexProcess(
+                vertex_id=vid,
+                simulator=self.simulator,
+                oracle=self.oracle,
+                service_delay=service_delay,
+                auto_reply=auto_reply,
+                on_declare=self._handle_declare,
+            )
+            vertex.initiation = self.initiation
+            self.network.register(vertex)
+            self.vertices[vid] = vertex
+
+        self.simulator.tracer.subscribe(self._observe)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    def vertex(self, i: int) -> VertexProcess:
+        return self.vertices[VertexId(i)]
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    @property
+    def metrics(self):
+        return self.simulator.metrics
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def request(self, source: int, targets: Iterable[int]) -> None:
+        """Issue a request batch immediately (only valid at time 0 or from
+        inside a scheduled event)."""
+        self.vertex(source).request([VertexId(t) for t in targets])
+
+    def schedule_request(self, time: float, source: int, targets: Sequence[int]) -> None:
+        """Schedule a request batch at absolute virtual ``time``."""
+        frozen = [VertexId(t) for t in targets]
+        self.simulator.schedule_at(
+            time,
+            lambda: self.vertex(source).request(frozen),
+            name=f"request v{source}->{list(targets)}",
+        )
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        self.simulator.run(until=until, max_events=max_events)
+
+    def run_to_quiescence(self, max_events: int = 1_000_000) -> None:
+        self.simulator.run_to_quiescence(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # On-line verification
+    # ------------------------------------------------------------------
+
+    def _handle_declare(self, vertex: VertexProcess, tag: ProbeTag) -> None:
+        on_black = self.oracle.is_on_black_cycle(vertex.vertex_id)
+        declaration = Declaration(
+            time=self.simulator.now,
+            vertex=vertex.vertex_id,
+            tag=tag,
+            on_black_cycle=on_black,
+        )
+        self.declarations.append(declaration)
+        if not on_black:
+            self.soundness_violations.append(declaration)
+            if self.strict:
+                raise AssertionError(
+                    f"QRP2 violated: vertex {vertex.vertex_id} declared deadlock at "
+                    f"t={self.simulator.now} but is not on a black cycle"
+                )
+        formed = self.deadlock_formed_at.get(vertex.vertex_id)
+        if formed is not None:
+            self.simulator.metrics.histogram("basic.detection.latency").record(
+                self.simulator.now - formed
+            )
+        if self.wfgd_on_declare:
+            vertex.wfgd.start_as_initiator()
+
+    def _observe(self, event: TraceEvent) -> None:
+        if event.category == "basic.request.sent":
+            source = event["source"]
+            if self.oracle.is_on_dark_cycle(source):
+                cycle = self.oracle.find_dark_cycle(source) or [source]
+                for member in cycle:
+                    self.deadlock_formed_at.setdefault(member, event.time)
+        elif event.category == "basic.probe.sent":
+            tag = event["tag"]
+            self.probes_per_computation[tag] = self.probes_per_computation.get(tag, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Quiescence-time checks
+    # ------------------------------------------------------------------
+
+    def _dark_sccs(self) -> list[set[VertexId]]:
+        """Strongly connected components of the dark subgraph that contain a
+        cycle (size > 1; the graph has no self-loops)."""
+        dark_out: dict[VertexId, list[VertexId]] = {}
+        for (source, target), color in self.oracle.edges():
+            if color is not EdgeColor.WHITE:
+                dark_out.setdefault(source, []).append(target)
+        return cyclic_sccs(dark_out)
+
+    def completeness_report(self) -> CompletenessReport:
+        """Check Theorem 1 + the section 4.2 initiation rule at quiescence.
+
+        Every cyclic SCC of the dark subgraph must contain at least one
+        vertex that declared deadlock.
+        """
+        declared = {d.vertex for d in self.declarations}
+        deadlocked = self.oracle.vertices_on_dark_cycles()
+        report = CompletenessReport(
+            deadlocked_vertices=deadlocked, declared_vertices=declared
+        )
+        for component in self._dark_sccs():
+            if not component & declared:
+                report.undetected_components.append(component)
+        return report
+
+    def assert_completeness(self) -> None:
+        report = self.completeness_report()
+        if not report.complete:
+            raise AssertionError(
+                f"QRP1 violated: dark components {report.undetected_components} "
+                f"contain no vertex that declared deadlock"
+            )
+
+    def assert_soundness(self) -> None:
+        if self.soundness_violations:
+            raise AssertionError(
+                f"QRP2 violated by declarations: {self.soundness_violations}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"BasicSystem(n={len(self.vertices)}, t={self.now}, "
+            f"declared={len(self.declarations)})"
+        )

@@ -1,0 +1,140 @@
+"""The WFGD computation of section 5.
+
+After a probe computation's initiator declares that it is on a black cycle,
+the WFGD ("wait-for graph dissemination") computation propagates knowledge
+of the deadlocked portion of the graph *against* edge direction, so that
+every vertex with a permanent black path leading from it learns all such
+paths -- the information needed to break the deadlock.
+
+Protocol (verbatim from the paper):
+
+* Each vertex ``v_j`` keeps ``S_j``, the set of edges it knows to lie on
+  permanent black paths leading from ``v_j``; initially empty.
+* The initiator ``v_i``, having declared a black cycle, sends
+  ``M = {(v_j, v_i)}`` to every ``v_j`` with a black edge ``(v_j, v_i)``.
+* On receiving ``M``, ``v_j`` sets ``S_j := S_j ∪ M`` and thereafter sends
+  ``M' = {(v_k, v_j)} ∪ S_j`` to every ``v_k`` with black edge
+  ``(v_k, v_j)`` -- unless it already sent that exact message to ``v_k``.
+
+Termination: a vertex never sends the same edge set twice to the same
+target, and there are finitely many edge sets over the (finite) deadlocked
+region, so the computation ceases in finite time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro._ids import VertexId
+from repro.basic.graph import Edge
+from repro.basic.messages import WfgdMessage
+
+
+class WfgdParticipant:
+    """Per-vertex WFGD state and message logic.
+
+    Parameters
+    ----------
+    vertex:
+        Owning vertex id.
+    send:
+        Callback ``(target, message)`` transmitting a :class:`WfgdMessage`.
+    incoming_black:
+        Zero-argument callable returning the current set of predecessors
+        with a black edge into this vertex (local P3 knowledge: exactly the
+        requests received and not yet replied to).
+    """
+
+    def __init__(
+        self,
+        vertex: VertexId,
+        send: Callable[[VertexId, WfgdMessage], None],
+        incoming_black: Callable[[], set[VertexId]],
+    ) -> None:
+        self.vertex = vertex
+        self._send = send
+        self._incoming_black = incoming_black
+        #: ``S_j``: known edges on permanent black paths leading from here.
+        self.paths: set[Edge] = set()
+        self._sent: dict[VertexId, set[frozenset[Edge]]] = {}
+        self._started = False
+
+    @property
+    def knows_deadlocked(self) -> bool:
+        """True once this vertex has learned of a permanent black path from
+        it (section 4.2: the detecting vertex informs the others)."""
+        return self._started or bool(self.paths)
+
+    def start_as_initiator(self) -> None:
+        """Initiator rule: after declaring a black cycle, seed predecessors.
+
+        Idempotent -- a vertex that declares on several of its own
+        computations seeds only once (re-seeding would send duplicate
+        messages the paper's termination argument assumes away).
+        """
+        if self._started:
+            return
+        self._started = True
+        for predecessor in sorted(self._incoming_black()):
+            message = WfgdMessage(edges=frozenset({(predecessor, self.vertex)}))
+            self._transmit(predecessor, message)
+
+    def on_message(self, message: WfgdMessage) -> None:
+        """Receiver rule: absorb M into S, then push upstream."""
+        self.paths |= message.edges
+        for predecessor in sorted(self._incoming_black()):
+            upstream = WfgdMessage(
+                edges=frozenset({(predecessor, self.vertex)}) | frozenset(self.paths)
+            )
+            self._transmit(predecessor, upstream)
+
+    def on_new_predecessor(self, predecessor: VertexId) -> None:
+        """Persistent-send rule: a *new* incoming black edge appeared.
+
+        The paper says a vertex "thereafter sends" to every vertex with a
+        black edge into it -- a standing obligation, not a one-shot sweep.
+        Without this, a vertex that starts waiting into the deadlocked
+        region *after* the WFGD wave passed would never learn it is
+        deadlocked (hypothesis found exactly that history).  If this vertex
+        knows itself permanently blocked (it declared, or it has permanent
+        black paths), the new edge into it is permanently black too, so the
+        new predecessor is informed immediately.
+        """
+        if not self.knows_deadlocked:
+            return
+        message = WfgdMessage(
+            edges=frozenset({(predecessor, self.vertex)}) | frozenset(self.paths)
+        )
+        self._transmit(predecessor, message)
+
+    def _transmit(self, target: VertexId, message: WfgdMessage) -> None:
+        """Send unless this exact edge set already went to ``target``."""
+        history = self._sent.setdefault(target, set())
+        if message.edges in history:
+            return
+        history.add(message.edges)
+        self._send(target, message)
+
+
+def reachable_edge_closure(edges: Iterable[Edge], start: VertexId) -> set[Edge]:
+    """Edges reachable from ``start`` by following the given edge set.
+
+    Utility used by tests to state the WFGD postcondition: the fixed point
+    of ``S_start`` equals the closure of the permanent black edges reachable
+    from ``start``.
+    """
+    by_source: dict[VertexId, list[Edge]] = {}
+    for edge in edges:
+        by_source.setdefault(edge[0], []).append(edge)
+    result: set[Edge] = set()
+    stack = [start]
+    seen: set[VertexId] = set()
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        for edge in by_source.get(current, ()):
+            result.add(edge)
+            stack.append(edge[1])
+    return result

@@ -1,0 +1,268 @@
+"""Command-line front end.
+
+Usage::
+
+    repro quickstart                 # 3-cycle demo on the basic model
+    repro ddb-demo                   # cross-site DDB deadlock + resolution
+    repro experiment E3              # regenerate one experiment table
+    repro experiment all --quick     # regenerate everything, fast settings
+    repro verify                     # exhaustive small-scope model checking
+
+The same experiment code also runs under pytest-benchmark (see
+``benchmarks/``); the CLI exists for quick inspection without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def _cmd_quickstart(_: argparse.Namespace) -> int:
+    from repro.basic.system import BasicSystem
+    from repro.workloads.scenarios import schedule_cycle
+
+    system = BasicSystem(n_vertices=3, wfgd_on_declare=True)
+    schedule_cycle(system, [0, 1, 2])
+    system.run_to_quiescence()
+    print("basic model, 3-cycle deadlock")
+    for declaration in system.declarations:
+        print(
+            f"  t={declaration.time:.3f}  vertex {declaration.vertex} declared "
+            f"deadlock (tag {declaration.tag}, sound={declaration.on_black_cycle})"
+        )
+    system.assert_soundness()
+    system.assert_completeness()
+    print("  soundness + completeness verified against the oracle")
+    return 0
+
+
+def _cmd_ddb_demo(_: argparse.Namespace) -> int:
+    from repro._ids import ResourceId, SiteId, TransactionId
+    from repro.ddb.locks import LockMode
+    from repro.ddb.resolution import AbortAboutTransaction
+    from repro.ddb.system import DdbSystem
+    from repro.ddb.transaction import Think, TransactionSpec, acquire
+
+    resources = {ResourceId("r0"): SiteId(0), ResourceId("r1"): SiteId(1)}
+    system = DdbSystem(n_sites=2, resources=resources, resolution=AbortAboutTransaction())
+
+    def restart(execution, aborted):
+        if aborted:
+            system.restart(execution.spec.tid, delay=3.0 + 4.0 * int(execution.spec.tid))
+
+    system.finished_callback = restart
+    X = LockMode.EXCLUSIVE
+    system.begin(
+        TransactionSpec(
+            tid=TransactionId(1),
+            home=SiteId(0),
+            operations=(acquire(("r0", X)), Think(1.0), acquire(("r1", X))),
+        ),
+        at=0.0,
+    )
+    system.begin(
+        TransactionSpec(
+            tid=TransactionId(2),
+            home=SiteId(1),
+            operations=(acquire(("r1", X)), Think(1.0), acquire(("r0", X))),
+        ),
+        at=0.1,
+    )
+    system.run_to_quiescence(max_events=100_000)
+    print("DDB model, cross-site deadlock with victim resolution")
+    for declaration in system.declarations:
+        print(
+            f"  t={declaration.time:.3f}  C{declaration.site} declared "
+            f"{declaration.process} deadlocked"
+        )
+    for tid, record in sorted(system.transactions.items()):
+        print(f"  T{tid}: commits={record.commits} aborts={record.aborts}")
+    system.assert_no_deadlock_remains()
+    print("  no deadlock remains; all transactions committed")
+    return 0
+
+
+def _cmd_or_demo(_: argparse.Namespace) -> int:
+    from repro.ormodel import OrSystem
+
+    system = OrSystem(n_vertices=3)
+    system.schedule_request(0.0, 1, [0])
+    system.schedule_request(0.3, 2, [0])
+    system.schedule_request(0.6, 0, [1, 2])
+    system.run_to_quiescence()
+    print("OR/communication model, knot: p0 waits any{p1,p2}, both wait any{p0}")
+    for declaration in system.declarations:
+        print(
+            f"  t={declaration.time:.3f}  vertex {declaration.vertex} declared "
+            f"OR-deadlock (tag {declaration.tag})"
+        )
+    system.assert_soundness()
+    system.assert_completeness()
+    print("  soundness + completeness verified against the OR oracle")
+    return 0
+
+
+def _cmd_timeline(_: argparse.Namespace) -> int:
+    from repro.analysis.timeline import render_timeline
+    from repro.basic.system import BasicSystem
+    from repro.workloads.scenarios import schedule_cycle
+
+    system = BasicSystem(n_vertices=3)
+    schedule_cycle(system, [0, 1, 2])
+    system.run_to_quiescence()
+    print(render_timeline(system.simulator.tracer))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = list(ALL_EXPERIMENTS) if args.name.lower() == "all" else [args.name.upper()]
+    for name in names:
+        module = ALL_EXPERIMENTS.get(name)
+        if module is None:
+            print(f"unknown experiment {name!r}; choose from {list(ALL_EXPERIMENTS)}")
+            return 2
+        table, results = module.run(quick=args.quick)
+        print(table.render())
+        print()
+        if args.json is not None:
+            from pathlib import Path
+
+            from repro.analysis.export import experiment_to_json
+
+            directory = Path(args.json)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"{name.lower()}.json"
+            path.write_text(
+                experiment_to_json(name, table, results, quick=args.quick)
+            )
+            print(f"[json written to {path}]\n")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verification import or_model
+    from repro.verification.explorer import explore
+    from repro.verification.model import Initiate, Request
+    from repro.verification.or_model import GrantTo, InitiateOr, RequestAny
+
+    and_scenarios = {
+        "2-cycle": (2, [Request(0, (1,)), Request(1, (0,)), Initiate(0)]),
+        "3-cycle": (
+            3,
+            [Request(0, (1,)), Request(1, (2,)), Request(2, (0,)), Initiate(0)],
+        ),
+        "2-cycle+tail": (
+            3,
+            [Request(0, (1,)), Request(1, (0,)), Request(2, (0,)), Initiate(2)],
+        ),
+    }
+    or_scenarios = {
+        "OR 2-cycle": (
+            2,
+            [RequestAny(0, (1,)), RequestAny(1, (0,)), InitiateOr(0)],
+        ),
+        "OR knot": (
+            3,
+            [
+                RequestAny(1, (0,)),
+                RequestAny(2, (0,)),
+                RequestAny(0, (1, 2)),
+                InitiateOr(0),
+            ],
+        ),
+        "OR in-flight grant": (
+            3,
+            [
+                RequestAny(0, (1,)),
+                GrantTo(1, 0),
+                RequestAny(1, (2,)),
+                RequestAny(2, (1,)),
+                InitiateOr(0),
+                InitiateOr(1),
+            ],
+        ),
+    }
+    failed = False
+    print("AND model (sections 2-4):")
+    for label, (n, script) in and_scenarios.items():
+        result = explore(n, script)
+        status = "ok" if result.ok else "FAILED"
+        print(
+            f"  {label}: {result.states_explored} states, "
+            f"{result.terminal_states} terminal, "
+            f"declared={sorted(result.ever_declared)} -> {status}"
+        )
+        failed |= not result.ok
+    print("OR model (section 7 extension):")
+    for label, (n, script) in or_scenarios.items():
+        result = explore(n, script, semantics=or_model)
+        status = "ok" if result.ok else "FAILED"
+        print(
+            f"  {label}: {result.states_explored} states, "
+            f"{result.terminal_states} terminal, "
+            f"declared={sorted(result.ever_declared)} -> {status}"
+        )
+        failed |= not result.ok
+    return 1 if failed else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Chandy & Misra (PODC 1982): distributed "
+            "resource-deadlock detection via probe computations."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = subparsers.add_parser("quickstart", help="3-cycle basic-model demo")
+    quickstart.set_defaults(handler=_cmd_quickstart)
+
+    ddb = subparsers.add_parser("ddb-demo", help="cross-site DDB deadlock demo")
+    ddb.set_defaults(handler=_cmd_ddb_demo)
+
+    or_demo = subparsers.add_parser(
+        "or-demo", help="OR/communication-model knot demo (section 7 extension)"
+    )
+    or_demo.set_defaults(handler=_cmd_or_demo)
+
+    timeline = subparsers.add_parser(
+        "timeline", help="render a protocol timeline of the 3-cycle demo"
+    )
+    timeline.set_defaults(handler=_cmd_timeline)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate an experiment table (E1..E8 or 'all')"
+    )
+    experiment.add_argument("name", help="experiment id, e.g. E3, or 'all'")
+    experiment.add_argument(
+        "--quick", action="store_true", help="smaller sweeps for a fast run"
+    )
+    experiment.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write <experiment>.json files into DIR",
+    )
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    verify = subparsers.add_parser(
+        "verify", help="exhaustive small-scope model checking of QRP1/QRP2"
+    )
+    verify.set_defaults(handler=_cmd_verify)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

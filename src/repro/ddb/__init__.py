@@ -1,0 +1,68 @@
+"""The distributed database (Menasce-Muntz) model of section 6.
+
+A DDB is implemented by N computers, each running a controller ``C_j`` that
+schedules processes, manages resources, and communicates with other
+controllers.  M transactions run on the DDB, each implemented by a
+collection of processes -- at most one per computer -- identified by
+``(T_i, S_j)``.  This package provides:
+
+* a read/write lock manager with FIFO-free "grant any compatible" queueing
+  (:mod:`repro.ddb.locks`),
+* the process-level coloured wait-for graph with intra-controller (always
+  black) and inter-controller (grey/black/white) edges, axioms G1-G6
+  (:mod:`repro.ddb.graph`),
+* transactions as operation programs executed by their home process
+  (:mod:`repro.ddb.transaction`),
+* controllers, including remote-request forwarding and the full message
+  protocol (:mod:`repro.ddb.controller`),
+* the controller-level probe computation of section 6.6 with the section
+  6.7 Q-initiation optimisation (:mod:`repro.ddb.detector`,
+  :mod:`repro.ddb.initiation`),
+* victim-based deadlock resolution so long-running workloads make progress
+  (:mod:`repro.ddb.resolution`; the paper defers resolution to its
+  references, we implement abort/restart as the natural extension),
+* :class:`~repro.ddb.system.DdbSystem`, the assembled system with the
+  verification oracle.
+"""
+
+from repro.ddb.graph import DdbWaitForGraph
+from repro.ddb.initiation import (
+    DdbDelayedInitiation,
+    DdbImmediateInitiation,
+    DdbInitiationPolicy,
+    DdbManualInitiation,
+    DdbPeriodicInitiation,
+)
+from repro.ddb.locks import LockMode, ResourceLock
+from repro.ddb.prevention import PreventionPolicy, WaitDie, WoundWait
+from repro.ddb.resolution import (
+    AbortAboutTransaction,
+    AbortLowestTransactionInCycle,
+    NoResolution,
+    VictimPolicy,
+)
+from repro.ddb.system import DdbSystem
+from repro.ddb.transaction import Acquire, Think, TransactionSpec, TransactionStatus
+
+__all__ = [
+    "AbortAboutTransaction",
+    "AbortLowestTransactionInCycle",
+    "Acquire",
+    "DdbDelayedInitiation",
+    "DdbImmediateInitiation",
+    "DdbInitiationPolicy",
+    "DdbManualInitiation",
+    "DdbPeriodicInitiation",
+    "DdbSystem",
+    "DdbWaitForGraph",
+    "LockMode",
+    "NoResolution",
+    "PreventionPolicy",
+    "ResourceLock",
+    "Think",
+    "TransactionSpec",
+    "TransactionStatus",
+    "VictimPolicy",
+    "WaitDie",
+    "WoundWait",
+]

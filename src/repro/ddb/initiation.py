@@ -1,0 +1,142 @@
+"""Initiation policies for DDB probe computations (sections 4.2, 6.7).
+
+* :class:`DdbImmediateInitiation` -- the section 4.2 rule lifted to the
+  DDB: whenever a process at this controller becomes blocked (gains its
+  first outgoing edge of a blocking episode), initiate a computation about
+  it.  Guarantees the process that closes a dark cycle triggers detection.
+* :class:`DdbPeriodicInitiation` -- controllers scan on a timer.  In
+  *naive* mode a scan initiates one computation per blocked constituent
+  process.  In *optimised* mode (section 6.7) the controller first looks
+  for a purely local intra-controller cycle, and otherwise initiates only
+  Q computations -- one per constituent process with an incoming black
+  inter-controller edge.  Experiment E7 compares the two.
+* :class:`DdbManualInitiation` -- no automatic initiation (scenario tests
+  call :meth:`Controller.initiate_for` directly).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro._ids import ProcessId
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ddb.controller import Controller
+
+
+class DdbInitiationPolicy:
+    """Interface; one policy instance is shared by all controllers."""
+
+    def on_process_blocked(self, controller: "Controller", process: ProcessId) -> None:
+        """``process`` at ``controller`` just gained outgoing edges."""
+
+    def on_process_unblocked(self, controller: "Controller", process: ProcessId) -> None:
+        """``process`` at ``controller`` resumed (granted or aborted)."""
+
+    def setup(self, controller: "Controller") -> None:
+        """Called once per controller at system construction."""
+
+
+class DdbManualInitiation(DdbInitiationPolicy):
+    """Never initiates automatically."""
+
+
+class DdbImmediateInitiation(DdbInitiationPolicy):
+    """Initiate about each process the moment it blocks."""
+
+    def on_process_blocked(self, controller: "Controller", process: ProcessId) -> None:
+        controller.initiate_for(process)
+
+
+class DdbDelayedInitiation(DdbInitiationPolicy):
+    """Section 4.3's delayed-T rule lifted to the DDB.
+
+    A probe computation about a process starts only after the process has
+    been blocked *continuously* for ``T`` time units; resolving the wait
+    sooner cancels the timer ("has avoided initiating a probe
+    computation").  Deadlocked processes stay blocked forever, so their
+    timers always fire -- completeness is preserved at latency >= T, the
+    same tradeoff as the basic model's
+    :class:`~repro.basic.initiation.DelayedInitiation`.
+    """
+
+    def __init__(self, timeout: float) -> None:
+        if timeout < 0:
+            raise ConfigurationError(f"T must be non-negative, got {timeout}")
+        self.timeout = timeout
+        self._timers: dict[ProcessId, "object"] = {}
+
+    def on_process_blocked(self, controller: "Controller", process: ProcessId) -> None:
+        def fire() -> None:
+            self._timers.pop(process, None)
+            if controller.is_process_blocked(process):
+                controller.initiate_for(process)
+
+        self._timers[process] = controller.simulator.schedule(
+            self.timeout, fire, name=f"ddb T-timer {process}"
+        )
+
+    def on_process_unblocked(self, controller: "Controller", process: ProcessId) -> None:
+        handle = self._timers.pop(process, None)
+        if handle is not None:
+            handle.cancel()
+            controller.simulator.metrics.counter("ddb.computations.avoided").increment()
+
+
+class DdbPeriodicInitiation(DdbInitiationPolicy):
+    """Timer-driven controller scans, naive or 6.7-optimised.
+
+    Parameters
+    ----------
+    period:
+        Virtual-time interval between scans at each controller.
+    optimized:
+        Apply the section 6.7 reduction (local-cycle check, then only
+        processes with incoming black inter-controller edges).
+    horizon:
+        Stop rescheduling scans after this virtual time (experiments run
+        for a bounded time; without a horizon the simulation never
+        quiesces).
+    """
+
+    def __init__(self, period: float, optimized: bool = True, horizon: float = float("inf")) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"scan period must be positive, got {period}")
+        self.period = period
+        self.optimized = optimized
+        self.horizon = horizon
+
+    def setup(self, controller: "Controller") -> None:
+        self._schedule(controller)
+
+    def _schedule(self, controller: "Controller") -> None:
+        next_time = controller.simulator.now + self.period
+        if next_time > self.horizon:
+            return
+        controller.simulator.schedule(
+            self.period,
+            lambda: self._scan(controller),
+            name=f"ddb scan C{controller.site}",
+        )
+
+    def _scan(self, controller: "Controller") -> None:
+        metrics = controller.simulator.metrics
+        metrics.counter("ddb.scans").increment()
+        blocked = controller.blocked_processes()
+        if self.optimized:
+            # Section 6.7: any constituent process on a local cycle is
+            # found by one local check; otherwise every dark cycle through
+            # this site enters through an incoming black inter-controller
+            # edge, so Q computations (one per such process) suffice.
+            metrics.counter("ddb.scan.naive_candidates").increment(len(blocked))
+            local_cycle_member = controller.find_local_cycle_member()
+            if local_cycle_member is not None:
+                controller.initiate_for(local_cycle_member)
+            else:
+                for process in controller.processes_with_incoming_black_inter_edges():
+                    controller.initiate_for(process)
+        else:
+            for process in blocked:
+                controller.initiate_for(process)
+        self._schedule(controller)

@@ -1,0 +1,111 @@
+"""Controller-to-controller messages of the DDB model.
+
+All cross-site traffic flows between controllers (the paper: "a process
+communicates directly only with its own controller; controllers may send
+messages to one another").  Process-to-controller communication is local
+(memory area + scheduling) and is therefore a function call in this
+implementation, not a network message.
+
+Every transaction-related message carries the transaction's *incarnation*
+(restart count).  Incarnations are our extension for deadlock resolution:
+the paper's model has no aborts, but once victims restart, stale messages
+from a previous incarnation must be recognisable.  Similarly, inter-
+controller edges carry a *serial* so that a probe can never match a newer
+re-creation of "the same" edge (which would break soundness under
+abort/restart -- see the phantom-deadlock ablation tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._ids import ProbeTag, ProcessId, ResourceId, TransactionId
+from repro.ddb.locks import LockMode
+
+
+@dataclass(frozen=True)
+class EdgeRef:
+    """Identity of one inter-controller edge incarnation.
+
+    ``origin`` is the waiting process ``(T_i, S_j)``, ``target`` the agent
+    ``(T_i, S_m)`` it waits for.  The paper's probes carry "the identity of
+    the edge"; ``serial`` disambiguates successive incarnations of the
+    same (origin, target) pair across transaction restarts.
+    """
+
+    origin: ProcessId
+    target: ProcessId
+    serial: int
+
+
+@dataclass(frozen=True)
+class RemoteAcquireRequest:
+    """C_j asks C_m to acquire resources for transaction ``transaction``.
+
+    Creates the grey inter-controller edge ``(origin, target)``; the edge
+    turns black when C_m receives this message.  ``items`` are the
+    resources (all homed at the target site) with their lock modes; the
+    edge whitens only when *all* items are granted.
+    """
+
+    edge: EdgeRef
+    transaction: TransactionId
+    incarnation: int
+    items: tuple[tuple[ResourceId, LockMode], ...]
+    #: admission-order timestamp (prevention schemes; 0 when unused)
+    timestamp: int = 0
+
+
+@dataclass(frozen=True)
+class RemoteAcquireGranted:
+    """C_m tells C_j that every requested item was acquired.
+
+    Sent when the edge whitens; on receipt at C_j the edge disappears and
+    the origin process may resume.
+    """
+
+    edge: EdgeRef
+
+
+@dataclass(frozen=True)
+class RemoteRelease:
+    """At commit, the home controller tells C_m to release T's locks there."""
+
+    transaction: TransactionId
+    incarnation: int
+
+
+@dataclass(frozen=True)
+class RemoteAbort:
+    """Victim abort: C_m must drop T's waits and locks at its site."""
+
+    transaction: TransactionId
+    incarnation: int
+
+
+@dataclass(frozen=True)
+class AbortDemand:
+    """A controller that declared ``(T, S)`` deadlocked asks T's home
+    controller to abort T (resolution extension, not in the paper).
+
+    ``force`` bypasses the still-blocked sanity check -- used by the
+    wound-wait prevention scheme, whose wounds must preempt running
+    transactions."""
+
+    transaction: TransactionId
+    incarnation: int
+    force: bool = False
+
+
+@dataclass(frozen=True)
+class DdbProbe:
+    """A probe of computation ``tag`` sent along inter-controller ``edge``.
+
+    Meaningful iff the edge exists and is black when the target controller
+    receives it (section 6.5), i.e. the target controller has received the
+    corresponding :class:`RemoteAcquireRequest` and has not yet granted all
+    of its items.
+    """
+
+    tag: ProbeTag
+    edge: EdgeRef

@@ -1,0 +1,91 @@
+"""Deadlock resolution: what to do once a deadlock is declared.
+
+The paper stops at detection ("the question of how deadlocks should be
+broken is not treated here"); production systems must break the cycle so
+work continues.  We implement the standard victim-abort scheme as the
+natural extension:
+
+* :class:`AbortAboutTransaction` -- the transaction owning the declared
+  process is the victim.  If the declaring controller is the victim's home
+  it aborts directly; otherwise it sends an
+  :class:`~repro.ddb.messages.AbortDemand` to the home controller.
+* :class:`NoResolution` -- record declarations only (detection-only mode;
+  deadlocked transactions stay stuck, which is what the completeness
+  checks at quiescence need).
+
+Restarting a victim is the workload's decision, exposed through
+:meth:`DdbSystem.on_transaction_finished` callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro._ids import ProbeTag, ProcessId
+from repro.ddb.messages import AbortDemand
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ddb.controller import Controller
+
+
+class VictimPolicy:
+    """Interface: invoked whenever a controller declares a deadlock."""
+
+    def on_declaration(
+        self, controller: "Controller", process: ProcessId, tag: ProbeTag
+    ) -> None:
+        raise NotImplementedError
+
+
+class NoResolution(VictimPolicy):
+    """Detection-only: record and do nothing."""
+
+    def on_declaration(
+        self, controller: "Controller", process: ProcessId, tag: ProbeTag
+    ) -> None:
+        pass
+
+
+class AbortAboutTransaction(VictimPolicy):
+    """Abort the transaction owning the declared process.
+
+    Simple and local, but when several controllers detect the same cycle
+    concurrently they each abort *their own* transaction -- the cycle is
+    broken several times over (duplicate victims).
+    """
+
+    def on_declaration(
+        self, controller: "Controller", process: ProcessId, tag: ProbeTag
+    ) -> None:
+        _demand_abort(controller, process.transaction)
+
+
+class AbortLowestTransactionInCycle(VictimPolicy):
+    """Abort the lowest-numbered transaction among the labelled processes.
+
+    Every controller that detects one cycle labels (at least) the local
+    slice of that cycle's transactions; because the cycle's transaction
+    set is common, the *minimum transaction id* is a deterministic
+    tie-break that concurrent detectors agree on -- they all demand the
+    same victim, aborts are idempotent at the home controller, and
+    duplicate victims disappear.  (A production system would use age or
+    lock counts; any globally consistent total order works.)
+    """
+
+    def on_declaration(
+        self, controller: "Controller", process: ProcessId, tag: ProbeTag
+    ) -> None:
+        candidates = {p.transaction for p in controller.detector.labelled_for(tag)}
+        candidates.add(process.transaction)
+        _demand_abort(controller, min(candidates))
+
+
+def _demand_abort(controller: "Controller", tid) -> None:
+    home = controller.system.transaction_home(tid)
+    if home == controller.site:
+        controller.abort_transaction(tid)
+    else:
+        # Incarnation is local knowledge when the victim has a process
+        # here; otherwise fall back to the newest incarnation seen.
+        incarnation = controller.local_incarnation(tid)
+        controller.send(home, AbortDemand(transaction=tid, incarnation=incarnation))

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.  Errors
+are split along the package structure: simulation-engine misuse, model-axiom
+violations (the G/P axioms from the paper), and configuration problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation engine.
+
+    Examples: scheduling an event in the past, running a simulator that was
+    already closed, or sending a message to an unregistered process.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A system was built with inconsistent or out-of-range parameters."""
+
+
+class AxiomViolation(ReproError):
+    """One of the paper's axioms (G1-G6, P1-P4) was violated.
+
+    The library enforces the graph axioms at run time (in the oracle graph)
+    and raises this error if the underlying computation attempts an illegal
+    transition -- e.g. whitening an edge whose target still has outgoing
+    edges (G3), or re-creating an edge that already exists (G1).  A raised
+    AxiomViolation always indicates a bug in a driver/workload or in the
+    library itself, never a legal run-time condition.
+    """
+
+    def __init__(self, axiom: str, message: str) -> None:
+        super().__init__(f"axiom {axiom} violated: {message}")
+        self.axiom = axiom
+
+
+class ProtocolError(ReproError):
+    """A protocol message arrived in a state that the paper rules out.
+
+    For instance, a reply received for a request that was never sent, or a
+    lock release from a transaction that holds no lock.  Like
+    :class:`AxiomViolation`, this indicates a bug rather than a recoverable
+    condition.
+    """
+
+
+class TransactionAborted(ReproError):
+    """Raised inside transaction logic when the transaction has been aborted
+    (e.g. chosen as a deadlock victim) and must stop issuing operations."""
+
+    def __init__(self, transaction: int, reason: str) -> None:
+        super().__init__(f"transaction T{transaction} aborted: {reason}")
+        self.transaction = transaction
+        self.reason = reason

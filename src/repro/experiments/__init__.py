@@ -1,0 +1,44 @@
+"""The experiment harness: one module per paper claim (E1-E8).
+
+The paper (PODC '82) publishes theorems and complexity claims rather than
+numbered tables; DESIGN.md assigns each quantitative claim an experiment
+id.  Every module here exposes ``run(...)`` returning an
+:class:`~repro.analysis.tables.Table` plus a raw-results payload; the
+pytest benchmarks under ``benchmarks/`` and the CLI both call these, so
+the numbers in EXPERIMENTS.md are regenerable from either entry point.
+
+| id | claim | module |
+|----|-------|--------|
+| E1 | Theorem 1: every true deadlock detected           | e1_completeness |
+| E2 | Theorem 2: no false deadlocks, ever               | e2_soundness |
+| E3 | §4.3: ≤ 1 probe/edge/computation; ≤ N on a cycle  | e3_messages |
+| E4 | §4.3: per-vertex state O(N)                       | e4_state |
+| E5 | §4.3: the T tradeoff (computations vs latency)    | e5_t_tradeoff |
+| E6 | §5: WFGD informs all deadlocked vertices          | e6_wfgd |
+| E7 | §6.7: Q-initiation beats naive per-process scans  | e7_q_optimization |
+| E8 | §1: correctness/cost vs 1980-era baselines        | e8_baselines |
+"""
+
+from repro.experiments import (
+    e1_completeness,
+    e2_soundness,
+    e3_messages,
+    e4_state,
+    e5_t_tradeoff,
+    e6_wfgd,
+    e7_q_optimization,
+    e8_baselines,
+)
+
+ALL_EXPERIMENTS = {
+    "E1": e1_completeness,
+    "E2": e2_soundness,
+    "E3": e3_messages,
+    "E4": e4_state,
+    "E5": e5_t_tradeoff,
+    "E6": e6_wfgd,
+    "E7": e7_q_optimization,
+    "E8": e8_baselines,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,100 @@
+"""E2 -- Theorem 2 (QRP2): deadlocks are never reported falsely.
+
+Soundness is a per-history property, so the experiment piles up histories
+designed to tempt a lesser detector into phantom reports:
+
+* heavy churn (requests racing replies under exponential delays),
+* near-cycles that resolve just before closing,
+* random workloads where genuine deadlocks and churn coexist -- every
+  declaration is checked against the oracle *at the instant it is made*.
+
+The table reports declarations made vs declarations that were unsound
+(the paper predicts 0 -- and measures 0), per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import Table
+from repro.basic.system import BasicSystem
+from repro.sim.network import ExponentialDelay, UniformDelay
+from repro.workloads.basic_random import RandomRequestWorkload
+from repro.workloads.scenarios import schedule_chain
+
+
+@dataclass
+class E2Result:
+    label: str
+    declarations: int
+    unsound: int
+
+
+def run_churn(seeds: tuple[int, ...]) -> E2Result:
+    declarations = unsound = 0
+    for seed in seeds:
+        system = BasicSystem(
+            n_vertices=8,
+            seed=seed,
+            delay_model=UniformDelay(0.1, 3.0),
+            service_delay=0.2,
+            strict=False,
+        )
+        workload = RandomRequestWorkload(
+            system, mean_think=1.0, max_targets=1, duration=40.0
+        )
+        workload.start()
+        system.run_to_quiescence(max_events=500_000)
+        declarations += len(system.declarations)
+        unsound += len(system.soundness_violations)
+    return E2Result("churn (fan-out 1)", declarations, unsound)
+
+
+def run_mixed(seeds: tuple[int, ...]) -> E2Result:
+    declarations = unsound = 0
+    for seed in seeds:
+        system = BasicSystem(
+            n_vertices=10,
+            seed=seed,
+            delay_model=ExponentialDelay(mean=1.5),
+            service_delay=0.5,
+            strict=False,
+        )
+        workload = RandomRequestWorkload(
+            system, mean_think=1.5, max_targets=3, duration=50.0
+        )
+        workload.start()
+        system.run_to_quiescence(max_events=500_000)
+        declarations += len(system.declarations)
+        unsound += len(system.soundness_violations)
+    return E2Result("mixed churn + deadlocks (fan-out 3)", declarations, unsound)
+
+
+def run_near_cycles(seeds: tuple[int, ...]) -> E2Result:
+    declarations = unsound = 0
+    for seed in seeds:
+        system = BasicSystem(
+            n_vertices=6,
+            seed=seed,
+            delay_model=UniformDelay(0.5, 2.0),
+            service_delay=0.3,
+            strict=False,
+        )
+        for wave in range(8):
+            schedule_chain(system, list(range(6)), start=wave * 15.0, gap=0.2)
+        system.run_to_quiescence(max_events=500_000)
+        declarations += len(system.declarations)
+        unsound += len(system.soundness_violations)
+    return E2Result("near-cycle chains", declarations, unsound)
+
+
+def run(quick: bool = False) -> tuple[Table, list[E2Result]]:
+    seeds = tuple(range(3)) if quick else tuple(range(10))
+    results = [run_churn(seeds), run_mixed(seeds), run_near_cycles(seeds)]
+    table = Table(
+        "E2 (Theorem 2): soundness -- no false deadlock reports",
+        ["workload", "declarations", "unsound declarations"],
+    )
+    for result in results:
+        table.add_row(result.label, result.declarations, result.unsound)
+    return table, results

@@ -1,0 +1,106 @@
+"""E3 -- section 4.3 message complexity.
+
+Claims measured:
+
+* "For a given probe computation, a vertex sends only one probe on any
+  outgoing edge.  Hence, there can be at most N probes in a single probe
+  computation" (on a cycle of N vertices; in general at most one probe
+  per edge, i.e. at most E probes).
+* Probe volume therefore scales linearly in cycle length.
+
+The table sweeps cycle sizes and dense random graphs, reporting the
+maximum probes observed in any single computation against the bound, and
+the per-edge maximum (always 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import Table
+from repro.basic.initiation import ManualInitiation
+from repro.basic.system import BasicSystem
+from repro.workloads.scenarios import schedule_cycle
+
+
+@dataclass
+class E3Result:
+    label: str
+    bound: int
+    max_probes_per_computation: int
+    max_probes_per_edge: int
+
+    @property
+    def within_bound(self) -> bool:
+        return (
+            self.max_probes_per_computation <= self.bound
+            and self.max_probes_per_edge <= 1
+        )
+
+
+def _per_edge_max(system: BasicSystem) -> int:
+    per_edge: dict[tuple, int] = {}
+    for event in system.simulator.tracer.events("basic.probe.sent"):
+        key = (event["tag"], event["source"], event["target"])
+        per_edge[key] = per_edge.get(key, 0) + 1
+    return max(per_edge.values(), default=0)
+
+
+def run_cycle(k: int, seed: int = 0) -> E3Result:
+    system = BasicSystem(n_vertices=k, seed=seed)
+    schedule_cycle(system, list(range(k)))
+    system.run_to_quiescence()
+    max_probes = max(system.probes_per_computation.values(), default=0)
+    return E3Result(
+        label=f"{k}-cycle",
+        bound=k,
+        max_probes_per_computation=max_probes,
+        max_probes_per_edge=_per_edge_max(system),
+    )
+
+
+def run_dense(n: int, fan_out: int, seed: int = 0) -> E3Result:
+    """A dense blocked graph: every vertex AND-waits on ``fan_out`` others
+    arranged so a giant cycle exists; one manual computation probes it."""
+    system = BasicSystem(n_vertices=n, seed=seed, initiation=ManualInitiation())
+    edge_count = 0
+    for i in range(n):
+        targets = sorted({(i + d) % n for d in range(1, fan_out + 1)} - {i})
+        system.schedule_request(0.1 * i, i, targets)
+        edge_count += len(targets)
+    system.run_to_quiescence()
+    system.simulator.schedule(1.0, system.vertex(0).initiate_probe_computation)
+    system.run_to_quiescence()
+    max_probes = max(system.probes_per_computation.values(), default=0)
+    return E3Result(
+        label=f"dense n={n} fan-out={fan_out} ({edge_count} edges)",
+        bound=edge_count,
+        max_probes_per_computation=max_probes,
+        max_probes_per_edge=_per_edge_max(system),
+    )
+
+
+def run(quick: bool = False) -> tuple[Table, list[E3Result]]:
+    sizes = (4, 8, 16, 32) if quick else (4, 8, 16, 32, 64, 128)
+    results = [run_cycle(k) for k in sizes]
+    dense = ((16, 3), (32, 4)) if quick else ((16, 3), (32, 4), (64, 5))
+    results += [run_dense(n, fan_out) for n, fan_out in dense]
+    table = Table(
+        "E3 (section 4.3): probe-message complexity",
+        [
+            "workload",
+            "bound (edges)",
+            "max probes/computation",
+            "max probes/edge",
+            "within bound",
+        ],
+    )
+    for result in results:
+        table.add_row(
+            result.label,
+            result.bound,
+            result.max_probes_per_computation,
+            result.max_probes_per_edge,
+            "yes" if result.within_bound else "NO",
+        )
+    return table, results

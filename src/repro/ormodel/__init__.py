@@ -1,0 +1,46 @@
+"""The OR (communication) model: the paper's flagged future work.
+
+Section 1 contrasts the paper's AND/resource model with the *message
+model* of its reference [1]: there, "a process which is waiting to
+communicate with other processes cannot proceed ... until it communicates
+with ANY one of the processes it is waiting for", and "the any/all
+difference in these models results in completely different algorithms".
+Section 7 closes with "a great deal of work remains ... on developing
+algorithms for different types of distributed systems".
+
+This package implements that other algorithm -- the communication-model
+detector the authors published in the follow-up TOCS paper (Chandy, Misra
+& Haas 1983), which is itself a diffusing computation in the style of
+Dijkstra & Scholten's termination detection (the very paper the
+acknowledgements credit as the origin of this line of work):
+
+* a blocked process *queries* every member of its dependent set;
+* the first query of a computation *engages* a blocked receiver, which
+  forwards queries to its own dependent set and counts outstanding ones;
+* non-engaging queries to a continuously blocked process are answered
+  immediately; active processes discard queries;
+* when an engaged process has collected replies for all its queries it
+  replies to its engaging query; when the *initiator* collects all its
+  replies, its dependent closure is entirely blocked -- an OR-model
+  deadlock -- and it declares.
+
+Ground truth in the OR model: a blocked process is deadlocked iff **no
+active process is reachable** from it along dependency edges (any active
+reachable process eventually grants someone, and the unblocking cascades
+back).  The :class:`~repro.ormodel.system.OrSystem` oracle checks every
+declaration against exactly that criterion.
+"""
+
+from repro.ormodel.messages import Grant, OrQuery, OrReply, RequestAny
+from repro.ormodel.system import OrDeclaration, OrSystem
+from repro.ormodel.vertex import OrVertexProcess
+
+__all__ = [
+    "Grant",
+    "OrDeclaration",
+    "OrQuery",
+    "OrReply",
+    "OrSystem",
+    "OrVertexProcess",
+    "RequestAny",
+]

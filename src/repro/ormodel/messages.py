@@ -1,0 +1,44 @@
+"""Messages of the OR-model underlying computation and its detector."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._ids import ProbeTag, VertexId
+
+
+@dataclass(frozen=True)
+class RequestAny:
+    """``p_i`` asks to communicate with the receiver; ``p_i`` proceeds as
+    soon as ANY member of its dependent set grants."""
+
+    requester: VertexId
+
+
+@dataclass(frozen=True)
+class Grant:
+    """The receiver's awaited communication.  The first grant unblocks the
+    requester; later grants (from other dependent-set members) are stale
+    and ignored."""
+
+    granter: VertexId
+
+
+@dataclass(frozen=True)
+class OrQuery:
+    """query(i, m, j) of the communication-model algorithm.
+
+    ``tag`` identifies the computation (initiator i and its sequence
+    number); ``sender`` is m, the process forwarding the query.
+    """
+
+    tag: ProbeTag
+    sender: VertexId
+
+
+@dataclass(frozen=True)
+class OrReply:
+    """reply(i, j, m): the answer to a query of computation ``tag``."""
+
+    tag: ProbeTag
+    sender: VertexId

@@ -1,0 +1,229 @@
+"""OR-model system wrapper with its oracle and verification hooks.
+
+Ground truth for the OR model: a blocked process is deadlocked iff no
+active process is reachable from it along dependency edges (grants cascade
+back from any reachable active process).  This criterion is *stable* for
+quiescent channel states; while a grant is in flight it can flip -- which
+is why the detector's soundness leans on per-channel FIFO (a dependent's
+reply always travels behind any earlier grant on the same channel, so the
+grant wipes the initiator's computation first).  The dedicated ablation
+test breaks FIFO to demonstrate the dependence.
+
+Verification mirrors :class:`~repro.basic.system.BasicSystem`:
+
+* every declaration is checked against the oracle criterion at the
+  instant it is made;
+* at quiescence, every deadlocked vertex must have a declarer inside its
+  dependency closure (the "last blocker" argument in the package docs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro._ids import ProbeTag, VertexId
+from repro.errors import ConfigurationError
+from repro.ormodel.vertex import OrVertexProcess
+from repro.sim.network import DelayModel, Network
+from repro.sim.simulator import Simulator
+
+
+class OrWaitGraph:
+    """Global oracle: dependent sets plus the OR-deadlock criterion."""
+
+    def __init__(self) -> None:
+        self._dependents: dict[VertexId, set[VertexId]] = {}
+
+    def set_dependents(self, vertex: VertexId, dependents: set[VertexId]) -> None:
+        if dependents:
+            self._dependents[vertex] = set(dependents)
+        else:
+            self._dependents.pop(vertex, None)
+
+    def dependents(self, vertex: VertexId) -> set[VertexId]:
+        return set(self._dependents.get(vertex, ()))
+
+    def is_blocked(self, vertex: VertexId) -> bool:
+        return vertex in self._dependents
+
+    def closure(self, vertex: VertexId) -> set[VertexId]:
+        """Everything reachable from ``vertex`` along dependency edges."""
+        reached: set[VertexId] = set()
+        stack = [vertex]
+        while stack:
+            current = stack.pop()
+            for nxt in self._dependents.get(current, ()):
+                if nxt not in reached:
+                    reached.add(nxt)
+                    stack.append(nxt)
+        return reached
+
+    def is_deadlocked(self, vertex: VertexId) -> bool:
+        """OR-model deadlock: blocked, and no active vertex reachable."""
+        if vertex not in self._dependents:
+            return False
+        return all(member in self._dependents for member in self.closure(vertex))
+
+    def deadlocked_vertices(self) -> set[VertexId]:
+        return {v for v in self._dependents if self.is_deadlocked(v)}
+
+    def __repr__(self) -> str:
+        return f"OrWaitGraph(blocked={len(self._dependents)})"
+
+
+@dataclass(frozen=True)
+class OrDeclaration:
+    """One OR-model deadlock declaration with its oracle verdict."""
+
+    time: float
+    vertex: VertexId
+    tag: ProbeTag
+    deadlocked: bool
+
+
+class OrSystem:
+    """A ready-to-run OR-model system.
+
+    Parameters parallel :class:`BasicSystem`; ``auto_initiate`` runs a
+    query computation the moment a vertex blocks (the section 4.2 rule
+    transplanted: the last member of a deadlocked closure to block detects
+    it).
+    """
+
+    def __init__(
+        self,
+        n_vertices: int,
+        seed: int = 0,
+        delay_model: DelayModel | None = None,
+        service_delay: float = 1.0,
+        auto_grant: bool = True,
+        auto_initiate: bool = True,
+        strict: bool = True,
+        trace: bool = True,
+        fifo: bool = True,
+    ) -> None:
+        if n_vertices < 1:
+            raise ConfigurationError(f"need at least one vertex, got {n_vertices}")
+        self.simulator = Simulator(seed=seed, trace=trace)
+        self.network = Network(self.simulator, delay_model=delay_model, fifo=fifo)
+        self.oracle = OrWaitGraph()
+        self.auto_initiate = auto_initiate
+        self.strict = strict
+        self.declarations: list[OrDeclaration] = []
+        self.soundness_violations: list[OrDeclaration] = []
+        #: grants currently in flight, as (granter, grantee) multiset --
+        #: needed because the state-only criterion is not stable while a
+        #: grant is travelling (its receiver is about to unblock).
+        self._grants_in_flight: dict[tuple[VertexId, VertexId], int] = {}
+        self.simulator.tracer.subscribe(self._observe)
+        self.vertices: dict[VertexId, OrVertexProcess] = {}
+        for i in range(n_vertices):
+            vid = VertexId(i)
+            vertex = OrVertexProcess(
+                vertex_id=vid,
+                simulator=self.simulator,
+                oracle=self.oracle,
+                service_delay=service_delay,
+                auto_grant=auto_grant,
+                on_declare=self._handle_declare,
+            )
+            self.network.register(vertex)
+            self.vertices[vid] = vertex
+
+    # ------------------------------------------------------------------
+
+    def vertex(self, i: int) -> OrVertexProcess:
+        return self.vertices[VertexId(i)]
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    @property
+    def metrics(self):
+        return self.simulator.metrics
+
+    def request_any(self, source: int, targets: Iterable[int]) -> None:
+        vertex = self.vertex(source)
+        vertex.request_any([VertexId(t) for t in targets])
+        if self.auto_initiate:
+            vertex.initiate_detection()
+
+    def schedule_request(self, time: float, source: int, targets: Iterable[int]) -> None:
+        frozen = list(targets)
+        self.simulator.schedule_at(
+            time,
+            lambda: self.request_any(source, frozen),
+            name=f"or-request v{source}->{frozen}",
+        )
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        self.simulator.run(until=until, max_events=max_events)
+
+    def run_to_quiescence(self, max_events: int = 1_000_000) -> None:
+        self.simulator.run_to_quiescence(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def _observe(self, event) -> None:
+        from repro.ormodel.messages import Grant
+
+        if event.category == "net.sent" and isinstance(event["message"], Grant):
+            key = (event["sender"], event["destination"])
+            self._grants_in_flight[key] = self._grants_in_flight.get(key, 0) + 1
+        elif event.category == "net.delivered" and isinstance(event["message"], Grant):
+            key = (event["sender"], event["destination"])
+            self._grants_in_flight[key] -= 1
+            if not self._grants_in_flight[key]:
+                del self._grants_in_flight[key]
+
+    def truly_deadlocked(self, vertex: VertexId) -> bool:
+        """Channel-aware ground truth: the state criterion holds AND no
+        in-flight grant targets the vertex or anything in its closure."""
+        if not self.oracle.is_deadlocked(vertex):
+            return False
+        closure = self.oracle.closure(vertex) | {vertex}
+        return not any(
+            grantee in closure for (_, grantee) in self._grants_in_flight
+        )
+
+    def _handle_declare(self, vertex: OrVertexProcess, tag: ProbeTag) -> None:
+        deadlocked = self.truly_deadlocked(vertex.vertex_id)
+        declaration = OrDeclaration(
+            time=self.now, vertex=vertex.vertex_id, tag=tag, deadlocked=deadlocked
+        )
+        self.declarations.append(declaration)
+        if not deadlocked:
+            self.soundness_violations.append(declaration)
+            if self.strict:
+                raise AssertionError(
+                    f"OR soundness violated: vertex {vertex.vertex_id} declared at "
+                    f"t={self.now} but an active vertex is reachable"
+                )
+
+    def assert_soundness(self) -> None:
+        if self.soundness_violations:
+            raise AssertionError(
+                f"OR soundness violated by: {self.soundness_violations}"
+            )
+
+    def assert_completeness(self) -> None:
+        """Every deadlocked vertex has a declarer in its closure (or is
+        one itself)."""
+        declared = {d.vertex for d in self.declarations}
+        for vertex in sorted(self.oracle.deadlocked_vertices()):
+            closure = self.oracle.closure(vertex) | {vertex}
+            if not closure & declared:
+                raise AssertionError(
+                    f"OR completeness violated: deadlocked vertex {vertex} has no "
+                    f"declarer in its closure {sorted(closure)}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"OrSystem(n={len(self.vertices)}, t={self.now}, "
+            f"declared={len(self.declarations)})"
+        )

@@ -1,0 +1,43 @@
+"""Virtual time for the discrete-event simulator.
+
+Time is a non-negative float that only the simulator may advance, and only
+monotonically.  Model code reads ``clock.now``; it never writes it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Clock:
+    """A monotonically advancing virtual clock.
+
+    The clock starts at ``0.0``.  :meth:`advance_to` is called by the
+    simulator when it dequeues an event; user code should treat the clock as
+    read-only.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """The current virtual time."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises :class:`SimulationError` if ``time`` is in the past; equal
+        times are allowed (many events may share a timestamp).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: now={self._now}, requested={time}"
+            )
+        self._now = time
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now})"

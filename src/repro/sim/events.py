@@ -1,0 +1,112 @@
+"""Event objects and the stable event queue.
+
+Events are ordered by ``(time, sequence)``: events scheduled earlier in real
+(simulation-construction) order run first among same-time events.  This
+stability is what makes the whole simulation deterministic for a given seed,
+which in turn makes every benchmark and test reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+Action = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Only ``time`` and ``sequence`` participate in ordering; the action and
+    name are payload.  ``cancelled`` supports O(1) cancellation with lazy
+    removal from the heap.
+    """
+
+    time: float
+    sequence: int
+    action: Action = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by scheduling; allows cancellation.
+
+    Cancelling an already-fired or already-cancelled event is a no-op, which
+    keeps timer management in model code simple (e.g. the delayed-T
+    initiation rule cancels its timer when the edge disappears, without
+    having to know whether the timer already fired).
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Mark the underlying event as cancelled."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._event.cancelled else "pending"
+        return f"EventHandle(t={self._event.time}, {state}, {self._event.name!r})"
+
+
+class EventQueue:
+    """A stable min-heap of :class:`Event` objects with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Action, name: str = "") -> EventHandle:
+        """Add an event at absolute ``time`` and return its handle."""
+        if time < 0:
+            raise SimulationError(f"event time must be non-negative, got {time}")
+        event = Event(time=time, sequence=next(self._counter), action=action, name=name)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises :class:`SimulationError` when empty; check :meth:`__bool__`
+        or :attr:`next_time` first.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            return event
+        raise SimulationError("pop from an empty event queue")
+
+    @property
+    def next_time(self) -> float | None:
+        """Time of the earliest pending event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events.
+
+        O(heap size); intended for assertions and quiescence checks, not
+        hot loops (the engine's hot path uses :attr:`next_time`).
+        """
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.next_time is not None

@@ -1,0 +1,148 @@
+"""Counters and histograms for experiment accounting.
+
+The benchmark harness needs exact message counts (experiment E3: at most one
+probe per edge per computation) and latency distributions (E5: detection
+latency vs the T parameter).  Metrics are plain in-memory objects owned by a
+:class:`MetricsRegistry`; nothing here is thread-aware because the simulator
+is single-threaded by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (amount={amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self._value})"
+
+
+@dataclass
+class HistogramSummary:
+    """Summary statistics of a histogram at one point in time."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+
+
+class Histogram:
+    """A value recorder with exact quantiles.
+
+    Stores all observations (simulations here record at most a few hundred
+    thousand values); quantiles are computed on demand by sorting with the
+    nearest-rank method.
+    """
+
+    __slots__ = ("name", "_values", "_sorted")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[float] = []
+        self._sorted = True
+
+    def record(self, value: float) -> None:
+        if math.isnan(value):
+            raise ValueError(f"histogram {self.name!r} cannot record NaN")
+        self._values.append(value)
+        self._sorted = False
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> list[float]:
+        """A copy of all recorded values, in recording order is not
+        guaranteed (values may have been sorted for quantile queries)."""
+        return list(self._values)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile; ``q`` in [0, 1].  Raises on empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        rank = max(0, math.ceil(q * len(self._values)) - 1)
+        return self._values[rank]
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return sum(self._values) / len(self._values)
+
+    def summary(self) -> HistogramSummary:
+        """Return a :class:`HistogramSummary`; raises on empty histograms."""
+        return HistogramSummary(
+            count=self.count,
+            mean=self.mean,
+            minimum=self.quantile(0.0),
+            maximum=self.quantile(1.0),
+            p50=self.quantile(0.5),
+            p90=self.quantile(0.9),
+            p99=self.quantile(0.99),
+        )
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+@dataclass
+class MetricsRegistry:
+    """Owner of named counters and histograms.
+
+    ``counter(name)`` / ``histogram(name)`` create on first use and memoise,
+    so call sites never need to pre-register metrics.
+    """
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        existing = self.counters.get(name)
+        if existing is None:
+            existing = Counter(name)
+            self.counters[name] = existing
+        return existing
+
+    def histogram(self, name: str) -> Histogram:
+        existing = self.histograms.get(name)
+        if existing is None:
+            existing = Histogram(name)
+            self.histograms[name] = existing
+        return existing
+
+    def counter_value(self, name: str) -> int:
+        """Value of a counter, 0 if it was never touched."""
+        existing = self.counters.get(name)
+        return existing.value if existing is not None else 0
+
+    def snapshot(self) -> dict[str, int]:
+        """All counter values as a plain dict (for table rendering)."""
+        return {name: counter.value for name, counter in sorted(self.counters.items())}

@@ -1,0 +1,60 @@
+"""Actor base class for simulated processes.
+
+Vertices (basic model) and controllers (DDB model) are :class:`Process`
+subclasses.  A process has an identity, access to the simulator, and a
+single entry point -- :meth:`Process.on_message` -- invoked by the network
+when a message is delivered.
+
+The paper's atomicity note ("each step A0, A1, A2 of the algorithm, once
+started, must be completed before the process can send or receive other
+messages") is satisfied structurally: the simulator is single-threaded and a
+message handler runs to completion before any other event fires.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Hashable
+
+from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.network import Network
+
+
+class Process:
+    """A named participant in the simulated message-passing system.
+
+    Subclasses override :meth:`on_message`.  ``pid`` may be any hashable
+    (ints for vertices, ``SiteId`` for controllers).
+    """
+
+    def __init__(self, pid: Hashable, simulator: Simulator) -> None:
+        self.pid = pid
+        self.simulator = simulator
+        self._network: "Network | None" = None
+
+    @property
+    def network(self) -> "Network":
+        """The network this process is attached to."""
+        if self._network is None:
+            raise RuntimeError(f"process {self.pid!r} is not attached to a network")
+        return self._network
+
+    def attach(self, network: "Network") -> None:
+        """Called by :meth:`Network.register`; not for direct use."""
+        self._network = network
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    def send(self, destination: Hashable, message: Any) -> None:
+        """Send ``message`` to the process named ``destination``."""
+        self.network.send(self.pid, destination, message)
+
+    def on_message(self, sender: Hashable, message: Any) -> None:
+        """Handle a delivered message.  Subclasses must override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(pid={self.pid!r})"

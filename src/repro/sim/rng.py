@@ -1,0 +1,63 @@
+"""Named, reproducible random streams.
+
+Every source of randomness in a simulation (message delays, workload think
+times, victim tie-breaking, ...) draws from its own named stream, all of
+which derive deterministically from one root seed.  This isolates streams
+from one another: adding a new consumer of randomness does not perturb the
+draws seen by existing consumers, so experiment results stay comparable
+across code changes -- a standard discipline for simulation studies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a child seed from ``root_seed`` and a stream ``name``.
+
+    Uses SHA-256 over a canonical encoding so the mapping is stable across
+    Python versions and processes (unlike ``hash()``, which is salted).
+    """
+    payload = f"{root_seed}:{name}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """Factory of named :class:`random.Random` streams under one root seed.
+
+    Requesting the same name twice returns the same stream object, so
+    components may freely re-request their stream instead of threading it
+    through constructors.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed this registry was built with."""
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the (memoised) stream for ``name``."""
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        stream = random.Random(derive_seed(self._seed, name))
+        self._streams[name] = stream
+        return stream
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Return a new registry whose root seed derives from ``name``.
+
+        Useful for running many replications: ``registry.fork(f"rep{i}")``
+        yields fully independent but reproducible sub-experiments.
+        """
+        return RngRegistry(derive_seed(self._seed, name))
+
+    def __repr__(self) -> str:
+        return f"RngRegistry(seed={self._seed}, streams={sorted(self._streams)})"

@@ -1,0 +1,124 @@
+"""The discrete-event simulation engine.
+
+A :class:`Simulator` owns the clock, the event queue, a tracer, a metrics
+registry, and an RNG registry, and exposes the scheduling API used by model
+code.  Running is pull-based: :meth:`run` pops events in ``(time, sequence)``
+order, advances the clock, and executes their actions until quiescence, a
+time deadline, or an event-count limit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+from repro.sim.events import EventHandle, EventQueue
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+class Simulator:
+    """Deterministic single-threaded discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all randomness (delays, workloads).
+    trace:
+        Whether to record a full structured trace.  Verification-heavy tests
+        keep it on; large benchmark sweeps turn it off and rely on metrics.
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = True) -> None:
+        self.clock = Clock()
+        self.queue = EventQueue()
+        self.tracer = Tracer(enabled=trace)
+        self.metrics = MetricsRegistry()
+        self.rng = RngRegistry(seed)
+        self._events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.clock.now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_executed
+
+    def schedule(self, delay: float, action: Callable[[], None], name: str = "") -> EventHandle:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.queue.push(self.clock.now + delay, action, name)
+
+    def schedule_at(self, time: float, action: Callable[[], None], name: str = "") -> EventHandle:
+        """Schedule ``action`` at absolute virtual ``time`` (>= now)."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule in the past: now={self.clock.now}, requested={time}"
+            )
+        return self.queue.push(time, action, name)
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False if the queue was empty."""
+        if not self.queue:
+            return False
+        event = self.queue.pop()
+        self.clock.advance_to(event.time)
+        self._events_executed += 1
+        event.action()
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until quiescence, a deadline, or an event budget.
+
+        ``until`` is an absolute virtual-time deadline: events strictly after
+        it are left in the queue and the clock is advanced exactly to
+        ``until`` (so periodic drivers observe a consistent end time).
+        ``max_events`` bounds the number of events executed in this call and
+        guards against runaway model bugs in tests.
+        """
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                return
+            next_time = self.queue.next_time
+            if next_time is None:
+                if until is not None:
+                    self.clock.advance_to(until)
+                return
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                return
+            self.step()
+            executed += 1
+
+    def run_to_quiescence(self, max_events: int = 1_000_000) -> None:
+        """Run until no events remain; raise if the budget is exhausted.
+
+        Deadlock detection experiments typically end at quiescence: a dark
+        cycle produces no further underlying-computation events, and probe
+        computations always terminate, so a well-formed scenario quiesces.
+        A non-quiescing run within ``max_events`` indicates a driver that
+        schedules unboundedly (use :meth:`run` with ``until`` for those).
+        """
+        self.run(max_events=max_events)
+        if self.queue:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events "
+                f"(queue still holds {len(self.queue)} events at t={self.now})"
+            )
+
+    def trace_now(self, category: str, **details: object) -> None:
+        """Record a trace event stamped with the current time."""
+        self.tracer.record(self.clock.now, category, **details)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(t={self.clock.now}, pending={len(self.queue)}, "
+            f"executed={self._events_executed})"
+        )

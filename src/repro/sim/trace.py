@@ -1,0 +1,78 @@
+"""Structured trace recording.
+
+Traces are the evidence the verification layer works from: every protocol
+action (request sent, edge blackened, probe received, deadlock declared, ...)
+is recorded as a :class:`TraceEvent` with the virtual time and a payload
+dict.  Tests replay traces to check temporal claims such as QRP2's "on a
+black cycle *at the time the probe is received*".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence.
+
+    ``category`` is a dotted name such as ``"basic.probe.received"`` or
+    ``"ddb.deadlock.declared"``; ``details`` carries event-specific fields.
+    """
+
+    time: float
+    category: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.details[key]
+
+
+class Tracer:
+    """Append-only trace log with category filtering.
+
+    Recording can be disabled (``enabled=False``) for large benchmark runs
+    where only metrics matter; ``record`` then becomes a cheap no-op.
+    Subscribers registered with :meth:`subscribe` are invoked synchronously
+    on every recorded event and are how the on-line invariant checkers hook
+    into a running simulation.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+        self._subscribers: list[Callable[[TraceEvent], None]] = []
+
+    def record(self, time: float, category: str, **details: Any) -> None:
+        """Record one event (no-op when disabled and nobody subscribes)."""
+        if not self.enabled and not self._subscribers:
+            return
+        event = TraceEvent(time=time, category=category, details=details)
+        if self.enabled:
+            self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Invoke ``callback`` synchronously for every future event."""
+        self._subscribers.append(callback)
+
+    def events(self, category: str | None = None) -> list[TraceEvent]:
+        """All events, or those whose category matches exactly."""
+        if category is None:
+            return list(self._events)
+        return [event for event in self._events if event.category == category]
+
+    def events_with_prefix(self, prefix: str) -> list[TraceEvent]:
+        """All events whose category starts with ``prefix``."""
+        return [event for event in self._events if event.category.startswith(prefix)]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()

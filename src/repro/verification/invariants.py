@@ -1,0 +1,128 @@
+"""Trace-based invariant checkers.
+
+Post-hoc analyses over a completed simulation's trace, validating that the
+*environment* provided the guarantees the proofs assume:
+
+* :func:`check_fifo` -- per-channel delivery order equals send order (the
+  section 2.4 channel assumption).
+* :func:`check_probe_edge_darkness` -- the P1 consequence the proof of
+  Theorem 2 leans on: whenever a probe is received meaningfully along
+  edge (j, k), that edge existed and was dark (grey or black) at every
+  instant from the probe's send to its receipt.
+
+Both return lists of violation descriptions; the test suite asserts they
+are empty on every run, and the FIFO-ablation tests assert they are
+*non-empty* when the network's FIFO guarantee is switched off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import Tracer
+
+
+def check_fifo(tracer: Tracer) -> list[str]:
+    """Verify per-channel FIFO: delivery order matches send order.
+
+    Matches ``net.sent`` / ``net.delivered`` events by message identity per
+    (sender, destination) channel.
+    """
+    violations: list[str] = []
+    sent: dict[tuple, list] = {}
+    delivered_index: dict[tuple, int] = {}
+    for event in tracer:
+        if event.category == "net.sent":
+            key = (event["sender"], event["destination"])
+            sent.setdefault(key, []).append(event["message"])
+        elif event.category == "net.delivered":
+            key = (event["sender"], event["destination"])
+            index = delivered_index.get(key, 0)
+            queue = sent.get(key, [])
+            if index >= len(queue):
+                violations.append(f"delivery without send on channel {key}")
+                continue
+            if queue[index] != event["message"]:
+                violations.append(
+                    f"channel {key}: delivered {event['message']!r} at position "
+                    f"{index}, expected {queue[index]!r} (reordering)"
+                )
+            delivered_index[key] = index + 1
+    return violations
+
+
+@dataclass
+class _EdgeInterval:
+    """One lifetime of an edge, reconstructed from the trace."""
+
+    created: float
+    blackened: float | None = None
+    whitened: float | None = None
+    deleted: float | None = None
+
+    def dark_throughout(self, start: float, end: float) -> bool:
+        """Edge existed and was grey/black during all of [start, end]."""
+        if start < self.created:
+            return False
+        if self.whitened is not None and self.whitened < end:
+            return False
+        if self.deleted is not None and self.deleted < end:
+            return False
+        return True
+
+
+def _edge_intervals(tracer: Tracer) -> dict[tuple, list[_EdgeInterval]]:
+    """Reconstruct edge colour history from request/reply trace events."""
+    intervals: dict[tuple, list[_EdgeInterval]] = {}
+    for event in tracer:
+        if event.category == "basic.request.sent":
+            key = (event["source"], event["target"])
+            intervals.setdefault(key, []).append(_EdgeInterval(created=event.time))
+        elif event.category == "basic.request.received":
+            key = (event["source"], event["target"])
+            intervals[key][-1].blackened = event.time
+        elif event.category == "basic.reply.sent":
+            # reply from target back to source whitens edge (source, target)
+            key = (event["target"], event["source"])
+            intervals[key][-1].whitened = event.time
+        elif event.category == "basic.reply.received":
+            key = (event["target"], event["source"])
+            intervals[key][-1].deleted = event.time
+    return intervals
+
+
+def check_probe_edge_darkness(tracer: Tracer) -> list[str]:
+    """Verify the P1 consequence for every meaningfully received probe.
+
+    For each ``basic.probe.received`` event with ``meaningful=True``, find
+    the matching ``basic.probe.sent`` (FIFO matching per (tag, edge)) and
+    check the edge was continuously dark over the probe's flight.
+    """
+    violations: list[str] = []
+    intervals = _edge_intervals(tracer)
+    sends: dict[tuple, list[float]] = {}
+    consumed: dict[tuple, int] = {}
+    for event in tracer:
+        if event.category == "basic.probe.sent":
+            key = (event["tag"], event["source"], event["target"])
+            sends.setdefault(key, []).append(event.time)
+        elif event.category == "basic.probe.received" and event["meaningful"]:
+            key = (event["tag"], event["source"], event["target"])
+            index = consumed.get(key, 0)
+            send_times = sends.get(key, [])
+            if index >= len(send_times):
+                violations.append(f"meaningful probe {key} received but never sent")
+                continue
+            consumed[key] = index + 1
+            sent_at = send_times[index]
+            edge = (event["source"], event["target"])
+            history = intervals.get(edge, [])
+            if not any(
+                interval.dark_throughout(sent_at, event.time) for interval in history
+            ):
+                violations.append(
+                    f"P1 violated: probe {event['tag']} on edge {edge} was "
+                    f"meaningful at t={event.time} but the edge was not dark "
+                    f"throughout [{sent_at}, {event.time}]"
+                )
+    return violations

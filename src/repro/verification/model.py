@@ -1,0 +1,339 @@
+"""A pure-functional specification of the basic-model protocol.
+
+This is a *second, independent* implementation of sections 2-3, written in
+the style of a model-checker specification: immutable states, a transition
+function, and predicates -- no simulator, no callbacks, no time.  The
+explorer enumerates every interleaving of message deliveries and scripted
+driver actions over these states, mechanically verifying:
+
+* **QRP2 / Theorem 2** in every reachable state: whenever an initiator
+  declares, it is on an all-black cycle in that very state;
+* **QRP1 / Theorem 1** in every terminal state: every computation that was
+  initiated while its initiator was on a dark cycle has declared.
+
+State representation (all tuples/frozensets, hashable):
+
+* ``channels[(i, j)]`` -- FIFO queue of messages in flight from i to j;
+* ``waiting_for[i]`` -- i's outgoing edges (request sent, no reply yet);
+* ``holding_from[i]`` -- i's incoming black edges (requests received,
+  replies not sent);
+* ``records[i]`` -- i's probe-engine state: (initiator, sequence,
+  propagated) triples, latest per initiator;
+* ``declared`` -- (vertex, sequence) pairs for which A1 fired;
+* ``obliged`` -- computations initiated while on a dark cycle (QRP1's
+  antecedent), to be checked against ``declared`` at terminal states.
+
+Edge colours are derived, exactly as in the paper: edge (i, j) exists iff
+``j in waiting_for[i]``; it is *grey* while the request is in channel
+(i, j), *black* while ``i in holding_from[j]``, *white* while the reply is
+in channel (j, i).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Union
+
+# ----------------------------------------------------------------------
+# Messages (wire format of the model)
+# ----------------------------------------------------------------------
+
+#: ("req", sender) | ("rep", sender) | ("probe", initiator, sequence)
+Message = tuple
+
+# ----------------------------------------------------------------------
+# Driver actions (the scripted underlying computation)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Request:
+    """Vertex ``source`` sends requests to ``targets`` (G1)."""
+
+    source: int
+    targets: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Reply:
+    """Vertex ``source`` replies to ``requester`` (G3: must be active).
+
+    Not enabled until the request has been received; the explorer defers
+    it behind deliveries when necessary.
+    """
+
+    source: int
+    requester: int
+
+
+@dataclass(frozen=True)
+class Initiate:
+    """Vertex ``source`` starts a probe computation (A0)."""
+
+    source: int
+
+
+ScriptAction = Union[Request, Reply, Initiate]
+
+
+@dataclass(frozen=True)
+class Deliver:
+    """Deliver the head message of channel ``(source, target)``."""
+
+    source: int
+    target: int
+
+
+Action = Union[ScriptAction, Deliver]
+
+# ----------------------------------------------------------------------
+# State
+# ----------------------------------------------------------------------
+
+Channels = tuple[tuple[tuple[int, int], tuple[Message, ...]], ...]
+
+
+@dataclass(frozen=True)
+class ModelState:
+    n: int
+    channels: Channels
+    waiting_for: tuple[frozenset, ...]
+    holding_from: tuple[frozenset, ...]
+    #: per-vertex, sorted tuple of (initiator, sequence, propagated)
+    records: tuple[tuple[tuple[int, int, bool], ...], ...]
+    #: per-vertex next computation sequence number
+    next_sequence: tuple[int, ...]
+    declared: frozenset
+    obliged: frozenset
+    script: tuple[ScriptAction, ...]
+    script_pc: int
+
+    # -- channel helpers ------------------------------------------------
+
+    def channel(self, source: int, target: int) -> tuple[Message, ...]:
+        for key, queue in self.channels:
+            if key == (source, target):
+                return queue
+        return ()
+
+    def _with_channel(self, source: int, target: int, queue: tuple[Message, ...]) -> Channels:
+        others = tuple(
+            (key, q) for key, q in self.channels if key != (source, target)
+        )
+        if not queue:
+            return tuple(sorted(others))
+        return tuple(sorted(others + (((source, target), queue),)))
+
+    def _push(self, source: int, target: int, message: Message) -> "ModelState":
+        queue = self.channel(source, target) + (message,)
+        return replace(self, channels=self._with_channel(source, target, queue))
+
+    # -- derived edge colours (paper section 2.2) ------------------------
+
+    def edge_exists(self, source: int, target: int) -> bool:
+        return target in self.waiting_for[source]
+
+    def edge_color(self, source: int, target: int) -> str | None:
+        if not self.edge_exists(source, target):
+            return None
+        if any(m == ("req", source) for m in self.channel(source, target)):
+            return "grey"
+        if source in self.holding_from[target]:
+            return "black"
+        return "white"
+
+    def _on_cycle(self, vertex: int, colors: frozenset) -> bool:
+        def successors(v: int) -> Iterable[int]:
+            for target in self.waiting_for[v]:
+                if self.edge_color(v, target) in colors:
+                    yield target
+
+        stack = list(successors(vertex))
+        visited: set[int] = set()
+        while stack:
+            current = stack.pop()
+            if current == vertex:
+                return True
+            if current in visited:
+                continue
+            visited.add(current)
+            stack.extend(successors(current))
+        return False
+
+    def on_dark_cycle(self, vertex: int) -> bool:
+        return self._on_cycle(vertex, frozenset({"grey", "black"}))
+
+    def on_black_cycle(self, vertex: int) -> bool:
+        return self._on_cycle(vertex, frozenset({"black"}))
+
+    # -- probe engine helpers -------------------------------------------
+
+    def _record(self, vertex: int, initiator: int) -> tuple[int, int, bool] | None:
+        for record in self.records[vertex]:
+            if record[0] == initiator:
+                return record
+        return None
+
+    def _with_record(
+        self, vertex: int, initiator: int, sequence: int, propagated: bool
+    ) -> "ModelState":
+        kept = tuple(r for r in self.records[vertex] if r[0] != initiator)
+        new = tuple(sorted(kept + ((initiator, sequence, propagated),)))
+        records = self.records[:vertex] + (new,) + self.records[vertex + 1 :]
+        return replace(self, records=records)
+
+
+def initial_state(n: int, script: Iterable[ScriptAction]) -> ModelState:
+    return ModelState(
+        n=n,
+        channels=(),
+        waiting_for=tuple(frozenset() for _ in range(n)),
+        holding_from=tuple(frozenset() for _ in range(n)),
+        records=tuple(() for _ in range(n)),
+        next_sequence=tuple(1 for _ in range(n)),
+        declared=frozenset(),
+        obliged=frozenset(),
+        script=tuple(script),
+        script_pc=0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Enabled actions and transitions
+# ----------------------------------------------------------------------
+
+
+def enabled_actions(state: ModelState) -> list[Action]:
+    """All actions enabled in ``state``: every non-empty channel delivery
+    plus the next scripted action if its precondition holds."""
+    actions: list[Action] = [
+        Deliver(source=key[0], target=key[1])
+        for key, queue in state.channels
+        if queue
+    ]
+    if state.script_pc < len(state.script):
+        action = state.script[state.script_pc]
+        if _script_enabled(state, action):
+            actions.append(action)
+    return actions
+
+
+def _script_enabled(state: ModelState, action: ScriptAction) -> bool:
+    if isinstance(action, Request):
+        return all(
+            target != action.source and not state.edge_exists(action.source, target)
+            for target in action.targets
+        )
+    if isinstance(action, Reply):
+        # G3: only active vertices reply, and only to received requests.
+        return (
+            not state.waiting_for[action.source]
+            and action.requester in state.holding_from[action.source]
+        )
+    if isinstance(action, Initiate):
+        return True
+    raise TypeError(f"unknown script action {action!r}")
+
+
+def apply_action(state: ModelState, action: Action) -> ModelState:
+    """The transition function.  Raises AssertionError on a QRP2 violation
+    (declaration without a black cycle) -- the explorer surfaces these.
+    """
+    if isinstance(action, Deliver):
+        return _deliver(state, action.source, action.target)
+    state = replace(state, script_pc=state.script_pc + 1)
+    if isinstance(action, Request):
+        waiting = state.waiting_for[action.source] | frozenset(action.targets)
+        waiting_for = (
+            state.waiting_for[: action.source]
+            + (waiting,)
+            + state.waiting_for[action.source + 1 :]
+        )
+        state = replace(state, waiting_for=waiting_for)
+        for target in sorted(action.targets):
+            state = state._push(action.source, target, ("req", action.source))
+        return state
+    if isinstance(action, Reply):
+        holding = state.holding_from[action.source] - {action.requester}
+        holding_from = (
+            state.holding_from[: action.source]
+            + (holding,)
+            + state.holding_from[action.source + 1 :]
+        )
+        state = replace(state, holding_from=holding_from)
+        return state._push(action.source, action.requester, ("rep", action.source))
+    if isinstance(action, Initiate):
+        vertex = action.source
+        sequence = state.next_sequence[vertex]
+        next_sequence = (
+            state.next_sequence[:vertex]
+            + (sequence + 1,)
+            + state.next_sequence[vertex + 1 :]
+        )
+        state = replace(state, next_sequence=next_sequence)
+        state = state._with_record(vertex, vertex, sequence, True)
+        if state.on_dark_cycle(vertex):
+            # QRP1 antecedent: initiated while on a dark cycle.
+            state = replace(state, obliged=state.obliged | {(vertex, sequence)})
+        for target in sorted(state.waiting_for[vertex]):
+            state = state._push(vertex, target, ("probe", vertex, sequence))
+        return state
+    raise TypeError(f"unknown action {action!r}")
+
+
+def _deliver(state: ModelState, source: int, target: int) -> ModelState:
+    queue = state.channel(source, target)
+    if not queue:
+        raise AssertionError(f"delivery on empty channel {(source, target)}")
+    message, rest = queue[0], queue[1:]
+    state = replace(state, channels=state._with_channel(source, target, rest))
+
+    kind = message[0]
+    if kind == "req":
+        holding = state.holding_from[target] | {source}
+        holding_from = (
+            state.holding_from[:target] + (holding,) + state.holding_from[target + 1 :]
+        )
+        return replace(state, holding_from=holding_from)
+    if kind == "rep":
+        waiting = state.waiting_for[target] - {source}
+        waiting_for = (
+            state.waiting_for[:target] + (waiting,) + state.waiting_for[target + 1 :]
+        )
+        return replace(state, waiting_for=waiting_for)
+    if kind == "probe":
+        return _deliver_probe(state, source, target, message[1], message[2])
+    raise AssertionError(f"unknown message {message!r}")
+
+
+def _deliver_probe(
+    state: ModelState, source: int, target: int, initiator: int, sequence: int
+) -> ModelState:
+    meaningful = source in state.holding_from[target]
+    if not meaningful:
+        return state
+    record = state._record(target, initiator)
+    if record is not None and sequence < record[1]:
+        return state  # stale computation (section 4.3)
+    if initiator == target:
+        if record is not None and sequence == record[1]:
+            if (target, sequence) not in state.declared:
+                # A1 fires: QRP2 must hold in THIS state.
+                if not state.on_black_cycle(target):
+                    raise AssertionError(
+                        f"QRP2 violated: vertex {target} declared (tag "
+                        f"({initiator},{sequence})) without a black cycle"
+                    )
+                state = replace(
+                    state, declared=state.declared | {(target, sequence)}
+                )
+        return state
+    if record is None or sequence > record[1]:
+        record = (initiator, sequence, False)
+        state = state._with_record(target, initiator, sequence, False)
+    if record[2]:
+        return state  # already propagated for this computation
+    state = state._with_record(target, initiator, sequence, True)
+    for successor in sorted(state.waiting_for[target]):
+        state = state._push(target, successor, ("probe", initiator, sequence))
+    return state

@@ -1,0 +1,332 @@
+"""A pure-functional specification of the OR/communication-model protocol.
+
+The OR-model counterpart of :mod:`repro.verification.model`: immutable
+states, a transition function, the same explorer.  It verifies the
+communication-model detector of :mod:`repro.ormodel` over *all*
+interleavings of small scripted scenarios:
+
+* **soundness** in every reachable state: an initiator declares only when
+  it is *truly* deadlocked -- its dependency closure is entirely blocked
+  AND no grant is in flight toward any closure member (the channel-aware
+  criterion; the state-only criterion is not stable while a grant
+  travels);
+* **completeness** in every terminal state: a computation initiated while
+  truly deadlocked has declared.
+
+State: per-vertex dependent sets (empty = active), queued communication
+requests, per-initiator computation records (the latest per initiator),
+and FIFO channels.  Messages: ``("reqany", src)``, ``("grant", src)``,
+``("query", i, seq, sender)``, ``("reply", i, seq, sender)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Union
+
+Message = tuple
+
+#: engaging_sender value marking the computation's initiator record
+_INITIATOR = -1
+
+
+@dataclass(frozen=True)
+class RequestAny:
+    """Vertex ``source`` blocks on ANY of ``targets``."""
+
+    source: int
+    targets: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class GrantTo:
+    """Active vertex ``source`` grants the queued request of ``requester``."""
+
+    source: int
+    requester: int
+
+
+@dataclass(frozen=True)
+class InitiateOr:
+    """Blocked vertex ``source`` starts a query computation."""
+
+    source: int
+
+
+ScriptAction = Union[RequestAny, GrantTo, InitiateOr]
+
+
+@dataclass(frozen=True)
+class Deliver:
+    source: int
+    target: int
+
+
+Action = Union[ScriptAction, Deliver]
+
+Channels = tuple[tuple[tuple[int, int], tuple[Message, ...]], ...]
+
+#: per-vertex computation record: (initiator, sequence, engaging_sender,
+#: outstanding, replied); latest per initiator.
+Record = tuple[int, int, int, int, bool]
+
+
+@dataclass(frozen=True)
+class OrModelState:
+    n: int
+    channels: Channels
+    dependents: tuple[frozenset, ...]
+    pending_grants: tuple[frozenset, ...]
+    records: tuple[tuple[Record, ...], ...]
+    next_sequence: tuple[int, ...]
+    declared: frozenset
+    obliged: frozenset
+    script: tuple[ScriptAction, ...]
+    script_pc: int
+
+    # -- channels ---------------------------------------------------------
+
+    def channel(self, source: int, target: int) -> tuple[Message, ...]:
+        for key, queue in self.channels:
+            if key == (source, target):
+                return queue
+        return ()
+
+    def _with_channel(self, source: int, target: int, queue) -> Channels:
+        others = tuple((k, q) for k, q in self.channels if k != (source, target))
+        if not queue:
+            return tuple(sorted(others))
+        return tuple(sorted(others + (((source, target), queue),)))
+
+    def _push(self, source: int, target: int, message: Message) -> "OrModelState":
+        queue = self.channel(source, target) + (message,)
+        return replace(self, channels=self._with_channel(source, target, queue))
+
+    # -- ground truth -----------------------------------------------------
+
+    def closure(self, vertex: int) -> frozenset:
+        reached: set[int] = set()
+        stack = [vertex]
+        while stack:
+            current = stack.pop()
+            for nxt in self.dependents[current]:
+                if nxt not in reached:
+                    reached.add(nxt)
+                    stack.append(nxt)
+        return frozenset(reached)
+
+    def truly_deadlocked(self, vertex: int) -> bool:
+        """Channel-aware OR deadlock: blocked, closure entirely blocked,
+        and no grant in flight toward the closure (or the vertex)."""
+        if not self.dependents[vertex]:
+            return False
+        closure = self.closure(vertex)
+        if any(not self.dependents[member] for member in closure):
+            return False
+        watch = set(closure) | {vertex}
+        for (_, target), queue in self.channels:
+            if target in watch and any(m[0] == "grant" for m in queue):
+                return False
+        return True
+
+    # -- records ----------------------------------------------------------
+
+    def _record(self, vertex: int, initiator: int) -> Record | None:
+        for record in self.records[vertex]:
+            if record[0] == initiator:
+                return record
+        return None
+
+    def _with_record(self, vertex: int, record: Record) -> "OrModelState":
+        kept = tuple(r for r in self.records[vertex] if r[0] != record[0])
+        new = tuple(sorted(kept + (record,)))
+        records = self.records[:vertex] + (new,) + self.records[vertex + 1 :]
+        return replace(self, records=records)
+
+    def _clear_records(self, vertex: int) -> "OrModelState":
+        records = self.records[:vertex] + ((),) + self.records[vertex + 1 :]
+        return replace(self, records=records)
+
+
+def initial_state(n: int, script: Iterable[ScriptAction]) -> OrModelState:
+    return OrModelState(
+        n=n,
+        channels=(),
+        dependents=tuple(frozenset() for _ in range(n)),
+        pending_grants=tuple(frozenset() for _ in range(n)),
+        records=tuple(() for _ in range(n)),
+        next_sequence=tuple(1 for _ in range(n)),
+        declared=frozenset(),
+        obliged=frozenset(),
+        script=tuple(script),
+        script_pc=0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Enabled actions
+# ----------------------------------------------------------------------
+
+
+def enabled_actions(state: OrModelState) -> list[Action]:
+    actions: list[Action] = [
+        Deliver(source=key[0], target=key[1])
+        for key, queue in state.channels
+        if queue
+    ]
+    if state.script_pc < len(state.script):
+        action = state.script[state.script_pc]
+        if _script_enabled(state, action):
+            actions.append(action)
+    return actions
+
+
+def _script_enabled(state: OrModelState, action: ScriptAction) -> bool:
+    if isinstance(action, RequestAny):
+        return (
+            not state.dependents[action.source]
+            and action.source not in action.targets
+        )
+    if isinstance(action, GrantTo):
+        # The G3-analogue: only active vertices grant, and only queued
+        # requests.
+        return (
+            not state.dependents[action.source]
+            and action.requester in state.pending_grants[action.source]
+        )
+    if isinstance(action, InitiateOr):
+        return bool(state.dependents[action.source])
+    raise TypeError(f"unknown script action {action!r}")
+
+
+# ----------------------------------------------------------------------
+# Transition function
+# ----------------------------------------------------------------------
+
+
+def apply_action(state: OrModelState, action: Action) -> OrModelState:
+    if isinstance(action, Deliver):
+        return _deliver(state, action.source, action.target)
+    state = replace(state, script_pc=state.script_pc + 1)
+    if isinstance(action, RequestAny):
+        dependents = (
+            state.dependents[: action.source]
+            + (frozenset(action.targets),)
+            + state.dependents[action.source + 1 :]
+        )
+        state = replace(state, dependents=dependents)
+        for target in sorted(action.targets):
+            state = state._push(action.source, target, ("reqany", action.source))
+        return state
+    if isinstance(action, GrantTo):
+        pending = state.pending_grants[action.source] - {action.requester}
+        pending_grants = (
+            state.pending_grants[: action.source]
+            + (pending,)
+            + state.pending_grants[action.source + 1 :]
+        )
+        state = replace(state, pending_grants=pending_grants)
+        return state._push(action.source, action.requester, ("grant", action.source))
+    if isinstance(action, InitiateOr):
+        vertex = action.source
+        sequence = state.next_sequence[vertex]
+        next_sequence = (
+            state.next_sequence[:vertex]
+            + (sequence + 1,)
+            + state.next_sequence[vertex + 1 :]
+        )
+        state = replace(state, next_sequence=next_sequence)
+        state = state._with_record(
+            vertex,
+            (vertex, sequence, _INITIATOR, len(state.dependents[vertex]), False),
+        )
+        if state.truly_deadlocked(vertex):
+            state = replace(state, obliged=state.obliged | {(vertex, sequence)})
+        for target in sorted(state.dependents[vertex]):
+            state = state._push(vertex, target, ("query", vertex, sequence, vertex))
+        return state
+    raise TypeError(f"unknown action {action!r}")
+
+
+def _deliver(state: OrModelState, source: int, target: int) -> OrModelState:
+    queue = state.channel(source, target)
+    if not queue:
+        raise AssertionError(f"delivery on empty channel {(source, target)}")
+    message, rest = queue[0], queue[1:]
+    state = replace(state, channels=state._with_channel(source, target, rest))
+
+    kind = message[0]
+    if kind == "reqany":
+        pending = state.pending_grants[target] | {source}
+        pending_grants = (
+            state.pending_grants[:target]
+            + (pending,)
+            + state.pending_grants[target + 1 :]
+        )
+        return replace(state, pending_grants=pending_grants)
+    if kind == "grant":
+        if source not in state.dependents[target]:
+            return state  # stale grant
+        dependents = (
+            state.dependents[:target]
+            + (frozenset(),)
+            + state.dependents[target + 1 :]
+        )
+        state = replace(state, dependents=dependents)
+        # Unblocking wipes detector state.
+        return state._clear_records(target)
+    if kind == "query":
+        return _deliver_query(state, target, message[1], message[2], message[3])
+    if kind == "reply":
+        return _deliver_reply(state, target, message[1], message[2])
+    raise AssertionError(f"unknown message {message!r}")
+
+
+def _deliver_query(
+    state: OrModelState, target: int, initiator: int, sequence: int, sender: int
+) -> OrModelState:
+    if not state.dependents[target]:
+        return state  # active vertices discard detector traffic
+    record = state._record(target, initiator)
+    if record is not None and sequence < record[1]:
+        return state
+    if record is None or sequence > record[1]:
+        state = state._with_record(
+            target,
+            (initiator, sequence, sender, len(state.dependents[target]), False),
+        )
+        for nxt in sorted(state.dependents[target]):
+            state = state._push(target, nxt, ("query", initiator, sequence, target))
+        return state
+    # Non-engaging query of the current computation: echo a reply.
+    return state._push(target, sender, ("reply", initiator, sequence, target))
+
+
+def _deliver_reply(
+    state: OrModelState, target: int, initiator: int, sequence: int
+) -> OrModelState:
+    if not state.dependents[target]:
+        return state
+    record = state._record(target, initiator)
+    if record is None or record[1] != sequence or record[4]:
+        return state
+    outstanding = record[3] - 1
+    if outstanding > 0:
+        return state._with_record(
+            target, (initiator, sequence, record[2], outstanding, False)
+        )
+    if record[2] == _INITIATOR:
+        if (target, sequence) not in state.declared:
+            if not state.truly_deadlocked(target):
+                raise AssertionError(
+                    f"OR soundness violated: vertex {target} declared "
+                    f"(tag ({initiator},{sequence})) while not truly deadlocked"
+                )
+            state = replace(state, declared=state.declared | {(target, sequence)})
+        return state._with_record(
+            target, (initiator, sequence, _INITIATOR, 0, True)
+        )
+    state = state._with_record(
+        target, (initiator, sequence, record[2], 0, True)
+    )
+    return state._push(target, record[2], ("reply", initiator, sequence, target))

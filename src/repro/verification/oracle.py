@@ -1,0 +1,41 @@
+"""Independent ground-truth computations.
+
+The systems' embedded oracles answer "who is deadlocked" with our own DFS.
+This module re-answers the question with networkx (when available) so that
+tests can cross-validate the two implementations -- a cheap guard against
+a systematic bug in the verification layer itself.
+"""
+
+from __future__ import annotations
+
+from repro._algo import cyclic_sccs
+from repro._ids import VertexId
+from repro.basic.graph import EdgeColor, WaitForGraph
+
+
+def independent_dark_cycle_vertices(graph: WaitForGraph) -> set[VertexId]:
+    """Vertices on dark cycles, computed via SCCs (not the oracle's DFS).
+
+    Uses networkx when importable, falling back to our Tarjan; either way
+    the code path is disjoint from :meth:`WaitForGraph.is_on_dark_cycle`.
+    """
+    dark_edges = [
+        (source, target)
+        for (source, target), color in graph.edges()
+        if color is not EdgeColor.WHITE
+    ]
+    try:
+        import networkx as nx
+    except ImportError:  # pragma: no cover - networkx is installed in CI
+        adjacency: dict[VertexId, list[VertexId]] = {}
+        for source, target in dark_edges:
+            adjacency.setdefault(source, []).append(target)
+        return set().union(*cyclic_sccs(adjacency)) if dark_edges else set()
+
+    digraph = nx.DiGraph()
+    digraph.add_edges_from(dark_edges)
+    deadlocked: set[VertexId] = set()
+    for component in nx.strongly_connected_components(digraph):
+        if len(component) > 1:
+            deadlocked |= component
+    return deadlocked

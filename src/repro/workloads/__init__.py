@@ -1,0 +1,33 @@
+"""Workload generators for the basic and DDB models.
+
+* :mod:`repro.workloads.scenarios` -- canned basic-model request patterns
+  (k-cycles, chains, near-cycles, figure-eights) used across tests,
+  examples, and benchmarks.
+* :mod:`repro.workloads.basic_random` -- a random request/reply driver for
+  the basic model, producing both churn (edges that resolve) and genuine
+  deadlocks, with tunable rates.
+* :mod:`repro.workloads.transactions` -- a random transactional workload
+  for the DDB model (sites, resource hotspots, read ratios, think times,
+  abort/restart with randomised backoff).
+"""
+
+from repro.workloads.basic_random import RandomRequestWorkload
+from repro.workloads.scenarios import (
+    schedule_chain,
+    schedule_cycle,
+    schedule_cycle_with_tails,
+    schedule_figure_eight,
+    schedule_near_cycle,
+)
+from repro.workloads.transactions import TransactionWorkload, WorkloadParams
+
+__all__ = [
+    "RandomRequestWorkload",
+    "TransactionWorkload",
+    "WorkloadParams",
+    "schedule_chain",
+    "schedule_cycle",
+    "schedule_cycle_with_tails",
+    "schedule_figure_eight",
+    "schedule_near_cycle",
+]

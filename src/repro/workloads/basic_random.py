@@ -1,0 +1,98 @@
+"""Random request/reply driver for the basic model.
+
+Every vertex alternates between *thinking* (exponentially distributed) and
+issuing an AND-request to a random set of other vertices.  Requests that
+land on a cycle deadlock permanently (auto-reply vertices obey G3 and
+never reply while blocked); everything else churns -- edges are created
+and resolve continuously, which is precisely the regime that stresses
+soundness (probes racing replies) and the delayed-T initiation tradeoff.
+
+The driver stops issuing new requests after ``duration``; the system then
+drains to quiescence except for deadlocked vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._ids import VertexId
+from repro.basic.system import BasicSystem
+from repro.basic.vertex import VertexProcess
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class RandomRequestWorkload:
+    """Drive a :class:`BasicSystem` with random AND-requests.
+
+    Parameters
+    ----------
+    system:
+        The system to drive (its seed controls this workload's RNG).
+    mean_think:
+        Mean exponential think time between a vertex's request batches.
+    max_targets:
+        Maximum AND-fan-out per request batch (uniform in 1..max_targets).
+    duration:
+        Virtual time after which no further requests are issued.
+    request_probability:
+        Per think-wakeup probability of actually issuing a request batch.
+    """
+
+    system: BasicSystem
+    mean_think: float = 2.0
+    max_targets: int = 2
+    duration: float = 100.0
+    request_probability: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.mean_think <= 0:
+            raise ConfigurationError("mean_think must be positive")
+        if not 1 <= self.max_targets < len(self.system.vertices):
+            raise ConfigurationError(
+                "max_targets must be in [1, n_vertices - 1] "
+                f"(got {self.max_targets} for {len(self.system.vertices)} vertices)"
+            )
+        if not 0 < self.request_probability <= 1:
+            raise ConfigurationError("request_probability must be in (0, 1]")
+        self._rng = self.system.simulator.rng.stream("workload.basic_random")
+        self.requests_issued = 0
+
+    def start(self) -> None:
+        """Schedule the first wake-up of every vertex and hook unblocking."""
+        for vertex in self.system.vertices.values():
+            vertex.unblocked_callback = self._on_unblocked
+            self._schedule_wakeup(vertex)
+
+    # ------------------------------------------------------------------
+
+    def _schedule_wakeup(self, vertex: VertexProcess) -> None:
+        delay = self._rng.expovariate(1.0 / self.mean_think)
+        if self.system.now + delay > self.duration:
+            return
+        self.system.simulator.schedule(
+            delay,
+            lambda: self._act(vertex),
+            name=f"workload wakeup v{vertex.vertex_id}",
+        )
+
+    def _act(self, vertex: VertexProcess) -> None:
+        if vertex.blocked:
+            # Still waiting; it will be rescheduled when it unblocks.
+            return
+        if self._rng.random() < self.request_probability:
+            others = [
+                VertexId(i)
+                for i in range(len(self.system.vertices))
+                if VertexId(i) != vertex.vertex_id
+            ]
+            count = self._rng.randint(1, self.max_targets)
+            targets = self._rng.sample(others, count)
+            vertex.request(targets)
+            self.requests_issued += 1
+            if vertex.blocked:
+                return  # wake again on unblock
+        self._schedule_wakeup(vertex)
+
+    def _on_unblocked(self, vertex: VertexProcess) -> None:
+        self._schedule_wakeup(vertex)

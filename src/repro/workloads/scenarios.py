@@ -1,0 +1,140 @@
+"""Canned basic-model request patterns.
+
+Each function schedules requests on a :class:`~repro.basic.system.BasicSystem`
+and returns immediately; run the system afterwards.  Vertex indices refer
+to the system's vertices, so callers size the system to fit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.basic.system import BasicSystem
+from repro.errors import ConfigurationError
+
+
+def schedule_cycle(
+    system: BasicSystem,
+    vertices: Sequence[int],
+    start: float = 0.0,
+    gap: float = 0.5,
+) -> None:
+    """Each vertex requests its successor; the last request closes the cycle.
+
+    ``vertices[i]`` requests ``vertices[(i + 1) % k]`` at ``start + i*gap``.
+    """
+    if len(vertices) < 2:
+        raise ConfigurationError("a cycle needs at least two vertices")
+    k = len(vertices)
+    for i, vertex in enumerate(vertices):
+        system.schedule_request(start + i * gap, vertex, [vertices[(i + 1) % k]])
+
+
+def schedule_chain(
+    system: BasicSystem,
+    vertices: Sequence[int],
+    start: float = 0.0,
+    gap: float = 0.5,
+) -> None:
+    """A straight waiting chain (no cycle): v0 -> v1 -> ... -> vk."""
+    for i in range(len(vertices) - 1):
+        system.schedule_request(start + i * gap, vertices[i], [vertices[i + 1]])
+
+
+def schedule_near_cycle(
+    system: BasicSystem,
+    vertices: Sequence[int],
+    start: float = 0.0,
+    gap: float = 0.5,
+) -> None:
+    """Almost a cycle: the closing request is never issued.
+
+    Builds the chain v0 -> ... -> v_last; the tail vertex stays active, so
+    the chain drains via replies.  Useful for no-false-positive tests.
+    """
+    schedule_chain(system, vertices, start=start, gap=gap)
+
+
+def schedule_cycle_with_tails(
+    system: BasicSystem,
+    cycle: Sequence[int],
+    tails: Sequence[Sequence[int]],
+    start: float = 0.0,
+    gap: float = 0.5,
+) -> None:
+    """A cycle plus chains waiting into it.
+
+    Each tail is a vertex sequence whose last element requests the cycle's
+    first vertex; tail vertices block forever but are never *on* the cycle
+    (they must not declare -- the WFGD computation informs them).
+
+    Scheduling is race-free by construction: the cycle is issued in the
+    standard order (every vertex blocks on its own request before the
+    predecessor's request would be serviced), and each tail is issued
+    leaf-last -- its attachment edge into ``cycle[0]`` (blocked from the
+    first instant) goes first, then the tail grows backwards, so every
+    tail vertex is already blocked when a request reaches it.  Tail edges
+    are therefore black well before the probe computation's declaration
+    triggers the WFGD computation.
+    """
+    schedule_cycle(system, cycle, start=start, gap=gap)
+    offset = len(cycle)
+    for tail in tails:
+        path = list(tail) + [cycle[0]]
+        for i in reversed(range(len(path) - 1)):
+            system.schedule_request(
+                start + offset * gap, path[i], [path[i + 1]]
+            )
+            offset += 1
+
+
+def schedule_ping_pong(
+    system: BasicSystem,
+    pairs: Sequence[tuple[int, int]],
+    repetitions: int = 8,
+    period: float = 6.0,
+    offset: float = 2.6,
+    start: float = 0.0,
+) -> None:
+    """Alternating opposite waits: A waits for B, resolves, then B for A.
+
+    For each pair (a, b) and phase p: ``a`` requests ``b`` at
+    ``start + p*period`` and ``b`` requests ``a`` at ``start + p*period +
+    offset``.  With the default fixed network delay (1.0) and service
+    delay (0.5) an edge lives ~2.5 time units, so ``offset=2.6`` ensures
+    the two edges NEVER coexist -- no deadlock ever exists.  Yet any
+    detector that combines observations from different instants (e.g.
+    centralized snapshot collection) can see both edges "at once" and
+    report a phantom cycle.  Used by experiment E8 and the phantom
+    example.
+    """
+    for a, b in pairs:
+        for p in range(repetitions):
+            base = start + p * period
+            system.schedule_request(base, a, [b])
+            system.schedule_request(base + offset, b, [a])
+
+
+def schedule_figure_eight(
+    system: BasicSystem,
+    shared: int,
+    left: Sequence[int],
+    right: Sequence[int],
+    start: float = 0.0,
+    gap: float = 0.5,
+) -> None:
+    """Two cycles sharing one vertex: shared -> left... -> shared and
+    shared -> right... -> shared.
+
+    The shared vertex issues one AND-request for both cycle entries, so it
+    waits on both branches at once.
+    """
+    system.schedule_request(start, shared, [left[0], right[0]])
+    offset = 1
+    for path in (list(left), list(right)):
+        chain = path + [shared]
+        for i in range(len(chain) - 1):
+            system.schedule_request(
+                start + offset * gap, chain[i], [chain[i + 1]]
+            )
+            offset += 1

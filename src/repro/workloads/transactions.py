@@ -1,0 +1,228 @@
+"""Random transactional workload for the DDB model.
+
+Generates transactions in the shape the paper's section 6 model covers:
+each transaction starts at a home site, acquires resources *at its home
+site* (with a configurable read ratio), computes between lock steps, then
+optionally performs **one remote hop** -- a single-resource acquisition at
+another site -- and commits.  Victims of deadlock resolution restart with
+randomised exponential backoff, so contended workloads make progress.
+
+Why the single-remote-hop shape?  The section 6 wait-for graph contains
+intra-controller edges (requester -> local holder) and inter-controller
+edges (waiting process -> its remote agent) only.  A cycle therefore
+alternates "home process holding local resources while waiting remotely"
+and "agent waiting locally" -- exactly the pattern section 6.7 describes
+("any cycle ... must include an inter-controller edge directed towards a
+constituent process").  A transaction that *holds* a resource through an
+agent at one site while *waiting* at another is an idle holder: no edge
+leaves the holding agent, so a transaction-level deadlock threaded through
+it has no process-level cycle and is invisible to the paper's graph model.
+(The authors' follow-up resource-model paper -- reference [1], the CACM/
+TOCS "Distributed Deadlock Detection" -- closes this by modelling a
+transaction as one logical process spanning sites.)  Restricting every
+transaction to home acquisitions followed by at most one single-resource
+remote acquisition makes every blocked transaction hold resources only at
+the site where it is waiting, so *every* transaction-level deadlock is a
+process-level dark cycle and the paper's completeness guarantee applies.
+:func:`TransactionSpec`-level conformance is checkable with
+:func:`is_single_hop`.
+
+The generator collects the throughput/latency statistics the comparison
+experiments (E7/E8) report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._ids import ResourceId, SiteId, TransactionId
+from repro.ddb.locks import LockMode
+from repro.ddb.system import DdbSystem
+from repro.ddb.transaction import (
+    Acquire,
+    Think,
+    TransactionExecution,
+    TransactionSpec,
+)
+from repro.errors import ConfigurationError
+
+
+def is_single_hop(spec: TransactionSpec) -> bool:
+    """True iff ``spec`` fits the section 6 model's representable shape.
+
+    All acquisitions before the last Acquire must be of home-site
+    resources is not checkable here (resource homes live in the system
+    catalogue); this checks the *structural* half: at most one Acquire
+    with a non-trivial batch... (full check in
+    :meth:`TransactionWorkload.assert_representable`).
+    """
+    acquires = [op for op in spec.operations if isinstance(op, Acquire)]
+    return all(len(op.items) == 1 for op in acquires)
+
+
+@dataclass
+class WorkloadParams:
+    """Shape of a random DDB workload (single-remote-hop transactions)."""
+
+    n_transactions: int = 20
+    #: home-site resources acquired per transaction (uniform in [min, max])
+    min_local: int = 1
+    max_local: int = 2
+    #: probability of the final single-resource remote acquisition
+    remote_probability: float = 0.8
+    #: probability that an acquisition is a read (shared) lock
+    read_ratio: float = 0.5
+    #: probability that the remote hop targets the hotspot subset
+    hotspot_probability: float = 0.0
+    #: number of resources forming the hotspot (the first in sorted order)
+    hotspot_size: int = 2
+    #: mean think time between lock steps
+    mean_think: float = 1.0
+    #: arrival: transactions begin uniformly over [0, arrival_window]
+    arrival_window: float = 20.0
+    #: restart victims of deadlock resolution?
+    restart_aborted: bool = True
+    #: mean of the exponential restart backoff
+    mean_backoff: float = 5.0
+    #: stop restarting after this virtual time (bounds the run)
+    restart_horizon: float = float("inf")
+
+    def validate(self) -> None:
+        if self.n_transactions < 1:
+            raise ConfigurationError("need at least one transaction")
+        if not 0 <= self.min_local <= self.max_local:
+            raise ConfigurationError("need 0 <= min_local <= max_local")
+        if not 0 <= self.remote_probability <= 1:
+            raise ConfigurationError("remote_probability must be in [0, 1]")
+        if not 0 <= self.read_ratio <= 1:
+            raise ConfigurationError("read_ratio must be in [0, 1]")
+        if not 0 <= self.hotspot_probability <= 1:
+            raise ConfigurationError("hotspot_probability must be in [0, 1]")
+        if self.mean_think < 0 or self.mean_backoff <= 0:
+            raise ConfigurationError("think/backoff parameters out of range")
+
+
+@dataclass
+class WorkloadStats:
+    """Aggregate outcome of one workload run."""
+
+    commits: int = 0
+    aborts: int = 0
+    response_times: list[float] = field(default_factory=list)
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.response_times:
+            raise ValueError("no transaction committed")
+        return sum(self.response_times) / len(self.response_times)
+
+
+class TransactionWorkload:
+    """Generate and drive random transactions on a :class:`DdbSystem`."""
+
+    def __init__(self, system: DdbSystem, params: WorkloadParams | None = None) -> None:
+        self.system = system
+        self.params = params if params is not None else WorkloadParams()
+        self.params.validate()
+        if not system.resource_home:
+            raise ConfigurationError("the system has no resources")
+        self._rng = system.simulator.rng.stream("workload.transactions")
+        self.stats = WorkloadStats()
+        self._started_at: dict[TransactionId, float] = {}
+        self._by_site: dict[SiteId, list[ResourceId]] = {}
+        for resource, site in sorted(system.resource_home.items()):
+            self._by_site.setdefault(site, []).append(resource)
+
+    # ------------------------------------------------------------------
+
+    def _mode(self) -> LockMode:
+        return (
+            LockMode.SHARED
+            if self._rng.random() < self.params.read_ratio
+            else LockMode.EXCLUSIVE
+        )
+
+    def generate_spec(self, tid: int) -> TransactionSpec:
+        """Build one random single-remote-hop transaction program."""
+        params = self.params
+        sites_with_resources = sorted(self._by_site)
+        home = self._rng.choice(sites_with_resources)
+        local_pool = self._by_site[home]
+        count = min(
+            self._rng.randint(params.min_local, params.max_local), len(local_pool)
+        )
+        picked = self._rng.sample(local_pool, count) if count else []
+
+        operations: list[Acquire | Think] = []
+        for resource in picked:
+            operations.append(Acquire(items=((resource, self._mode()),)))
+            if params.mean_think > 0:
+                operations.append(Think(self._rng.expovariate(1.0 / params.mean_think)))
+
+        remote_pool = [
+            resource
+            for resource, site in sorted(self.system.resource_home.items())
+            if site != home
+        ]
+        if remote_pool and self._rng.random() < params.remote_probability:
+            hotspot = [
+                resource
+                for resource in sorted(self.system.resource_home)[: params.hotspot_size]
+                if self.system.resource_home[resource] != home
+            ]
+            if hotspot and self._rng.random() < params.hotspot_probability:
+                remote = self._rng.choice(hotspot)
+            else:
+                remote = self._rng.choice(remote_pool)
+            operations.append(Acquire(items=((remote, self._mode()),)))
+        return TransactionSpec(
+            tid=TransactionId(tid), home=home, operations=tuple(operations)
+        )
+
+    def assert_representable(self, spec: TransactionSpec) -> None:
+        """Raise if ``spec`` leaves the section 6 representable class:
+        home-site acquisitions (any number) followed by at most one
+        single-resource remote acquisition as the final Acquire."""
+        acquires = [op for op in spec.operations if isinstance(op, Acquire)]
+        for op in acquires:
+            if len(op.items) != 1:
+                raise ConfigurationError(f"multi-item acquire in T{spec.tid}")
+        remote_seen = False
+        for op in acquires:
+            resource = op.items[0][0]
+            if self.system.resource_home[resource] != spec.home:
+                if remote_seen:
+                    raise ConfigurationError(
+                        f"T{spec.tid} has more than one remote acquisition"
+                    )
+                remote_seen = True
+            elif remote_seen:
+                raise ConfigurationError(
+                    f"T{spec.tid} acquires locally after its remote hop"
+                )
+
+    def start(self) -> None:
+        """Admit all transactions and hook commit/abort handling."""
+        self.system.finished_callback = self._on_finished
+        for tid in range(1, self.params.n_transactions + 1):
+            arrival = self._rng.uniform(0.0, self.params.arrival_window)
+            spec = self.generate_spec(tid)
+            self.assert_representable(spec)
+            self._started_at[spec.tid] = arrival
+            self.system.begin(spec, at=arrival)
+
+    # ------------------------------------------------------------------
+
+    def _on_finished(self, execution: TransactionExecution, aborted: bool) -> None:
+        tid = execution.spec.tid
+        if aborted:
+            self.stats.aborts += 1
+            if (
+                self.params.restart_aborted
+                and self.system.now < self.params.restart_horizon
+            ):
+                backoff = self._rng.expovariate(1.0 / self.params.mean_backoff)
+                self.system.restart(tid, delay=backoff)
+            return
+        self.stats.commits += 1
+        self.stats.response_times.append(self.system.now - self._started_at[tid])

@@ -1,0 +1,147 @@
+"""Ablation: the algorithm's correctness genuinely requires FIFO channels.
+
+The paper assumes only that "messages are received correctly and in
+order" (abstract), and process axioms P1/P2 are consequences of that
+ordering.  These tests switch the network's FIFO guarantee off and script
+exact message orderings (via ``Network.delay_override``) to show both
+theorems break:
+
+* **Completeness breaks:** a probe racing ahead of the request that
+  created its edge arrives non-meaningful and dies; a freshly closed dark
+  cycle then goes undetected forever.
+* **Soundness breaks:** a probe stalled across an edge's whole
+  reply/re-request lifecycle lands on the *new* incarnation of "the same"
+  edge and is wrongly judged meaningful; the probe chain completes a
+  cycle that never existed and the initiator declares a phantom deadlock.
+
+Each scenario is then re-run with FIFO restored (same nominal delays --
+the clamp re-orders delivery), and the theorems hold again.  The trace
+invariant checker flags exactly the P1 breach in the broken runs.
+"""
+
+from __future__ import annotations
+
+from repro._ids import VertexId
+from repro.basic.initiation import ManualInitiation
+from repro.basic.messages import Probe
+from repro.basic.system import BasicSystem
+from repro.verification.invariants import check_fifo, check_probe_edge_darkness
+from repro.workloads.scenarios import schedule_cycle
+
+
+def v(i: int) -> VertexId:
+    return VertexId(i)
+
+
+def fast_probes(sender, destination, message):
+    """Probes fly at 0.1; everything else takes 1.0."""
+    return 0.1 if isinstance(message, Probe) else 1.0
+
+
+class TestCompletenessNeedsFifo:
+    def _run(self, fifo: bool) -> BasicSystem:
+        system = BasicSystem(n_vertices=3, fifo=fifo)
+        system.network.delay_override = fast_probes
+        schedule_cycle(system, [0, 1, 2])
+        system.run_to_quiescence()
+        return system
+
+    def test_without_fifo_deadlock_goes_undetected(self) -> None:
+        # Every probe overtakes the request that created its edge, arrives
+        # non-meaningful, and is dropped: the dark cycle survives silently.
+        system = self._run(fifo=False)
+        assert system.oracle.vertices_on_dark_cycles() == {v(0), v(1), v(2)}
+        assert system.declarations == []
+        assert not system.completeness_report().complete
+
+    def test_with_fifo_same_delays_detect(self) -> None:
+        # Identical nominal delays; the FIFO clamp restores P1 and with it
+        # Theorem 1.
+        system = self._run(fifo=True)
+        assert system.declarations
+        system.assert_completeness()
+
+    def test_fifo_checker_flags_reordering(self) -> None:
+        system = self._run(fifo=False)
+        assert check_fifo(system.simulator.tracer)
+        system = self._run(fifo=True)
+        assert check_fifo(system.simulator.tracer) == []
+
+
+class TestSoundnessNeedsFifo:
+    """Scripted phantom: a stalled probe bridges two edge incarnations.
+
+    Timeline (all service manual, detection manual):
+
+    ==== =====================================================
+    t=0   A requests B;           B requests C
+    t=2   A initiates (A,1): probe -> B (arrives t=3, meaningful,
+          B waits on C, forwards probe -> C ... STALLED until t=43)
+    t=4   C replies to B (C is active: G3 ok)
+    t=6   B replies to A (B is active: G3 ok)
+    t=8   A requests D            (A blocked again, on D only)
+    t=9   C requests A            (C -> A black at t=10)
+    t=11  B requests C AGAIN      (B -> C incarnation 2, black t=12)
+    t=43  stalled probe reaches C: B is in C's pending_in -- the probe is
+          judged meaningful against the WRONG incarnation (P1 broke);
+          C forwards to A along C -> A
+    t=44  A receives a meaningful probe of its own computation and
+          declares -- but the edges now are A->D, C->A, B->C: NO cycle.
+    ==== =====================================================
+    """
+
+    A, B, C, D = 0, 1, 2, 3
+
+    def _build(self, fifo: bool) -> BasicSystem:
+        system = BasicSystem(
+            n_vertices=4,
+            fifo=fifo,
+            auto_reply=False,
+            initiation=ManualInitiation(),
+            strict=False,
+        )
+        A, B, C, D = self.A, self.B, self.C, self.D
+
+        def override(sender, destination, message):
+            if isinstance(message, Probe) and sender == v(B) and destination == v(C):
+                return 40.0  # the stalled hop
+            return 1.0
+
+        system.network.delay_override = override
+        sim = system.simulator
+        sim.schedule_at(0.0, lambda: system.vertex(A).request([v(B)]))
+        sim.schedule_at(0.0, lambda: system.vertex(B).request([v(C)]))
+        sim.schedule_at(2.0, system.vertex(A).initiate_probe_computation)
+        sim.schedule_at(4.0, lambda: system.vertex(C).reply_to(v(B)))
+        sim.schedule_at(6.0, lambda: system.vertex(B).reply_to(v(A)))
+        sim.schedule_at(8.0, lambda: system.vertex(A).request([v(D)]))
+        sim.schedule_at(9.0, lambda: system.vertex(C).request([v(A)]))
+        sim.schedule_at(11.0, lambda: system.vertex(B).request([v(C)]))
+        return system
+
+    def test_without_fifo_phantom_deadlock_declared(self) -> None:
+        system = self._build(fifo=False)
+        system.run_to_quiescence()
+        assert len(system.declarations) == 1
+        declaration = system.declarations[0]
+        assert declaration.vertex == v(self.A)
+        assert not declaration.on_black_cycle  # a phantom!
+        assert system.soundness_violations == [declaration]
+        # No vertex was ever on a dark cycle in this history.
+        assert system.oracle.vertices_on_dark_cycles() == set()
+
+    def test_invariant_checker_pinpoints_p1_breach(self) -> None:
+        system = self._build(fifo=False)
+        system.run_to_quiescence()
+        violations = check_probe_edge_darkness(system.simulator.tracer)
+        assert violations
+        assert any("P1 violated" in violation for violation in violations)
+
+    def test_with_fifo_same_script_stays_sound(self) -> None:
+        # FIFO forces the stalled probe to be delivered before the second
+        # B -> C request (same channel), where it is non-meaningful.
+        system = self._build(fifo=True)
+        system.run_to_quiescence()
+        assert system.declarations == []
+        assert system.soundness_violations == []
+        assert check_probe_edge_darkness(system.simulator.tracer) == []

@@ -1,0 +1,94 @@
+"""Ablation: the OR-model detector also leans on FIFO channels.
+
+The communication-model algorithm's soundness argument has the same shape
+as P1/P2: a dependent's *reply* travels on the same channel as any *grant*
+it previously sent, so under FIFO the grant lands first, the receiver
+unblocks, wipes its computation state, and the stale reply is discarded.
+Remove the ordering and a reply can overtake an in-flight grant, letting
+an initiator that is about to unblock collect a full set of replies and
+declare a deadlock that does not exist.
+
+Scripted scenario (manual grants/initiations):
+
+====  =====================================================
+t=0    g requests any{a}
+t=2    a (active) grants g -- the Grant is given a HUGE delay
+t=3    a requests any{x};  t=4: x requests any{a}
+       (a and x now form a genuine OR deadlock between themselves)
+t=6    g initiates: query g->a; a engages, forwards to x; x engages,
+       forwards to a (non-engaging, echoed); replies collapse back;
+       a's reply to g OVERTAKES the slow grant (non-FIFO)
+  =>   g collects all replies and declares -- while its grant is in
+       flight: a phantom.  With FIFO, the grant is delivered first,
+       g unblocks, and the late reply is discarded.
+====  =====================================================
+"""
+
+from __future__ import annotations
+
+from repro._ids import VertexId
+from repro.ormodel.messages import Grant
+from repro.ormodel.system import OrSystem
+
+
+def v(i: int) -> VertexId:
+    return VertexId(i)
+
+
+G, A, X = 0, 1, 2
+
+
+def build(fifo: bool) -> OrSystem:
+    system = OrSystem(
+        n_vertices=3,
+        fifo=fifo,
+        auto_grant=False,
+        auto_initiate=False,
+        strict=False,
+    )
+
+    def override(sender, destination, message):
+        if isinstance(message, Grant):
+            return 50.0
+        return 1.0
+
+    system.network.delay_override = override
+    sim = system.simulator
+    sim.schedule_at(0.0, lambda: system.vertex(G).request_any([v(A)]))
+    sim.schedule_at(2.0, lambda: system.vertex(A).grant_to(v(G)))
+    sim.schedule_at(3.0, lambda: system.vertex(A).request_any([v(X)]))
+    sim.schedule_at(4.0, lambda: system.vertex(X).request_any([v(A)]))
+    sim.schedule_at(6.0, lambda: system.vertex(G).initiate_detection())
+    return system
+
+
+class TestOrSoundnessNeedsFifo:
+    def test_without_fifo_phantom_declared(self) -> None:
+        system = build(fifo=False)
+        system.run_to_quiescence()
+        phantom = [d for d in system.declarations if d.vertex == v(G)]
+        assert phantom
+        assert not phantom[0].deadlocked
+        assert system.soundness_violations
+        # And indeed g ends the run ACTIVE -- its "deadlock" dissolved.
+        assert system.vertex(G).active
+
+    def test_with_fifo_same_delays_stay_sound(self) -> None:
+        system = build(fifo=True)
+        system.run_to_quiescence()
+        assert [d for d in system.declarations if d.vertex == v(G)] == []
+        assert system.soundness_violations == []
+        assert system.vertex(G).active
+
+    def test_real_deadlock_between_a_and_x_is_detectable_either_way(self) -> None:
+        # The genuine deadlock in the scenario (a <-> x) is detectable by
+        # a's own computation regardless of the g-side races.
+        for fifo in (False, True):
+            system = build(fifo=fifo)
+            system.simulator.schedule_at(
+                8.0, lambda system=system: system.vertex(A).initiate_detection()
+            )
+            system.run_to_quiescence()
+            a_declarations = [d for d in system.declarations if d.vertex == v(A)]
+            assert a_declarations
+            assert a_declarations[0].deadlocked

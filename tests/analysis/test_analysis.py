@@ -1,0 +1,85 @@
+"""Tests for tables and statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import confidence_interval_95, mean, stdev, summarize
+from repro.analysis.tables import Table
+from repro.errors import ConfigurationError
+
+
+class TestTable:
+    def test_render_contains_title_columns_rows(self) -> None:
+        table = Table("My Title", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", 12345.0)
+        rendered = table.render()
+        assert "My Title" in rendered
+        assert "a" in rendered and "b" in rendered
+        assert "2.500" in rendered
+        assert "12,345" in rendered
+
+    def test_row_arity_checked(self) -> None:
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+
+    def test_empty_columns_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            Table("t", [])
+
+    def test_float_formatting_ranges(self) -> None:
+        assert Table._format(0.0) == "0"
+        assert Table._format(0.1234) == "0.123"
+        assert Table._format(42.0) == "42.0"
+        assert Table._format(1234.5) == "1,234"
+        assert Table._format("text") == "text"
+
+    def test_str_equals_render(self) -> None:
+        table = Table("t", ["a"])
+        table.add_row(1)
+        assert str(table) == table.render()
+
+    def test_columns_align(self) -> None:
+        table = Table("t", ["col", "other"])
+        table.add_row("longvalue", 1)
+        table.add_row("x", 22)
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all data + header rows equal width
+
+
+class TestStats:
+    def test_mean(self) -> None:
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stdev(self) -> None:
+        assert stdev([5.0]) == 0.0
+        assert stdev([2.0, 4.0]) == pytest.approx(math.sqrt(2.0))
+
+    def test_confidence_interval(self) -> None:
+        assert confidence_interval_95([1.0]) == 0.0
+        ci = confidence_interval_95([1.0, 2.0, 3.0, 4.0])
+        assert ci > 0
+
+    def test_summary(self) -> None:
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert "n=3" in str(summary)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    def test_mean_within_bounds(self, values: list[float]) -> None:
+        assert min(values) - 1e-6 <= mean(values) <= max(values) + 1e-6
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=100))
+    def test_stdev_nonnegative(self, values: list[float]) -> None:
+        assert stdev(values) >= 0.0

@@ -1,0 +1,63 @@
+"""Tests for JSON export of experiment results."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.analysis.export import experiment_to_json, _jsonable
+from repro.analysis.tables import Table
+
+
+@dataclass
+class FakeResult:
+    label: str
+    count: int
+    ratio: float
+    members: frozenset
+
+
+class TestJsonable:
+    def test_dataclass_roundtrip(self) -> None:
+        result = FakeResult("x", 3, 0.5, frozenset({2, 1}))
+        data = _jsonable(result)
+        assert data == {"label": "x", "count": 3, "ratio": 0.5, "members": [1, 2]}
+
+    def test_nested_containers(self) -> None:
+        assert _jsonable({"a": (1, 2), "b": [3]}) == {"a": [1, 2], "b": [3]}
+
+    def test_nan_becomes_null(self) -> None:
+        assert _jsonable(float("nan")) is None
+
+    def test_unknown_objects_stringified(self) -> None:
+        class Weird:
+            def __repr__(self) -> str:
+                return "weird!"
+
+        assert _jsonable(Weird()) == "weird!"
+
+    def test_unsortable_set_still_exported(self) -> None:
+        data = _jsonable({1, "a"})
+        assert sorted(map(str, data)) == ["1", "a"]
+
+
+class TestExperimentToJson:
+    def test_document_structure(self) -> None:
+        table = Table("T title", ["a", "b"])
+        table.add_row(1, 2)
+        results = [FakeResult("r", 1, 0.25, frozenset())]
+        document = json.loads(experiment_to_json("E9", table, results, quick=True))
+        assert document["experiment"] == "E9"
+        assert document["quick_mode"] is True
+        assert document["columns"] == ["a", "b"]
+        assert document["rows"] == [["1", "2"]]
+        assert document["results"][0]["label"] == "r"
+        assert "library_version" in document
+
+    def test_real_experiment_serialises(self) -> None:
+        from repro.experiments import e4_state
+
+        table, results = e4_state.run(quick=True)
+        document = json.loads(experiment_to_json("E4", table, results, quick=True))
+        assert document["results"]
+        assert all("within_bound" not in r or True for r in document["results"])

@@ -1,0 +1,75 @@
+"""Tests for the ASCII timeline renderers."""
+
+from __future__ import annotations
+
+from repro.analysis.timeline import render_lanes, render_timeline
+from repro.basic.system import BasicSystem
+from repro.workloads.scenarios import schedule_cycle
+
+
+def deadlocked_trace() -> BasicSystem:
+    system = BasicSystem(n_vertices=3)
+    schedule_cycle(system, [0, 1, 2])
+    system.run_to_quiescence()
+    return system
+
+
+class TestRenderTimeline:
+    def test_contains_key_events_in_order(self) -> None:
+        system = deadlocked_trace()
+        rendered = render_timeline(system.simulator.tracer)
+        assert "v0 requests v1" in rendered
+        assert "turns black" in rendered
+        assert "DECLARES DEADLOCK" in rendered
+        # Chronological: the first request precedes the declaration.
+        assert rendered.index("requests") < rendered.index("DECLARES")
+
+    def test_include_filter(self) -> None:
+        system = deadlocked_trace()
+        rendered = render_timeline(
+            system.simulator.tracer, include=["basic.deadlock"]
+        )
+        assert "DECLARES DEADLOCK" in rendered
+        assert "requests" not in rendered
+
+    def test_limit_truncates(self) -> None:
+        system = deadlocked_trace()
+        rendered = render_timeline(system.simulator.tracer, limit=3)
+        assert rendered.count("\n") == 3  # 3 events + truncation marker
+        assert "truncated" in rendered
+
+    def test_unknown_category_fallback(self) -> None:
+        from repro.sim.trace import Tracer
+
+        tracer = Tracer()
+        tracer.record(1.0, "custom.thing", detail=42)
+        rendered = render_timeline(tracer, include=["custom"])
+        assert "custom.thing" in rendered
+        assert "42" in rendered
+
+    def test_timestamps_monotone(self) -> None:
+        system = deadlocked_trace()
+        rendered = render_timeline(system.simulator.tracer)
+        times = [
+            float(line.split("t=")[1].split()[0])
+            for line in rendered.splitlines()
+            if line.startswith("t=")
+        ]
+        assert times == sorted(times)
+
+
+class TestRenderLanes:
+    def test_lane_chart_structure(self) -> None:
+        system = deadlocked_trace()
+        rendered = render_lanes(system.simulator.tracer, n_vertices=3)
+        lines = rendered.splitlines()
+        assert "v0" in lines[0] and "v2" in lines[0]
+        assert any("DEADLOCK" in line for line in lines)
+        assert any("request" in line for line in lines)
+
+    def test_marks_present(self) -> None:
+        system = deadlocked_trace()
+        rendered = render_lanes(system.simulator.tracer, n_vertices=3)
+        assert "*" in rendered  # sends
+        assert "o" in rendered  # meaningful receipts
+        assert "X" in rendered  # declarations

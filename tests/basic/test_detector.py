@@ -1,0 +1,146 @@
+"""Unit tests for the ProbeEngine (algorithm A0/A1/A2, section 3.4)."""
+
+from __future__ import annotations
+
+from repro._ids import ProbeTag, VertexId
+from repro.basic.detector import ProbeEngine
+from repro.basic.messages import Probe
+
+
+def v(i: int) -> VertexId:
+    return VertexId(i)
+
+
+class Harness:
+    """Collects the engine's outputs for assertion."""
+
+    def __init__(self, vertex: int) -> None:
+        self.sent: list[tuple[VertexId, Probe]] = []
+        self.declared: list[ProbeTag] = []
+        self.engine = ProbeEngine(
+            vertex=v(vertex),
+            send_probe=lambda target, probe: self.sent.append((target, probe)),
+            declare_deadlock=self.declared.append,
+        )
+
+
+class TestInitiation:
+    def test_a0_sends_probe_on_every_outgoing_edge(self) -> None:
+        harness = Harness(0)
+        tag = harness.engine.initiate(outgoing=[v(1), v(2), v(3)])
+        assert [target for target, _ in harness.sent] == [v(1), v(2), v(3)]
+        assert all(probe.tag == tag for _, probe in harness.sent)
+
+    def test_initiation_with_no_outgoing_edges(self) -> None:
+        harness = Harness(0)
+        harness.engine.initiate(outgoing=[])
+        assert harness.sent == []
+
+    def test_sequences_increase(self) -> None:
+        harness = Harness(0)
+        first = harness.engine.initiate(outgoing=[])
+        second = harness.engine.initiate(outgoing=[])
+        assert second.supersedes(first)
+
+    def test_tag_carries_initiator_identity(self) -> None:
+        harness = Harness(7)
+        tag = harness.engine.initiate(outgoing=[])
+        assert tag.initiator == 7
+
+
+class TestMeaningfulness:
+    def test_non_meaningful_probe_ignored(self) -> None:
+        harness = Harness(1)
+        probe = Probe(tag=ProbeTag(initiator=0, sequence=1))
+        harness.engine.on_probe(
+            sender=v(0), probe=probe, incoming_edge_black=False, outgoing=[v(2)]
+        )
+        assert harness.sent == []
+        assert harness.declared == []
+
+    def test_meaningful_probe_propagated_on_all_outgoing(self) -> None:
+        harness = Harness(1)
+        probe = Probe(tag=ProbeTag(initiator=0, sequence=1))
+        harness.engine.on_probe(
+            sender=v(0), probe=probe, incoming_edge_black=True, outgoing=[v(2), v(3)]
+        )
+        assert [target for target, _ in harness.sent] == [v(2), v(3)]
+
+
+class TestA2OncePerComputation:
+    def test_second_meaningful_probe_same_computation_not_propagated(self) -> None:
+        harness = Harness(1)
+        probe = Probe(tag=ProbeTag(initiator=0, sequence=1))
+        harness.engine.on_probe(v(0), probe, True, [v(2)])
+        harness.engine.on_probe(v(5), probe, True, [v(2)])
+        assert len(harness.sent) == 1
+
+    def test_distinct_computations_each_propagate(self) -> None:
+        harness = Harness(1)
+        harness.engine.on_probe(v(0), Probe(ProbeTag(0, 1)), True, [v(2)])
+        harness.engine.on_probe(v(0), Probe(ProbeTag(5, 1)), True, [v(2)])
+        assert len(harness.sent) == 2
+
+    def test_stale_computation_ignored(self) -> None:
+        # Section 4.3: (i, k) with k < n is superseded by (i, n).
+        harness = Harness(1)
+        harness.engine.on_probe(v(0), Probe(ProbeTag(0, 5)), True, [v(2)])
+        harness.engine.on_probe(v(0), Probe(ProbeTag(0, 3)), True, [v(2)])
+        assert len(harness.sent) == 1
+
+    def test_newer_computation_replaces_older(self) -> None:
+        harness = Harness(1)
+        harness.engine.on_probe(v(0), Probe(ProbeTag(0, 1)), True, [v(2)])
+        harness.engine.on_probe(v(0), Probe(ProbeTag(0, 2)), True, [v(2)])
+        assert len(harness.sent) == 2
+        assert harness.engine.latest_sequence(0) == 2
+
+
+class TestA1Declaration:
+    def test_initiator_declares_on_meaningful_probe_of_own_computation(self) -> None:
+        harness = Harness(0)
+        tag = harness.engine.initiate(outgoing=[v(1)])
+        harness.engine.on_probe(v(2), Probe(tag), True, [v(1)])
+        assert harness.declared == [tag]
+        assert harness.engine.deadlocked
+
+    def test_initiator_declares_only_once_per_computation(self) -> None:
+        harness = Harness(0)
+        tag = harness.engine.initiate(outgoing=[v(1), v(2)])
+        harness.engine.on_probe(v(3), Probe(tag), True, [v(1), v(2)])
+        harness.engine.on_probe(v(4), Probe(tag), True, [v(1), v(2)])
+        assert harness.declared == [tag]
+
+    def test_initiator_ignores_probe_of_stale_own_computation(self) -> None:
+        harness = Harness(0)
+        old_tag = harness.engine.initiate(outgoing=[v(1)])
+        harness.engine.initiate(outgoing=[v(1)])
+        harness.engine.on_probe(v(2), Probe(old_tag), True, [v(1)])
+        assert harness.declared == []
+
+    def test_initiator_ignores_non_meaningful_probe_of_own_computation(self) -> None:
+        harness = Harness(0)
+        tag = harness.engine.initiate(outgoing=[v(1)])
+        harness.engine.on_probe(v(2), Probe(tag), False, [v(1)])
+        assert harness.declared == []
+
+    def test_initiator_does_not_forward_own_probe(self) -> None:
+        # A1: the initiator declares; it does not run A2 for its own tag.
+        harness = Harness(0)
+        tag = harness.engine.initiate(outgoing=[v(1)])
+        sent_before = len(harness.sent)
+        harness.engine.on_probe(v(2), Probe(tag), True, [v(1)])
+        assert len(harness.sent) == sent_before
+
+
+class TestStateBound:
+    def test_tracks_one_record_per_initiator(self) -> None:
+        # Section 4.3: per-vertex state is O(N) -- one record per initiator,
+        # regardless of how many computations each initiator starts.
+        harness = Harness(99)
+        for initiator in range(10):
+            for sequence in range(1, 6):
+                harness.engine.on_probe(
+                    v(0), Probe(ProbeTag(initiator, sequence)), True, []
+                )
+        assert harness.engine.tracked_computations == 10

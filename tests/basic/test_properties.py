@@ -1,0 +1,104 @@
+"""System-level property tests: the theorems over random histories.
+
+These complement the exhaustive model checker (which covers all
+interleavings of tiny scenarios) with *sampled* schedules over larger
+systems: random workload shapes, delay distributions, fan-outs, and seeds.
+Soundness must hold on every sampled history; completeness at quiescence.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.basic.initiation import DelayedInitiation, ImmediateInitiation
+from repro.basic.system import BasicSystem
+from repro.sim.network import ExponentialDelay, FixedDelay, UniformDelay
+from repro.workloads.basic_random import RandomRequestWorkload
+
+DELAY_MODELS = st.sampled_from(
+    [
+        FixedDelay(1.0),
+        UniformDelay(0.1, 2.5),
+        ExponentialDelay(mean=1.0),
+        ExponentialDelay(mean=0.3),
+    ]
+)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    delay_model=DELAY_MODELS,
+    n_vertices=st.integers(min_value=3, max_value=10),
+    fan_out=st.integers(min_value=1, max_value=2),
+    service_delay=st.floats(min_value=0.1, max_value=2.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_soundness_and_completeness_on_random_histories(
+    seed: int,
+    delay_model,
+    n_vertices: int,
+    fan_out: int,
+    service_delay: float,
+) -> None:
+    system = BasicSystem(
+        n_vertices=n_vertices,
+        seed=seed,
+        delay_model=delay_model,
+        service_delay=service_delay,
+        strict=False,
+    )
+    workload = RandomRequestWorkload(
+        system,
+        mean_think=1.5,
+        max_targets=min(fan_out, n_vertices - 1),
+        duration=30.0,
+    )
+    workload.start()
+    system.run_to_quiescence(max_events=400_000)
+    # Theorem 2 on every history:
+    assert system.soundness_violations == []
+    # Theorem 1 + initiation rule at quiescence:
+    report = system.completeness_report()
+    assert report.complete, report.undetected_components
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    timeout=st.floats(min_value=0.0, max_value=12.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_delayed_initiation_preserves_both_theorems(seed: int, timeout: float) -> None:
+    system = BasicSystem(
+        n_vertices=8,
+        seed=seed,
+        delay_model=ExponentialDelay(mean=1.0),
+        service_delay=0.5,
+        initiation=DelayedInitiation(timeout=timeout),
+        strict=False,
+    )
+    RandomRequestWorkload(system, mean_think=1.5, max_targets=2, duration=25.0).start()
+    system.run_to_quiescence(max_events=400_000)
+    assert system.soundness_violations == []
+    assert system.completeness_report().complete
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_wfgd_exactness_on_random_deadlocks(seed: int) -> None:
+    # Whatever deadlocks a random run produces, WFGD must deliver the
+    # exact oracle path set to every permanently blocked vertex.
+    system = BasicSystem(
+        n_vertices=8,
+        seed=seed,
+        service_delay=0.5,
+        wfgd_on_declare=True,
+        strict=False,
+    )
+    RandomRequestWorkload(system, mean_think=1.5, max_targets=2, duration=25.0).start()
+    system.run_to_quiescence(max_events=400_000)
+    assert system.soundness_violations == []
+    for vertex_id, vertex in system.vertices.items():
+        expected = system.oracle.permanent_black_edges_from(vertex_id)
+        if expected:
+            assert vertex.wfgd.paths == expected

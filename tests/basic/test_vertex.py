@@ -1,0 +1,133 @@
+"""Unit tests for VertexProcess: request/reply behaviour, axiom adherence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._ids import VertexId
+from repro.basic.graph import EdgeColor
+from repro.basic.system import BasicSystem
+from repro.errors import ProtocolError
+
+
+def v(i: int) -> VertexId:
+    return VertexId(i)
+
+
+class TestRequestReply:
+    def test_request_blocks_until_reply(self) -> None:
+        system = BasicSystem(n_vertices=2)
+        system.schedule_request(0.0, 0, [1])
+        system.run(until=0.5)
+        assert system.vertex(0).blocked
+        system.run_to_quiescence()
+        assert system.vertex(0).active
+
+    def test_edge_colour_lifecycle(self) -> None:
+        # grey at send -> black at receipt -> white at reply -> deleted.
+        system = BasicSystem(n_vertices=2, service_delay=2.0)
+        system.schedule_request(0.0, 0, [1])
+        system.run(until=0.5)
+        assert system.oracle.color(v(0), v(1)) is EdgeColor.GREY
+        system.run(until=1.5)  # delivery at t=1
+        assert system.oracle.color(v(0), v(1)) is EdgeColor.BLACK
+        system.run(until=3.5)  # service at t=3, reply in flight
+        assert system.oracle.color(v(0), v(1)) is EdgeColor.WHITE
+        system.run_to_quiescence()
+        assert system.oracle.color(v(0), v(1)) is None
+
+    def test_and_model_blocks_until_all_replies(self) -> None:
+        system = BasicSystem(n_vertices=4, service_delay=1.0)
+        system.schedule_request(0.0, 0, [1, 2, 3])
+        system.run(until=2.5)
+        # All three targets received and will reply at their own pace.
+        assert system.vertex(0).blocked
+        system.run_to_quiescence()
+        assert system.vertex(0).active
+        assert len(system.oracle.vertices()) == 0 or len(system.oracle) == 0
+
+    def test_duplicate_request_rejected(self) -> None:
+        system = BasicSystem(n_vertices=2)
+        system.vertex(0).request([v(1)])
+        with pytest.raises(ProtocolError):
+            system.vertex(0).request([v(1)])
+
+    def test_self_request_rejected(self) -> None:
+        system = BasicSystem(n_vertices=2)
+        with pytest.raises(ProtocolError):
+            system.vertex(0).request([v(0)])
+
+    def test_empty_request_is_noop(self) -> None:
+        system = BasicSystem(n_vertices=2)
+        system.vertex(0).request([])
+        assert system.vertex(0).active
+
+    def test_request_batch_deduplicates(self) -> None:
+        system = BasicSystem(n_vertices=3)
+        system.vertex(0).request([v(1), v(1), v(2)])
+        assert system.vertex(0).pending_out == {v(1), v(2)}
+
+
+class TestBlockedServiceDeferral:
+    def test_blocked_vertex_defers_replies_until_unblocked(self) -> None:
+        # 1 waits on 2; 0 requests 1.  1 may not reply (G3) until 2 replies.
+        system = BasicSystem(n_vertices=3, service_delay=1.0)
+        system.schedule_request(0.0, 1, [2])
+        system.schedule_request(0.0, 0, [1])
+        system.run(until=1.5)
+        assert system.vertex(1).blocked
+        assert v(0) in system.vertex(1).pending_in
+        system.run_to_quiescence()
+        assert system.vertex(0).active
+        assert system.vertex(1).active
+
+    def test_manual_reply_requires_active(self) -> None:
+        system = BasicSystem(n_vertices=3, auto_reply=False)
+        system.schedule_request(0.0, 1, [2])
+        system.schedule_request(0.0, 0, [1])
+        system.run(until=2.0)
+        with pytest.raises(ProtocolError):
+            system.vertex(1).reply_to(v(0))  # blocked: G3 forbids
+
+    def test_manual_reply_to_unknown_requester_rejected(self) -> None:
+        system = BasicSystem(n_vertices=2, auto_reply=False)
+        with pytest.raises(ProtocolError):
+            system.vertex(1).reply_to(v(0))
+
+    def test_manual_reply_works_when_active(self) -> None:
+        system = BasicSystem(n_vertices=2, auto_reply=False)
+        system.schedule_request(0.0, 0, [1])
+        system.run(until=1.5)
+        system.vertex(1).reply_to(v(0))
+        system.run_to_quiescence()
+        assert system.vertex(0).active
+
+
+class TestCallbacks:
+    def test_unblocked_callback_fires(self) -> None:
+        system = BasicSystem(n_vertices=2)
+        unblocked: list[int] = []
+        system.vertex(0).unblocked_callback = lambda vertex: unblocked.append(
+            int(vertex.vertex_id)
+        )
+        system.schedule_request(0.0, 0, [1])
+        system.run_to_quiescence()
+        assert unblocked == [0]
+
+    def test_unknown_message_type_rejected(self) -> None:
+        system = BasicSystem(n_vertices=2)
+        with pytest.raises(ProtocolError):
+            system.vertex(0).on_message(v(1), object())
+
+    def test_unsolicited_reply_rejected(self) -> None:
+        from repro.basic.messages import Reply
+
+        system = BasicSystem(n_vertices=2)
+        with pytest.raises(ProtocolError):
+            system.vertex(0).on_message(v(1), Reply(replier=v(1)))
+
+    def test_repr_shows_state(self) -> None:
+        system = BasicSystem(n_vertices=2)
+        assert "active" in repr(system.vertex(0))
+        system.vertex(0).request([v(1)])
+        assert "blocked" in repr(system.vertex(0))

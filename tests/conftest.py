@@ -1,0 +1,25 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.basic.system import BasicSystem
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    return Simulator(seed=42)
+
+
+def make_cycle_system(k: int, seed: int = 0, **kwargs) -> BasicSystem:
+    """A BasicSystem with a k-cycle of requests scheduled at distinct times.
+
+    Vertex i requests vertex (i + 1) % k at time i * 0.5, so the cycle
+    closes when vertex k-1 issues the final request.
+    """
+    system = BasicSystem(n_vertices=k, seed=seed, **kwargs)
+    for i in range(k):
+        system.schedule_request(i * 0.5, i, [(i + 1) % k])
+    return system

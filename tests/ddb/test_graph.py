@@ -1,0 +1,169 @@
+"""Unit tests for the DDB wait-for graph and axioms G1-G6."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._ids import ProcessId, SiteId, TransactionId
+from repro.basic.graph import EdgeColor
+from repro.ddb.graph import DdbWaitForGraph
+from repro.errors import AxiomViolation
+
+
+def p(tid: int, site: int) -> ProcessId:
+    return ProcessId(transaction=TransactionId(tid), site=SiteId(site))
+
+
+class TestIntraEdges:
+    def test_intra_edge_is_black(self) -> None:
+        graph = DdbWaitForGraph()
+        graph.add_intra_edge(p(1, 0), p(2, 0))
+        assert graph.color(p(1, 0), p(2, 0)) is EdgeColor.BLACK
+
+    def test_intra_edge_must_stay_on_one_site(self) -> None:
+        with pytest.raises(AxiomViolation):
+            DdbWaitForGraph().add_intra_edge(p(1, 0), p(2, 1))
+
+    def test_duplicate_intra_edge_rejected(self) -> None:
+        graph = DdbWaitForGraph()
+        graph.add_intra_edge(p(1, 0), p(2, 0))
+        with pytest.raises(AxiomViolation):
+            graph.add_intra_edge(p(1, 0), p(2, 0))
+
+    def test_self_edge_rejected(self) -> None:
+        with pytest.raises(AxiomViolation):
+            DdbWaitForGraph().add_intra_edge(p(1, 0), p(1, 0))
+
+    def test_g2_remove_requires_target_active(self) -> None:
+        graph = DdbWaitForGraph()
+        graph.add_intra_edge(p(1, 0), p(2, 0))
+        graph.add_intra_edge(p(2, 0), p(3, 0))
+        with pytest.raises(AxiomViolation):
+            graph.remove_intra_edge(p(1, 0), p(2, 0))
+        graph.remove_intra_edge(p(2, 0), p(3, 0))  # p3 active: fine
+        graph.remove_intra_edge(p(1, 0), p(2, 0))  # now p2 active
+        assert len(graph) == 0
+
+    def test_force_remove_ignores_g2(self) -> None:
+        graph = DdbWaitForGraph()
+        graph.add_intra_edge(p(1, 0), p(2, 0))
+        graph.add_intra_edge(p(2, 0), p(3, 0))
+        assert graph.force_remove_intra_edge(p(1, 0), p(2, 0))
+        assert not graph.force_remove_intra_edge(p(1, 0), p(2, 0))
+
+    def test_remove_missing_intra_edge_rejected(self) -> None:
+        with pytest.raises(AxiomViolation):
+            DdbWaitForGraph().remove_intra_edge(p(1, 0), p(2, 0))
+
+
+class TestInterEdges:
+    def test_lifecycle(self) -> None:
+        graph = DdbWaitForGraph()
+        a, b = p(1, 0), p(1, 1)
+        graph.add_inter_edge(a, b, serial=7)
+        assert graph.color(a, b) is EdgeColor.GREY
+        assert graph.blacken_inter_edge(a, b, serial=7)
+        assert graph.color(a, b) is EdgeColor.BLACK
+        assert graph.whiten_inter_edge(a, b, serial=7)
+        assert graph.color(a, b) is EdgeColor.WHITE
+        assert graph.delete_inter_edge(a, b, serial=7)
+        assert graph.color(a, b) is None
+
+    def test_inter_edge_must_stay_in_one_transaction(self) -> None:
+        with pytest.raises(AxiomViolation):
+            DdbWaitForGraph().add_inter_edge(p(1, 0), p(2, 1), serial=1)
+
+    def test_inter_edge_must_cross_sites(self) -> None:
+        with pytest.raises(AxiomViolation):
+            DdbWaitForGraph().add_inter_edge(p(1, 0), p(1, 0), serial=1)
+
+    def test_serial_mismatch_is_noop(self) -> None:
+        graph = DdbWaitForGraph()
+        a, b = p(1, 0), p(1, 1)
+        graph.add_inter_edge(a, b, serial=7)
+        assert not graph.blacken_inter_edge(a, b, serial=8)
+        assert graph.color(a, b) is EdgeColor.GREY
+
+    def test_missing_edge_transitions_are_noops(self) -> None:
+        graph = DdbWaitForGraph()
+        assert not graph.blacken_inter_edge(p(1, 0), p(1, 1), serial=1)
+        assert not graph.whiten_inter_edge(p(1, 0), p(1, 1), serial=1)
+        assert not graph.delete_inter_edge(p(1, 0), p(1, 1), serial=1)
+        assert not graph.force_remove_inter_edge(p(1, 0), p(1, 1))
+
+    def test_g5_whiten_requires_target_active(self) -> None:
+        graph = DdbWaitForGraph()
+        a, b = p(1, 0), p(1, 1)
+        graph.add_inter_edge(a, b, serial=1)
+        graph.blacken_inter_edge(a, b, serial=1)
+        graph.add_intra_edge(b, p(2, 1))
+        with pytest.raises(AxiomViolation):
+            graph.whiten_inter_edge(a, b, serial=1)
+
+    def test_out_of_order_transitions_rejected(self) -> None:
+        graph = DdbWaitForGraph()
+        a, b = p(1, 0), p(1, 1)
+        graph.add_inter_edge(a, b, serial=1)
+        with pytest.raises(AxiomViolation):
+            graph.whiten_inter_edge(a, b, serial=1)  # grey -> white skips black
+        with pytest.raises(AxiomViolation):
+            graph.delete_inter_edge(a, b, serial=1)  # grey -> deleted
+
+    def test_force_remove_works_in_any_state(self) -> None:
+        graph = DdbWaitForGraph()
+        a, b = p(1, 0), p(1, 1)
+        graph.add_inter_edge(a, b, serial=1)
+        assert graph.force_remove_inter_edge(a, b)
+        assert graph.color(a, b) is None
+
+
+class TestCycles:
+    def build_cross_site_cycle(self) -> DdbWaitForGraph:
+        """(T1,S0) -inter-> (T1,S1) -intra-> (T2,S1) -inter-> (T2,S0)
+        -intra-> (T1,S0): the canonical two-site, two-transaction cycle."""
+        graph = DdbWaitForGraph()
+        graph.add_inter_edge(p(1, 0), p(1, 1), serial=1)
+        graph.blacken_inter_edge(p(1, 0), p(1, 1), serial=1)
+        graph.add_intra_edge(p(1, 1), p(2, 1))
+        graph.add_inter_edge(p(2, 1), p(2, 0), serial=2)
+        graph.blacken_inter_edge(p(2, 1), p(2, 0), serial=2)
+        graph.add_intra_edge(p(2, 0), p(1, 0))
+        return graph
+
+    def test_cross_site_cycle_detected(self) -> None:
+        graph = self.build_cross_site_cycle()
+        for process in (p(1, 0), p(1, 1), p(2, 1), p(2, 0)):
+            assert graph.is_on_dark_cycle(process)
+            assert graph.is_on_black_cycle(process)
+
+    def test_grey_edge_makes_cycle_dark_not_black(self) -> None:
+        graph = DdbWaitForGraph()
+        graph.add_inter_edge(p(1, 0), p(1, 1), serial=1)  # grey
+        graph.add_intra_edge(p(1, 1), p(2, 1))
+        graph.add_inter_edge(p(2, 1), p(2, 0), serial=2)
+        graph.blacken_inter_edge(p(2, 1), p(2, 0), serial=2)
+        graph.add_intra_edge(p(2, 0), p(1, 0))
+        assert graph.is_on_dark_cycle(p(1, 0))
+        assert not graph.is_on_black_cycle(p(1, 0))
+
+    def test_white_edge_breaks_darkness(self) -> None:
+        graph = self.build_cross_site_cycle()
+        # Whitening requires the target active; drop the intra edge first.
+        graph.force_remove_intra_edge(p(1, 1), p(2, 1))
+        graph.whiten_inter_edge(p(1, 0), p(1, 1), serial=1)
+        assert not graph.is_on_dark_cycle(p(1, 0))
+
+    def test_local_intra_cycle(self) -> None:
+        graph = DdbWaitForGraph()
+        graph.add_intra_edge(p(1, 0), p(2, 0))
+        graph.add_intra_edge(p(2, 0), p(1, 0))
+        assert graph.is_on_black_cycle(p(1, 0))
+
+    def test_deadlocked_transactions(self) -> None:
+        graph = self.build_cross_site_cycle()
+        assert graph.deadlocked_transactions() == {1, 2}
+
+    def test_processes_enumeration(self) -> None:
+        graph = self.build_cross_site_cycle()
+        assert graph.processes() == {p(1, 0), p(1, 1), p(2, 1), p(2, 0)}
+        assert graph.processes_on_dark_cycles() == graph.processes()

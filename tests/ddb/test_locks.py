@@ -1,0 +1,180 @@
+"""Unit tests for the read/write lock manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._ids import ProcessId, ResourceId, SiteId, TransactionId
+from repro.ddb.locks import LockMode, ResourceLock, compatible
+from repro.errors import ProtocolError
+
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+
+
+def p(tid: int, site: int = 0) -> ProcessId:
+    return ProcessId(transaction=TransactionId(tid), site=SiteId(site))
+
+
+def lock() -> ResourceLock:
+    return ResourceLock(ResourceId("r"))
+
+
+class TestCompatibility:
+    def test_matrix(self) -> None:
+        assert compatible(S, S)
+        assert not compatible(S, X)
+        assert not compatible(X, S)
+        assert not compatible(X, X)
+
+
+class TestGranting:
+    def test_first_request_granted(self) -> None:
+        resource = lock()
+        assert resource.request(p(1), X)
+        assert resource.holders == {p(1): X}
+
+    def test_shared_requests_coexist(self) -> None:
+        resource = lock()
+        assert resource.request(p(1), S)
+        assert resource.request(p(2), S)
+        assert set(resource.holders) == {p(1), p(2)}
+
+    def test_exclusive_blocks_second(self) -> None:
+        resource = lock()
+        assert resource.request(p(1), X)
+        assert not resource.request(p(2), X)
+        assert not resource.request(p(3), S)
+        assert len(resource.waiters) == 2
+
+    def test_grant_any_compatible_jumps_queue(self) -> None:
+        # S holder, X waiter, then a new S request: granted immediately
+        # (grant-any-compatible semantics; the X request keeps waiting).
+        resource = lock()
+        resource.request(p(1), S)
+        assert not resource.request(p(2), X)
+        assert resource.request(p(3), S)
+        assert set(resource.holders) == {p(1), p(3)}
+
+    def test_rerequest_held_mode_is_noop_grant(self) -> None:
+        resource = lock()
+        resource.request(p(1), X)
+        assert resource.request(p(1), X)
+        assert resource.request(p(1), S)  # weaker: trivially held
+
+    def test_overlapping_wait_rejected(self) -> None:
+        resource = lock()
+        resource.request(p(1), X)
+        resource.request(p(2), X)
+        with pytest.raises(ProtocolError):
+            resource.request(p(2), S)
+
+
+class TestUpgrades:
+    def test_sole_holder_upgrades_immediately(self) -> None:
+        resource = lock()
+        resource.request(p(1), S)
+        assert resource.request(p(1), X)
+        assert resource.holders[p(1)] is X
+
+    def test_upgrade_waits_for_other_shared_holders(self) -> None:
+        resource = lock()
+        resource.request(p(1), S)
+        resource.request(p(2), S)
+        assert not resource.request(p(1), X)
+        assert resource.waits_for(p(1)) == {p(2)}
+
+    def test_upgrade_granted_when_other_holder_releases(self) -> None:
+        resource = lock()
+        resource.request(p(1), S)
+        resource.request(p(2), S)
+        resource.request(p(1), X)
+        granted = resource.release(p(2))
+        assert [g.process for g in granted] == [p(1)]
+        assert resource.holders[p(1)] is X
+
+    def test_two_upgraders_deadlock_shape(self) -> None:
+        # Both hold S, both want X: each waits for the other -- the classic
+        # upgrade deadlock the detector must find.
+        resource = lock()
+        resource.request(p(1), S)
+        resource.request(p(2), S)
+        assert not resource.request(p(1), X)
+        assert not resource.request(p(2), X)
+        assert resource.waits_for(p(1)) == {p(2)}
+        assert resource.waits_for(p(2)) == {p(1)}
+
+
+class TestRelease:
+    def test_release_grants_waiter(self) -> None:
+        resource = lock()
+        resource.request(p(1), X)
+        resource.request(p(2), X)
+        granted = resource.release(p(1))
+        assert [g.process for g in granted] == [p(2)]
+        assert resource.holders == {p(2): X}
+
+    def test_release_grants_all_compatible_waiters(self) -> None:
+        resource = lock()
+        resource.request(p(1), X)
+        resource.request(p(2), S)
+        resource.request(p(3), S)
+        granted = resource.release(p(1))
+        assert {g.process for g in granted} == {p(2), p(3)}
+
+    def test_release_unheld_rejected(self) -> None:
+        with pytest.raises(ProtocolError):
+            lock().release(p(1))
+
+    def test_release_stops_at_incompatible(self) -> None:
+        resource = lock()
+        resource.request(p(1), X)
+        resource.request(p(2), X)
+        resource.request(p(3), S)
+        granted = resource.release(p(1))
+        # X (p2) granted; S (p3) incompatible with the new X holder.
+        assert [g.process for g in granted] == [p(2)]
+        assert len(resource.waiters) == 1
+
+
+class TestCancel:
+    def test_cancel_removes_waiter(self) -> None:
+        resource = lock()
+        resource.request(p(1), X)
+        resource.request(p(2), X)
+        assert resource.cancel(p(2))
+        assert resource.waiters == []
+
+    def test_cancel_absent_returns_false(self) -> None:
+        assert not lock().cancel(p(1))
+
+    def test_release_or_cancel_handles_both(self) -> None:
+        resource = lock()
+        resource.request(p(1), X)
+        resource.request(p(2), X)
+        resource.release_or_cancel(p(2))  # waiter
+        granted = resource.release_or_cancel(p(1))  # holder
+        assert granted == []
+        assert resource.idle
+
+
+class TestWaitForDerivation:
+    def test_waits_for_incompatible_holders_only(self) -> None:
+        resource = lock()
+        resource.request(p(1), S)
+        resource.request(p(2), S)
+        resource.request(p(3), X)
+        assert resource.waits_for(p(3)) == {p(1), p(2)}
+
+    def test_non_waiter_waits_for_nothing(self) -> None:
+        resource = lock()
+        resource.request(p(1), X)
+        assert resource.waits_for(p(1)) == set()
+        assert resource.waits_for(p(9)) == set()
+
+    def test_all_wait_edges(self) -> None:
+        resource = lock()
+        resource.request(p(1), X)
+        resource.request(p(2), X)
+        resource.request(p(3), X)
+        assert resource.all_wait_edges() == {(p(2), p(1)), (p(3), p(1))}

@@ -1,0 +1,109 @@
+"""Stateful property testing of the lock manager.
+
+Hypothesis drives random request/release/cancel sequences against a
+:class:`ResourceLock` while these invariants are checked after every step:
+
+* holders are pairwise compatible (never two exclusive holders, never a
+  shared and an exclusive holder together, upgrades exempted because a
+  process holds one mode at a time);
+* no waiting request is currently grantable (the grant-any-compatible
+  sweep is exhaustive -- a grantable waiter would mean a lost wakeup,
+  which in the full system is an undetectable stall);
+* a process never appears twice in the wait queue;
+* the wait-for derivation is consistent: every waits_for() target is a
+  current holder with an incompatible mode.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro._ids import ProcessId, ResourceId, SiteId, TransactionId
+from repro.ddb.locks import LockMode, ResourceLock, compatible
+
+PROCESSES = [
+    ProcessId(transaction=TransactionId(t), site=SiteId(0)) for t in range(1, 6)
+]
+MODES = [LockMode.SHARED, LockMode.EXCLUSIVE]
+
+
+class LockMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.lock = ResourceLock(ResourceId("r"))
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    @rule(process=st.sampled_from(PROCESSES), mode=st.sampled_from(MODES))
+    def request(self, process: ProcessId, mode: LockMode) -> None:
+        if any(w.process == process for w in self.lock.waiters):
+            return  # overlapping requests are a caller error by contract
+        self.lock.request(process, mode)
+
+    @rule(index=st.integers(min_value=0, max_value=4))
+    def release(self, index: int) -> None:
+        holders = sorted(self.lock.holders)
+        if not holders:
+            return
+        self.lock.release(holders[index % len(holders)])
+
+    @rule(index=st.integers(min_value=0, max_value=4))
+    def cancel(self, index: int) -> None:
+        if not self.lock.waiters:
+            return
+        waiter = self.lock.waiters[index % len(self.lock.waiters)]
+        self.lock.cancel(waiter.process)
+
+    @rule(index=st.integers(min_value=0, max_value=4))
+    def abort(self, index: int) -> None:
+        process = PROCESSES[index % len(PROCESSES)]
+        self.lock.release_or_cancel(process)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def holders_pairwise_compatible(self) -> None:
+        holders = list(self.lock.holders.items())
+        for i, (process_a, mode_a) in enumerate(holders):
+            for process_b, mode_b in holders[i + 1 :]:
+                assert compatible(mode_a, mode_b), (
+                    f"incompatible co-holders: {process_a}:{mode_a} "
+                    f"{process_b}:{mode_b}"
+                )
+
+    @invariant()
+    def no_grantable_waiter(self) -> None:
+        for waiter in self.lock.waiters:
+            held = self.lock.holders.get(waiter.process)
+            if held is not None:
+                # Upgrade waiter: grantable iff sole holder.
+                assert len(self.lock.holders) > 1, f"lost upgrade wakeup: {waiter}"
+            else:
+                blocked_by = [
+                    holder
+                    for holder, mode in self.lock.holders.items()
+                    if holder != waiter.process and not compatible(mode, waiter.mode)
+                ]
+                assert blocked_by, f"lost wakeup: grantable waiter {waiter}"
+
+    @invariant()
+    def no_duplicate_waiters(self) -> None:
+        processes = [w.process for w in self.lock.waiters]
+        assert len(processes) == len(set(processes))
+
+    @invariant()
+    def wait_for_targets_are_incompatible_holders(self) -> None:
+        for waiter in self.lock.waiters:
+            for target in self.lock.waits_for(waiter.process):
+                assert target in self.lock.holders
+                assert not compatible(self.lock.holders[target], waiter.mode)
+
+
+TestLockMachine = LockMachine.TestCase
+TestLockMachine.settings = settings(max_examples=60, stateful_step_count=40, deadline=None)

@@ -1,0 +1,95 @@
+"""Scope of the section 6 graph model: the idle-holder limitation.
+
+The section 6 wait-for graph has intra-controller edges (requester ->
+local holder) and inter-controller edges (waiting process -> its remote
+agent).  No edge ever leaves a process that merely *holds* resources while
+its transaction waits elsewhere (an "idle holder").  Consequently a
+transaction-level deadlock threaded through idle holders has NO cycle in
+the process-level graph -- it is outside the model, and the probe
+computation (correctly, per its own definitions) stays silent.
+
+This is a property of the paper's model, not a bug in this implementation:
+section 6.7's characterisation of cycles ("any cycle ... must include an
+inter-controller edge directed towards a constituent process") only covers
+deadlocks whose holders are the transactions' current waiting processes.
+The authors' follow-up resource-model formulation (their reference [1],
+which became Chandy/Misra/Haas, TOCS 1983) models a transaction as a
+single logical process spanning sites, closing this gap.
+
+These tests pin the boundary from both sides:
+
+* inside the representable class (home acquisitions + single remote hop,
+  which :class:`~repro.workloads.transactions.TransactionWorkload`
+  enforces), every transaction deadlock IS a process-level dark cycle and
+  is detected;
+* one step outside (two remote hops), a real transaction deadlock exists
+  with no process-level dark cycle, and nothing is declared.
+"""
+
+from __future__ import annotations
+
+from repro._ids import ProcessId, ResourceId, SiteId, TransactionId
+from repro.ddb.system import DdbSystem
+from repro.ddb.transaction import Think, TransactionStatus, acquire
+
+from tests.ddb.helpers import X, spec
+
+
+def build_idle_holder_deadlock() -> DdbSystem:
+    """T1 and T2 (homes S0) each grab one remote resource, then want the
+    other's: a genuine transaction-level deadlock through idle holders."""
+    resources = {ResourceId("a"): SiteId(1), ResourceId("b"): SiteId(2)}
+    system = DdbSystem(n_sites=3, resources=resources)
+    system.begin(
+        spec(1, 0, acquire(("a", X)), Think(3.0), acquire(("b", X))), at=0.0
+    )
+    system.begin(
+        spec(2, 0, acquire(("b", X)), Think(3.0), acquire(("a", X))), at=0.1
+    )
+    return system
+
+
+class TestOutsideTheModel:
+    def test_transaction_deadlock_without_process_cycle(self) -> None:
+        system = build_idle_holder_deadlock()
+        system.run_to_quiescence(max_events=100_000)
+        # Both transactions are permanently stuck ...
+        for tid in (1, 2):
+            execution = system.controller(0).executions[TransactionId(tid)]
+            assert execution.status is TransactionStatus.WAITING
+        # ... the agents holding the contended resources are idle holders
+        # with no outgoing edges ...
+        t1_holder = ProcessId(transaction=TransactionId(1), site=SiteId(1))
+        t2_holder = ProcessId(transaction=TransactionId(2), site=SiteId(2))
+        assert system.oracle.successors(t1_holder) == set()
+        assert system.oracle.successors(t2_holder) == set()
+        # ... so the process-level graph is acyclic and nothing declares.
+        assert system.oracle.processes_on_dark_cycles() == set()
+        assert system.declarations == []
+
+    def test_probe_computation_is_not_unsound_outside_the_model(self) -> None:
+        # Even outside its completeness scope, the algorithm never lies:
+        # no declaration means no unsound declaration.
+        system = build_idle_holder_deadlock()
+        system.run_to_quiescence(max_events=100_000)
+        system.assert_soundness()
+
+
+class TestInsideTheModel:
+    def test_single_hop_version_is_detected(self) -> None:
+        # The same contention, reshaped into the representable class:
+        # each transaction holds its HOME resource and remote-hops for the
+        # other's.  Now every holder is a waiting home process, the
+        # process graph has the cycle, and detection fires.
+        resources = {ResourceId("a"): SiteId(0), ResourceId("b"): SiteId(1)}
+        system = DdbSystem(n_sites=2, resources=resources)
+        system.begin(
+            spec(1, 0, acquire(("a", X)), Think(3.0), acquire(("b", X))), at=0.0
+        )
+        system.begin(
+            spec(2, 1, acquire(("b", X)), Think(3.0), acquire(("a", X))), at=0.1
+        )
+        system.run_to_quiescence(max_events=100_000)
+        assert system.declarations
+        system.assert_soundness()
+        system.assert_completeness()

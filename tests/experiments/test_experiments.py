@@ -1,0 +1,57 @@
+"""Smoke + shape tests for the experiment harness (quick mode).
+
+The benchmarks assert the full shape claims; these tests keep the
+experiment code importable, runnable, and structurally sane under plain
+``pytest tests/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.experiments import ALL_EXPERIMENTS
+
+
+class TestRegistry:
+    def test_all_eight_registered(self) -> None:
+        assert sorted(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 9)]
+
+    def test_every_module_has_run(self) -> None:
+        for module in ALL_EXPERIMENTS.values():
+            assert callable(module.run)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_quick_run_produces_table_and_results(name: str) -> None:
+    table, results = ALL_EXPERIMENTS[name].run(quick=True)
+    assert isinstance(table, Table)
+    assert table.rows
+    assert results
+    assert name.lower() in table.title.lower()
+
+
+class TestShapeHighlights:
+    """A few load-bearing shape assertions duplicated from the benches so
+    plain ``pytest tests/`` exercises them too."""
+
+    def test_e1_nothing_missed(self) -> None:
+        _, results = ALL_EXPERIMENTS["E1"].run(quick=True)
+        assert all(result.missed == 0 for result in results)
+
+    def test_e2_nothing_unsound(self) -> None:
+        _, results = ALL_EXPERIMENTS["E2"].run(quick=True)
+        assert all(result.unsound == 0 for result in results)
+
+    def test_e3_within_bounds(self) -> None:
+        _, results = ALL_EXPERIMENTS["E3"].run(quick=True)
+        assert all(result.within_bound for result in results)
+
+    def test_e7_optimised_cheaper(self) -> None:
+        _, results = ALL_EXPERIMENTS["E7"].run(quick=True)
+        naive = {r.label: r.computations for r in results if r.mode == "naive"}
+        optimised = {
+            r.label: r.computations for r in results if r.mode == "6.7 optimised"
+        }
+        for label in naive:
+            assert optimised[label] < naive[label]

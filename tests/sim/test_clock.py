@@ -1,0 +1,37 @@
+"""Unit tests for the virtual clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+
+
+class TestClock:
+    def test_starts_at_zero(self) -> None:
+        assert Clock().now == 0.0
+
+    def test_advances_forward(self) -> None:
+        clock = Clock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+        clock.advance_to(7.25)
+        assert clock.now == 7.25
+
+    def test_advancing_to_same_time_is_allowed(self) -> None:
+        clock = Clock()
+        clock.advance_to(3.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_cannot_move_backwards(self) -> None:
+        clock = Clock()
+        clock.advance_to(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(9.999)
+
+    def test_repr_mentions_time(self) -> None:
+        clock = Clock()
+        clock.advance_to(1.5)
+        assert "1.5" in repr(clock)

@@ -1,0 +1,96 @@
+"""Unit tests for counters and histograms."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self) -> None:
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.increment()
+        counter.increment(5)
+        assert counter.value == 6
+
+    def test_cannot_decrease(self) -> None:
+        with pytest.raises(ValueError):
+            Counter("c").increment(-1)
+
+
+class TestHistogram:
+    def test_quantiles_on_known_data(self) -> None:
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.record(float(value))
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(0.5) == 50.0
+        assert histogram.quantile(1.0) == 100.0
+        assert histogram.mean == pytest.approx(50.5)
+
+    def test_summary_fields(self) -> None:
+        histogram = Histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            histogram.record(value)
+        summary = histogram.summary()
+        assert summary.count == 3
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.mean == pytest.approx(2.0)
+
+    def test_empty_histogram_raises(self) -> None:
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(0.5)
+        with pytest.raises(ValueError):
+            _ = Histogram("h").mean
+
+    def test_invalid_quantile_rejected(self) -> None:
+        histogram = Histogram("h")
+        histogram.record(1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_nan_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Histogram("h").record(float("nan"))
+
+    def test_recording_after_quantile_query(self) -> None:
+        histogram = Histogram("h")
+        histogram.record(5.0)
+        assert histogram.quantile(0.5) == 5.0
+        histogram.record(1.0)
+        assert histogram.quantile(0.0) == 1.0
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=200))
+    def test_quantile_bounds_property(self, values: list[float]) -> None:
+        histogram = Histogram("h")
+        for value in values:
+            histogram.record(value)
+        assert histogram.quantile(0.0) == min(values)
+        assert histogram.quantile(1.0) == max(values)
+        assert min(values) <= histogram.quantile(0.5) <= max(values)
+
+
+class TestMetricsRegistry:
+    def test_counter_memoised(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("a").increment()
+        assert registry.counter("a").value == 1
+
+    def test_counter_value_defaults_to_zero(self) -> None:
+        assert MetricsRegistry().counter_value("missing") == 0
+
+    def test_snapshot_sorted(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("b").increment(2)
+        registry.counter("a").increment(1)
+        assert list(registry.snapshot().items()) == [("a", 1), ("b", 2)]
+
+    def test_histogram_memoised(self) -> None:
+        registry = MetricsRegistry()
+        registry.histogram("h").record(1.0)
+        assert registry.histogram("h").count == 1

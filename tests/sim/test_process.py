@@ -1,0 +1,65 @@
+"""Unit tests for the Process actor base class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+
+class Echo(Process):
+    def __init__(self, pid, simulator):
+        super().__init__(pid, simulator)
+        self.seen: list[object] = []
+
+    def on_message(self, sender, message):
+        self.seen.append((sender, message))
+
+
+class TestProcess:
+    def test_network_property_before_attach_raises(self) -> None:
+        process = Echo("a", Simulator())
+        with pytest.raises(RuntimeError):
+            _ = process.network
+
+    def test_send_before_attach_raises(self) -> None:
+        process = Echo("a", Simulator())
+        with pytest.raises(RuntimeError):
+            process.send("b", "hello")
+
+    def test_now_mirrors_simulator_clock(self) -> None:
+        simulator = Simulator()
+        process = Echo("a", simulator)
+        simulator.schedule(4.0, lambda: None)
+        simulator.run()
+        assert process.now == 4.0
+
+    def test_base_on_message_is_abstract(self) -> None:
+        simulator = Simulator()
+        process = Process("a", simulator)
+        with pytest.raises(NotImplementedError):
+            process.on_message("b", "x")
+
+    def test_repr_includes_pid(self) -> None:
+        assert "'a'" in repr(Echo("a", Simulator()))
+
+    def test_string_pids_work(self) -> None:
+        simulator = Simulator()
+        network = Network(simulator)
+        alpha = Echo("alpha", simulator)
+        beta = Echo("beta", simulator)
+        network.register(alpha)
+        network.register(beta)
+        alpha.send("beta", 42)
+        simulator.run()
+        assert beta.seen == [("alpha", 42)]
+
+    def test_network_process_lookup(self) -> None:
+        simulator = Simulator()
+        network = Network(simulator)
+        process = Echo("a", simulator)
+        network.register(process)
+        assert network.process("a") is process
+        assert network.process_ids == ["a"]

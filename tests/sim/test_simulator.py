@@ -1,0 +1,109 @@
+"""Unit tests for the simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.simulator import Simulator
+
+
+class TestScheduling:
+    def test_schedule_runs_action_at_delay(self, simulator: Simulator) -> None:
+        fired: list[float] = []
+        simulator.schedule(2.5, lambda: fired.append(simulator.now))
+        simulator.run()
+        assert fired == [2.5]
+
+    def test_schedule_at_absolute_time(self, simulator: Simulator) -> None:
+        fired: list[float] = []
+        simulator.schedule_at(4.0, lambda: fired.append(simulator.now))
+        simulator.run()
+        assert fired == [4.0]
+
+    def test_negative_delay_rejected(self, simulator: Simulator) -> None:
+        with pytest.raises(SimulationError):
+            simulator.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self, simulator: Simulator) -> None:
+        simulator.schedule(5.0, lambda: None)
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(4.0, lambda: None)
+
+    def test_nested_scheduling(self, simulator: Simulator) -> None:
+        fired: list[float] = []
+
+        def outer() -> None:
+            fired.append(simulator.now)
+            simulator.schedule(1.0, lambda: fired.append(simulator.now))
+
+        simulator.schedule(1.0, outer)
+        simulator.run()
+        assert fired == [1.0, 2.0]
+
+
+class TestRunning:
+    def test_run_until_stops_at_deadline(self, simulator: Simulator) -> None:
+        fired: list[float] = []
+        for t in (1.0, 2.0, 3.0):
+            simulator.schedule(t, lambda t=t: fired.append(t))
+        simulator.run(until=2.0)
+        assert fired == [1.0, 2.0]
+        assert simulator.now == 2.0
+
+    def test_run_until_advances_clock_even_when_idle(self, simulator: Simulator) -> None:
+        simulator.run(until=100.0)
+        assert simulator.now == 100.0
+
+    def test_run_resumes_after_deadline(self, simulator: Simulator) -> None:
+        fired: list[float] = []
+        simulator.schedule(5.0, lambda: fired.append(simulator.now))
+        simulator.run(until=2.0)
+        assert fired == []
+        simulator.run()
+        assert fired == [5.0]
+
+    def test_max_events_limits_execution(self, simulator: Simulator) -> None:
+        fired: list[int] = []
+        for i in range(10):
+            simulator.schedule(float(i), lambda i=i: fired.append(i))
+        simulator.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_step_returns_false_when_empty(self, simulator: Simulator) -> None:
+        assert simulator.step() is False
+
+    def test_run_to_quiescence_raises_on_runaway(self, simulator: Simulator) -> None:
+        def reschedule() -> None:
+            simulator.schedule(1.0, reschedule)
+
+        simulator.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            simulator.run_to_quiescence(max_events=50)
+
+    def test_events_executed_counter(self, simulator: Simulator) -> None:
+        for t in (1.0, 2.0):
+            simulator.schedule(t, lambda: None)
+        simulator.run()
+        assert simulator.events_executed == 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_rng_draws(self) -> None:
+        values_a = [Simulator(seed=7).rng.stream("x").random() for _ in range(1)]
+        values_b = [Simulator(seed=7).rng.stream("x").random() for _ in range(1)]
+        assert values_a == values_b
+
+    def test_different_seeds_differ(self) -> None:
+        a = Simulator(seed=1).rng.stream("x").random()
+        b = Simulator(seed=2).rng.stream("x").random()
+        assert a != b
+
+    def test_trace_records_with_current_time(self, simulator: Simulator) -> None:
+        simulator.schedule(3.0, lambda: simulator.trace_now("test.cat", value=1))
+        simulator.run()
+        events = simulator.tracer.events("test.cat")
+        assert len(events) == 1
+        assert events[0].time == 3.0
+        assert events[0]["value"] == 1

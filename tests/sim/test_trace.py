@@ -1,0 +1,77 @@
+"""Unit tests for the tracer."""
+
+from __future__ import annotations
+
+from repro.sim.trace import TraceEvent, Tracer
+
+
+class TestTracer:
+    def test_records_events(self) -> None:
+        tracer = Tracer()
+        tracer.record(1.0, "a.b", x=1)
+        tracer.record(2.0, "a.c", x=2)
+        assert len(tracer) == 2
+        assert tracer.events("a.b")[0]["x"] == 1
+
+    def test_category_filter_is_exact(self) -> None:
+        tracer = Tracer()
+        tracer.record(1.0, "a.b")
+        tracer.record(1.0, "a.b.c")
+        assert len(tracer.events("a.b")) == 1
+
+    def test_prefix_filter(self) -> None:
+        tracer = Tracer()
+        tracer.record(1.0, "a.b")
+        tracer.record(1.0, "a.b.c")
+        tracer.record(1.0, "z")
+        assert len(tracer.events_with_prefix("a.b")) == 2
+
+    def test_disabled_tracer_records_nothing(self) -> None:
+        tracer = Tracer(enabled=False)
+        tracer.record(1.0, "a")
+        assert len(tracer) == 0
+
+    def test_subscribers_fire_even_when_disabled(self) -> None:
+        tracer = Tracer(enabled=False)
+        seen: list[TraceEvent] = []
+        tracer.subscribe(seen.append)
+        tracer.record(1.0, "a", k="v")
+        assert len(tracer) == 0
+        assert len(seen) == 1
+        assert seen[0]["k"] == "v"
+
+    def test_clear(self) -> None:
+        tracer = Tracer()
+        tracer.record(1.0, "a")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_iteration(self) -> None:
+        tracer = Tracer()
+        tracer.record(1.0, "a")
+        tracer.record(2.0, "b")
+        assert [event.category for event in tracer] == ["a", "b"]
+
+
+class TestRng:
+    def test_derive_seed_stable(self) -> None:
+        from repro.sim.rng import derive_seed
+
+        assert derive_seed(1, "x") == derive_seed(1, "x")
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_registry_memoises_streams(self) -> None:
+        from repro.sim.rng import RngRegistry
+
+        registry = RngRegistry(0)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_fork_is_independent_and_reproducible(self) -> None:
+        from repro.sim.rng import RngRegistry
+
+        first = RngRegistry(0).fork("rep1").stream("x").random()
+        second = RngRegistry(0).fork("rep1").stream("x").random()
+        other = RngRegistry(0).fork("rep2").stream("x").random()
+        assert first == second
+        assert first != other

@@ -1,0 +1,68 @@
+"""Tests for the command-line front end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_returns_error_code(self, capsys) -> None:
+        assert main(["experiment", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+
+class TestCommands:
+    def test_quickstart(self, capsys) -> None:
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "declared deadlock" in out
+        assert "verified" in out
+
+    def test_ddb_demo(self, capsys) -> None:
+        assert main(["ddb-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "declared" in out
+        assert "no deadlock remains" in out
+
+    def test_or_demo(self, capsys) -> None:
+        assert main(["or-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "OR-deadlock" in out
+        assert "verified" in out
+
+    def test_timeline(self, capsys) -> None:
+        assert main(["timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "requests" in out
+        assert "DECLARES DEADLOCK" in out
+
+    def test_verify(self, capsys) -> None:
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "FAILED" not in out
+
+    def test_experiment_quick(self, capsys) -> None:
+        assert main(["experiment", "E4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E4" in out
+        assert "within bound" in out
+
+    def test_experiment_lowercase_name(self, capsys) -> None:
+        assert main(["experiment", "e4", "--quick"]) == 0
+        assert "E4" in capsys.readouterr().out
+
+    def test_experiment_json_export(self, tmp_path, capsys) -> None:
+        import json
+
+        assert main(["experiment", "E4", "--quick", "--json", str(tmp_path)]) == 0
+        document = json.loads((tmp_path / "e4.json").read_text())
+        assert document["experiment"] == "E4"
+        assert document["results"]
+        assert "json written" in capsys.readouterr().out

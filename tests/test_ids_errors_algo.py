@@ -1,0 +1,116 @@
+"""Tests for identifiers, the error hierarchy, and shared algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._algo import cyclic_sccs
+from repro._ids import ProbeTag, ProcessId, SiteId, TransactionId
+from repro.errors import (
+    AxiomViolation,
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    TransactionAborted,
+)
+
+
+class TestProbeTag:
+    def test_supersedes_same_initiator_only(self) -> None:
+        assert ProbeTag(1, 3).supersedes(ProbeTag(1, 2))
+        assert not ProbeTag(1, 2).supersedes(ProbeTag(1, 3))
+        assert not ProbeTag(1, 3).supersedes(ProbeTag(2, 2))
+
+    def test_ordering_and_str(self) -> None:
+        assert ProbeTag(1, 2) < ProbeTag(1, 3) < ProbeTag(2, 1)
+        assert str(ProbeTag(4, 7)) == "(4,7)"
+
+    def test_hashable(self) -> None:
+        assert len({ProbeTag(1, 1), ProbeTag(1, 1), ProbeTag(1, 2)}) == 2
+
+
+class TestProcessId:
+    def test_str(self) -> None:
+        pid = ProcessId(transaction=TransactionId(3), site=SiteId(1))
+        assert str(pid) == "(T3,S1)"
+
+    def test_ordering(self) -> None:
+        a = ProcessId(TransactionId(1), SiteId(2))
+        b = ProcessId(TransactionId(2), SiteId(0))
+        assert a < b
+
+
+class TestErrors:
+    def test_hierarchy(self) -> None:
+        for error_type in (
+            SimulationError,
+            ConfigurationError,
+            AxiomViolation,
+            ProtocolError,
+            TransactionAborted,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_axiom_violation_carries_axiom(self) -> None:
+        error = AxiomViolation("G3", "whatever")
+        assert error.axiom == "G3"
+        assert "G3" in str(error)
+
+    def test_transaction_aborted_fields(self) -> None:
+        error = TransactionAborted(7, "victim")
+        assert error.transaction == 7
+        assert "T7" in str(error)
+
+
+class TestCyclicSccs:
+    def test_simple_cycle(self) -> None:
+        assert cyclic_sccs({0: [1], 1: [0]}) == [{0, 1}]
+
+    def test_acyclic(self) -> None:
+        assert cyclic_sccs({0: [1], 1: [2], 2: []}) == []
+
+    def test_two_components(self) -> None:
+        components = cyclic_sccs({0: [1], 1: [0], 2: [3], 3: [4], 4: [2], 5: [0]})
+        assert {frozenset(c) for c in components} == {
+            frozenset({0, 1}),
+            frozenset({2, 3, 4}),
+        }
+
+    def test_long_chain_no_recursion_error(self) -> None:
+        n = 5000
+        adjacency = {i: [i + 1] for i in range(n)}
+        adjacency[n] = [0]
+        components = cyclic_sccs(adjacency)
+        assert len(components) == 1
+        assert len(components[0]) == n + 1
+
+    def test_nested_cycles_merge_into_one_scc(self) -> None:
+        adjacency = {0: [1], 1: [2, 0], 2: [0]}
+        assert cyclic_sccs(adjacency) == [{0, 1, 2}]
+
+    def test_networkx_agreement_on_random_graphs(self) -> None:
+        import random
+
+        import networkx as nx
+
+        rng = random.Random(0)
+        for _ in range(25):
+            n = rng.randint(2, 12)
+            edges = {
+                (rng.randrange(n), rng.randrange(n)) for _ in range(rng.randint(0, 25))
+            }
+            adjacency: dict[int, list[int]] = {}
+            digraph = nx.DiGraph()
+            for a, b in edges:
+                if a == b:
+                    continue
+                adjacency.setdefault(a, []).append(b)
+                digraph.add_edge(a, b)
+            ours = {frozenset(c) for c in cyclic_sccs(adjacency)}
+            theirs = {
+                frozenset(c)
+                for c in nx.strongly_connected_components(digraph)
+                if len(c) > 1
+            }
+            assert ours == theirs

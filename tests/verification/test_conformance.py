@@ -1,0 +1,177 @@
+"""Cross-implementation conformance: pure model vs. simulation.
+
+The repository deliberately contains the probe computation twice -- once as
+the simulation implementation (`repro.basic`) and once as a pure-functional
+specification (`repro.verification.model`).  These tests drive both with
+the same randomly generated scripts under synchronous semantics (each
+scripted action's messages fully drain before the next action) and require
+exact agreement on:
+
+* the final wait-for edges,
+* which vertices hold which unanswered requests,
+* the exact set of (initiator, sequence) computations that declared.
+
+Divergence would mean one of the two implementations deviates from the
+paper; hypothesis shrinks any counterexample to a minimal script.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._ids import VertexId
+from repro.basic.initiation import ManualInitiation
+from repro.basic.system import BasicSystem
+from repro.verification import model
+from repro.verification.model import (
+    Deliver,
+    Initiate,
+    ModelState,
+    Reply,
+    Request,
+    ScriptAction,
+    initial_state,
+)
+
+N_VERTICES = 4
+
+
+def drain_deliveries(state: ModelState) -> ModelState:
+    """Deliver all in-flight messages (channel order is irrelevant for the
+    final state under this synchronous regime because per-channel FIFO is
+    preserved and handlers commute across channels at quiescence)."""
+    while True:
+        pending = [
+            Deliver(source=key[0], target=key[1])
+            for key, queue in state.channels
+            if queue
+        ]
+        if not pending:
+            return state
+        state = model.apply_action(state, pending[0])
+
+
+def apply_sync(state: ModelState, action: ScriptAction) -> ModelState:
+    return drain_deliveries(model.apply_action(state, action))
+
+
+def legal_actions(state: ModelState) -> list[ScriptAction]:
+    """Script actions valid in a drained state (used by the generator)."""
+    candidates: list[ScriptAction] = []
+    for source in range(N_VERTICES):
+        others = [t for t in range(N_VERTICES) if t != source]
+        for target in others:
+            if not state.edge_exists(source, target):
+                candidates.append(Request(source, (target,)))
+        pair = tuple(
+            t for t in others if not state.edge_exists(source, t)
+        )[:2]
+        if len(pair) == 2:
+            candidates.append(Request(source, pair))
+        if not state.waiting_for[source]:
+            for requester in sorted(state.holding_from[source]):
+                candidates.append(Reply(source, int(requester)))
+        candidates.append(Initiate(source))
+    return candidates
+
+
+@st.composite
+def scripts(draw) -> list[ScriptAction]:
+    """Generate a valid script by tracking state with the pure model."""
+    state = initial_state(N_VERTICES, [])
+    script: list[ScriptAction] = []
+    length = draw(st.integers(min_value=1, max_value=10))
+    for _ in range(length):
+        action = draw(st.sampled_from(legal_actions(state)))
+        script.append(action)
+        state = apply_sync(state, action)
+    return script
+
+
+def run_in_model(script: list[ScriptAction]) -> ModelState:
+    state = initial_state(N_VERTICES, [])
+    for action in script:
+        state = apply_sync(state, action)
+    return state
+
+
+def run_in_simulator(script: list[ScriptAction]) -> BasicSystem:
+    system = BasicSystem(
+        n_vertices=N_VERTICES,
+        auto_reply=False,
+        initiation=ManualInitiation(),
+        strict=False,
+    )
+    # Space actions far apart so each one's messages drain before the next
+    # (synchronous semantics, matching the model run).
+    for index, action in enumerate(script):
+        time = 10.0 * (index + 1)
+        if isinstance(action, Request):
+            system.simulator.schedule_at(
+                time,
+                lambda a=action: system.vertex(a.source).request(
+                    [VertexId(t) for t in a.targets]
+                ),
+            )
+        elif isinstance(action, Reply):
+            system.simulator.schedule_at(
+                time,
+                lambda a=action: system.vertex(a.source).reply_to(VertexId(a.requester)),
+            )
+        elif isinstance(action, Initiate):
+            system.simulator.schedule_at(
+                time,
+                lambda a=action: system.vertex(a.source).initiate_probe_computation(),
+            )
+    system.run_to_quiescence(max_events=100_000)
+    return system
+
+
+@given(scripts())
+@settings(max_examples=60, deadline=None)
+def test_model_and_simulator_agree(script: list[ScriptAction]) -> None:
+    model_state = run_in_model(script)
+    system = run_in_simulator(script)
+
+    # Edges (who waits for whom).
+    simulated_edges = {
+        (int(v), int(t))
+        for v, vertex in system.vertices.items()
+        for t in vertex.pending_out
+    }
+    model_edges = {
+        (v, int(t)) for v in range(N_VERTICES) for t in model_state.waiting_for[v]
+    }
+    assert simulated_edges == model_edges
+
+    # Held (unanswered) requests.
+    simulated_held = {
+        (int(v), int(r))
+        for v, vertex in system.vertices.items()
+        for r in vertex.pending_in
+    }
+    model_held = {
+        (v, int(r)) for v in range(N_VERTICES) for r in model_state.holding_from[v]
+    }
+    assert simulated_held == model_held
+
+    # Declarations, as (initiator, sequence) pairs.
+    simulated_declared = {(int(d.vertex), d.tag.sequence) for d in system.declarations}
+    assert simulated_declared == set(model_state.declared)
+
+    # Neither implementation may be unsound.
+    assert system.soundness_violations == []
+
+
+@given(scripts())
+@settings(max_examples=40, deadline=None)
+def test_model_declarations_always_sound_under_sync_semantics(
+    script: list[ScriptAction],
+) -> None:
+    # QRP2 is asserted inside the model's transition function; reaching the
+    # end without AssertionError is the property.
+    state = run_in_model(script)
+    # Declared computations are for initiators that were genuinely blocked.
+    for vertex, _ in state.declared:
+        assert state.waiting_for[vertex]

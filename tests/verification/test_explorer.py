@@ -1,0 +1,91 @@
+"""Exhaustive model-checking tests: QRP1/QRP2 over all interleavings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.verification.explorer import explore
+from repro.verification.model import Initiate, Reply, Request
+
+
+class TestDeadlockScenarios:
+    def test_two_cycle_all_interleavings(self) -> None:
+        result = explore(2, [Request(0, (1,)), Request(1, (0,)), Initiate(0)])
+        assert result.ok
+        assert (0, 1) in result.ever_declared
+        assert result.terminal_states >= 1
+
+    def test_three_cycle_all_interleavings(self) -> None:
+        result = explore(
+            3, [Request(0, (1,)), Request(1, (2,)), Request(2, (0,)), Initiate(2)]
+        )
+        assert result.ok
+        assert (2, 1) in result.ever_declared
+
+    def test_both_endpoints_initiate(self) -> None:
+        result = explore(
+            2, [Request(0, (1,)), Request(1, (0,)), Initiate(0), Initiate(1)]
+        )
+        assert result.ok
+        assert {(0, 1), (1, 1)} <= result.ever_declared
+
+    def test_and_model_fork(self) -> None:
+        result = explore(
+            4,
+            [
+                Request(0, (1, 2)),
+                Request(2, (3,)),
+                Request(3, (0,)),
+                Initiate(0),
+            ],
+        )
+        assert result.ok
+        assert (0, 1) in result.ever_declared
+
+
+class TestNonDeadlockScenarios:
+    def test_chain_never_declares(self) -> None:
+        result = explore(3, [Request(0, (1,)), Request(1, (2,)), Initiate(0)])
+        assert result.ok
+        assert result.ever_declared == set()
+
+    def test_resolving_wait_never_declares(self) -> None:
+        result = explore(
+            2, [Request(0, (1,)), Initiate(0), Reply(1, 0)]
+        )
+        assert result.ok
+        assert result.ever_declared == set()
+
+    def test_tail_vertex_never_declares(self) -> None:
+        result = explore(
+            3,
+            [Request(0, (1,)), Request(1, (0,)), Request(2, (0,)), Initiate(2)],
+        )
+        assert result.ok
+        assert result.ever_declared == set()
+
+    def test_initiation_before_deadlock_may_still_declare_soundly(self) -> None:
+        # Vertex 0 initiates before the cycle closes; in interleavings
+        # where the probe travels after the cycle forms, declaration
+        # happens and is sound in every such state (QRP2 asserted inside
+        # the transition function).
+        result = explore(
+            2, [Request(0, (1,)), Initiate(0), Request(1, (0,))]
+        )
+        assert result.ok
+
+
+class TestExplorerMachinery:
+    def test_state_budget_enforced(self) -> None:
+        script = [Request(i, ((i + 1) % 4,)) for i in range(4)] + [
+            Initiate(i) for i in range(4)
+        ]
+        with pytest.raises(ConfigurationError):
+            explore(4, script, max_states=50)
+
+    def test_counts_are_positive(self) -> None:
+        result = explore(2, [Request(0, (1,)), Request(1, (0,)), Initiate(0)])
+        assert result.states_explored > result.terminal_states >= 1
+        assert result.completeness_failures == []
+        assert result.soundness_failures == []

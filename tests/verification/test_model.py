@@ -1,0 +1,115 @@
+"""Unit tests for the pure-functional protocol model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verification.model import (
+    Deliver,
+    Initiate,
+    ModelState,
+    Reply,
+    Request,
+    apply_action,
+    enabled_actions,
+    initial_state,
+)
+
+
+def drain(state: ModelState) -> ModelState:
+    """Apply deliveries/scripted actions greedily until quiescent."""
+    while True:
+        actions = enabled_actions(state)
+        if not actions:
+            return state
+        state = apply_action(state, actions[0])
+
+
+class TestEdgeColours:
+    def test_request_creates_grey_then_black(self) -> None:
+        state = initial_state(2, [Request(0, (1,))])
+        state = apply_action(state, Request(0, (1,)))
+        assert state.edge_color(0, 1) == "grey"
+        state = apply_action(state, Deliver(0, 1))
+        assert state.edge_color(0, 1) == "black"
+
+    def test_reply_whitens_then_deletes(self) -> None:
+        state = initial_state(2, [Request(0, (1,)), Reply(1, 0)])
+        state = apply_action(state, Request(0, (1,)))
+        state = apply_action(state, Deliver(0, 1))
+        state = apply_action(state, Reply(1, 0))
+        assert state.edge_color(0, 1) == "white"
+        state = apply_action(state, Deliver(1, 0))
+        assert state.edge_color(0, 1) is None
+
+    def test_reply_not_enabled_while_blocked(self) -> None:
+        # 1 waits on 2, so G3 forbids its reply to 0 until 2 replies.
+        script = [Request(1, (2,)), Request(0, (1,)), Reply(1, 0)]
+        state = initial_state(3, script)
+        state = apply_action(state, Request(1, (2,)))
+        state = apply_action(state, Request(0, (1,)))
+        state = apply_action(state, Deliver(0, 1))
+        actions = enabled_actions(state)
+        assert Reply(1, 0) not in actions
+        # Deliveries remain available; the reply waits for G3.
+        assert any(isinstance(a, Deliver) for a in actions)
+
+
+class TestCycles:
+    def test_dark_and_black_cycle_predicates(self) -> None:
+        state = initial_state(2, [Request(0, (1,)), Request(1, (0,))])
+        state = apply_action(state, Request(0, (1,)))
+        state = apply_action(state, Request(1, (0,)))
+        assert state.on_dark_cycle(0)
+        assert not state.on_black_cycle(0)  # both edges still grey
+        state = apply_action(state, Deliver(0, 1))
+        state = apply_action(state, Deliver(1, 0))
+        assert state.on_black_cycle(0)
+
+
+class TestProbeSemantics:
+    def test_initiation_sends_probe_per_outgoing_edge(self) -> None:
+        state = initial_state(3, [Request(0, (1, 2)), Initiate(0)])
+        state = apply_action(state, Request(0, (1, 2)))
+        state = apply_action(state, Initiate(0))
+        assert any(m[0] == "probe" for m in state.channel(0, 1))
+        assert any(m[0] == "probe" for m in state.channel(0, 2))
+
+    def test_non_meaningful_probe_dropped(self) -> None:
+        # Deliver the probe before the request: FIFO would forbid this, but
+        # the model allows choosing... actually channels are FIFO in the
+        # model too (single queue), so construct via a *resolved* edge.
+        script = [Request(0, (1,)), Initiate(0), Reply(1, 0)]
+        state = initial_state(2, script)
+        state = apply_action(state, Request(0, (1,)))
+        state = apply_action(state, Deliver(0, 1))  # request received
+        state = apply_action(state, Initiate(0))  # probe queued
+        state = apply_action(state, Reply(1, 0))  # edge whitened
+        state = apply_action(state, Deliver(0, 1))  # probe arrives: white
+        # 1 no longer holds 0's request: probe not meaningful, no forward.
+        assert state.channel(1, 0) == (("rep", 1),)
+
+    def test_two_cycle_detects_in_greedy_run(self) -> None:
+        script = [Request(0, (1,)), Request(1, (0,)), Initiate(0)]
+        state = drain(initial_state(2, script))
+        assert (0, 1) in state.declared
+        assert (0, 1) in state.obliged
+
+    def test_stale_sequence_ignored(self) -> None:
+        script = [
+            Request(0, (1,)),
+            Request(1, (0,)),
+            Initiate(0),
+            Initiate(0),
+        ]
+        state = drain(initial_state(2, script))
+        # Only the latest computation (sequence 2) may declare.
+        assert (0, 2) in state.declared
+
+    def test_hashability_and_equality(self) -> None:
+        a = initial_state(2, [Request(0, (1,))])
+        b = initial_state(2, [Request(0, (1,))])
+        assert a == b
+        assert hash(a) == hash(b)
+        c = apply_action(a, Request(0, (1,)))
+        assert c != a

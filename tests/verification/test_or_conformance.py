@@ -1,0 +1,143 @@
+"""Cross-implementation conformance for the OR model.
+
+As with the basic model, the OR algorithm exists twice: the simulation
+implementation (`repro.ormodel`) and the pure specification
+(`repro.verification.or_model`).  Random scripts run through both under
+synchronous semantics must agree exactly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._ids import VertexId
+from repro.ormodel.system import OrSystem
+from repro.verification import or_model
+from repro.verification.or_model import (
+    Deliver,
+    GrantTo,
+    InitiateOr,
+    OrModelState,
+    RequestAny,
+    ScriptAction,
+)
+
+N_VERTICES = 4
+
+
+def drain(state: OrModelState) -> OrModelState:
+    while True:
+        deliveries = [
+            Deliver(source=key[0], target=key[1])
+            for key, queue in state.channels
+            if queue
+        ]
+        if not deliveries:
+            return state
+        state = or_model.apply_action(state, deliveries[0])
+
+
+def apply_sync(state: OrModelState, action: ScriptAction) -> OrModelState:
+    return drain(or_model.apply_action(state, action))
+
+
+def legal_actions(state: OrModelState) -> list[ScriptAction]:
+    candidates: list[ScriptAction] = []
+    for source in range(N_VERTICES):
+        others = [t for t in range(N_VERTICES) if t != source]
+        if not state.dependents[source]:
+            for target in others:
+                candidates.append(RequestAny(source, (target,)))
+            candidates.append(RequestAny(source, tuple(others[:2])))
+            for requester in sorted(state.pending_grants[source]):
+                candidates.append(GrantTo(source, requester))
+        else:
+            candidates.append(InitiateOr(source))
+    return candidates
+
+
+@st.composite
+def scripts(draw) -> list[ScriptAction]:
+    state = or_model.initial_state(N_VERTICES, [])
+    script: list[ScriptAction] = []
+    for _ in range(draw(st.integers(min_value=1, max_value=10))):
+        options = legal_actions(state)
+        if not options:
+            break
+        action = draw(st.sampled_from(options))
+        script.append(action)
+        state = apply_sync(state, action)
+    return script
+
+
+def run_in_model(script: list[ScriptAction]) -> OrModelState:
+    state = or_model.initial_state(N_VERTICES, [])
+    for action in script:
+        state = apply_sync(state, action)
+    return state
+
+
+def run_in_simulator(script: list[ScriptAction]) -> OrSystem:
+    system = OrSystem(
+        n_vertices=N_VERTICES,
+        auto_grant=False,
+        auto_initiate=False,
+        strict=False,
+    )
+    for index, action in enumerate(script):
+        time = 10.0 * (index + 1)
+        if isinstance(action, RequestAny):
+            system.simulator.schedule_at(
+                time,
+                lambda a=action: system.vertex(a.source).request_any(
+                    [VertexId(t) for t in a.targets]
+                ),
+            )
+        elif isinstance(action, GrantTo):
+            system.simulator.schedule_at(
+                time,
+                lambda a=action: system.vertex(a.source).grant_to(
+                    VertexId(a.requester)
+                ),
+            )
+        elif isinstance(action, InitiateOr):
+            system.simulator.schedule_at(
+                time,
+                lambda a=action: system.vertex(a.source).initiate_detection(),
+            )
+    system.run_to_quiescence(max_events=100_000)
+    return system
+
+
+@given(scripts())
+@settings(max_examples=50, deadline=None)
+def test_or_model_and_simulator_agree(script: list[ScriptAction]) -> None:
+    model_state = run_in_model(script)
+    system = run_in_simulator(script)
+
+    simulated_dependents = {
+        (int(v), frozenset(int(t) for t in vertex.dependent_set))
+        for v, vertex in system.vertices.items()
+    }
+    model_dependents = {
+        (v, frozenset(int(t) for t in model_state.dependents[v]))
+        for v in range(N_VERTICES)
+    }
+    assert simulated_dependents == model_dependents
+
+    simulated_pending = {
+        (int(v), frozenset(int(r) for r in vertex.pending_grants))
+        for v, vertex in system.vertices.items()
+    }
+    model_pending = {
+        (v, frozenset(int(r) for r in model_state.pending_grants[v]))
+        for v in range(N_VERTICES)
+    }
+    assert simulated_pending == model_pending
+
+    simulated_declared = {
+        (int(d.vertex), d.tag.sequence) for d in system.declarations
+    }
+    assert simulated_declared == set(model_state.declared)
+    assert system.soundness_violations == []

@@ -1,0 +1,150 @@
+"""Exhaustive model checking of the OR/communication-model algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verification import or_model
+from repro.verification.explorer import explore
+from repro.verification.or_model import GrantTo, InitiateOr, RequestAny
+
+
+def run(n: int, script, max_states: int = 400_000):
+    return explore(n, script, max_states=max_states, semantics=or_model)
+
+
+class TestOrDeadlockScenarios:
+    def test_two_cycle_all_interleavings(self) -> None:
+        result = run(
+            2, [RequestAny(0, (1,)), RequestAny(1, (0,)), InitiateOr(0)]
+        )
+        assert result.ok, result.soundness_failures or result.completeness_failures
+        assert (0, 1) in result.ever_declared
+
+    def test_three_cycle(self) -> None:
+        result = run(
+            3,
+            [
+                RequestAny(0, (1,)),
+                RequestAny(1, (2,)),
+                RequestAny(2, (0,)),
+                InitiateOr(2),
+            ],
+        )
+        assert result.ok
+        assert (2, 1) in result.ever_declared
+
+    def test_knot_with_fan(self) -> None:
+        # 0 waits any{1,2}; 1 and 2 wait any{0}: a genuine knot.
+        result = run(
+            3,
+            [
+                RequestAny(1, (0,)),
+                RequestAny(2, (0,)),
+                RequestAny(0, (1, 2)),
+                InitiateOr(0),
+            ],
+        )
+        assert result.ok
+        assert (0, 1) in result.ever_declared
+
+    def test_both_sides_initiate(self) -> None:
+        result = run(
+            2,
+            [
+                RequestAny(0, (1,)),
+                RequestAny(1, (0,)),
+                InitiateOr(0),
+                InitiateOr(1),
+            ],
+        )
+        assert result.ok
+        assert {(0, 1), (1, 1)} <= result.ever_declared
+
+
+class TestOrNonDeadlockScenarios:
+    def test_active_alternative_never_declares(self) -> None:
+        # 0 waits any{1, 2}; 1 waits any{0}; 2 stays active and never
+        # grants in this script -- 0 is STILL not truly deadlocked (2 is
+        # active), and in no interleaving may anything be declared.
+        result = run(
+            3,
+            [
+                RequestAny(0, (1, 2)),
+                RequestAny(1, (0,)),
+                InitiateOr(0),
+                InitiateOr(1),
+            ],
+        )
+        assert result.ok
+        assert result.ever_declared == set()
+
+    def test_granted_wait_never_declares(self) -> None:
+        result = run(
+            2,
+            [
+                RequestAny(0, (1,)),
+                InitiateOr(0),
+                GrantTo(1, 0),
+            ],
+        )
+        assert result.ok
+        assert result.ever_declared == set()
+
+    def test_in_flight_grant_blocks_declaration_in_all_interleavings(self) -> None:
+        # The FIFO-criticality scenario from the ablation suite, explored
+        # exhaustively: g(0) waits on a(1); a grants, then a and x(2)
+        # deadlock each other; g initiates.  In every interleaving the
+        # reply chain behind the grant must NOT let g declare (the model's
+        # channels are FIFO).
+        result = run(
+            3,
+            [
+                RequestAny(0, (1,)),
+                GrantTo(1, 0),
+                RequestAny(1, (2,)),
+                RequestAny(2, (1,)),
+                InitiateOr(0),
+                InitiateOr(1),
+            ],
+        )
+        assert result.ok, result.soundness_failures
+        # g never declares; the genuine a<->x deadlock is declared.
+        assert (0, 1) not in result.ever_declared
+        assert (1, 1) in result.ever_declared
+
+    def test_chain_into_active_never_declares(self) -> None:
+        result = run(
+            3,
+            [RequestAny(0, (1,)), RequestAny(1, (2,)), InitiateOr(0)],
+        )
+        assert result.ok
+        assert result.ever_declared == set()
+
+
+class TestOrModelMechanics:
+    def test_state_hashable(self) -> None:
+        a = or_model.initial_state(2, [RequestAny(0, (1,))])
+        b = or_model.initial_state(2, [RequestAny(0, (1,))])
+        assert a == b and hash(a) == hash(b)
+
+    def test_grant_requires_queued_request(self) -> None:
+        state = or_model.initial_state(2, [GrantTo(1, 0)])
+        assert or_model.enabled_actions(state) == []
+
+    def test_initiate_requires_blocked(self) -> None:
+        state = or_model.initial_state(2, [InitiateOr(0)])
+        assert or_model.enabled_actions(state) == []
+
+    def test_truly_deadlocked_channel_awareness(self) -> None:
+        from dataclasses import replace
+
+        state = or_model.initial_state(2, [])
+        state = replace(
+            state,
+            dependents=(frozenset({1}), frozenset({0})),
+        )
+        assert state.truly_deadlocked(0)
+        # Add an in-flight grant toward vertex 0: no longer deadlocked.
+        state = state._push(1, 0, ("grant", 1))
+        assert not state.truly_deadlocked(0)

@@ -1,0 +1,68 @@
+"""Cross-validation of the oracle's cycle detection against networkx."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._ids import VertexId
+from repro.basic.graph import WaitForGraph
+from repro.basic.system import BasicSystem
+from repro.verification.oracle import independent_dark_cycle_vertices
+from repro.workloads.basic_random import RandomRequestWorkload
+
+
+def v(i: int) -> VertexId:
+    return VertexId(i)
+
+
+class TestAgreementOnConstructedGraphs:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_random_dark_graphs(self, raw_edges: list[tuple[int, int]]) -> None:
+        graph = WaitForGraph()
+        seen: set[tuple[int, int]] = set()
+        for a, b in raw_edges:
+            if a == b or (a, b) in seen:
+                continue
+            seen.add((a, b))
+            graph.create_edge(v(a), v(b))
+        assert graph.vertices_on_dark_cycles() == independent_dark_cycle_vertices(graph)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 6), st.integers(0, 2)),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_random_coloured_graphs(self, raw: list[tuple[int, int, int]]) -> None:
+        # colour code: 0 grey, 1 black, 2 white (white only when legal).
+        graph = WaitForGraph()
+        seen: set[tuple[int, int]] = set()
+        for a, b, colour in raw:
+            if a == b or (a, b) in seen:
+                continue
+            seen.add((a, b))
+            graph.create_edge(v(a), v(b))
+            if colour >= 1:
+                graph.blacken(v(a), v(b))
+            if colour == 2 and not graph.successors(v(b)):
+                graph.whiten(v(a), v(b))
+        assert graph.vertices_on_dark_cycles() == independent_dark_cycle_vertices(graph)
+
+
+class TestAgreementOnLiveSystems:
+    def test_after_random_workload(self) -> None:
+        for seed in range(4):
+            system = BasicSystem(n_vertices=8, seed=seed)
+            RandomRequestWorkload(system, duration=30.0).start()
+            system.run_to_quiescence(max_events=300_000)
+            assert system.oracle.vertices_on_dark_cycles() == (
+                independent_dark_cycle_vertices(system.oracle)
+            )

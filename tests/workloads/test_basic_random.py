@@ -1,0 +1,88 @@
+"""Tests for the random basic-model workload driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.basic.system import BasicSystem
+from repro.errors import ConfigurationError
+from repro.workloads.basic_random import RandomRequestWorkload
+
+
+def build(n: int = 6, seed: int = 0, **kwargs) -> tuple[BasicSystem, RandomRequestWorkload]:
+    system = BasicSystem(n_vertices=n, seed=seed, service_delay=0.5)
+    workload = RandomRequestWorkload(system, duration=30.0, **kwargs)
+    return system, workload
+
+
+class TestValidation:
+    def test_bad_think_time(self) -> None:
+        system = BasicSystem(n_vertices=3)
+        with pytest.raises(ConfigurationError):
+            RandomRequestWorkload(system, mean_think=0.0)
+
+    def test_bad_fan_out(self) -> None:
+        system = BasicSystem(n_vertices=3)
+        with pytest.raises(ConfigurationError):
+            RandomRequestWorkload(system, max_targets=3)
+        with pytest.raises(ConfigurationError):
+            RandomRequestWorkload(system, max_targets=0)
+
+    def test_bad_probability(self) -> None:
+        system = BasicSystem(n_vertices=3)
+        with pytest.raises(ConfigurationError):
+            RandomRequestWorkload(system, request_probability=0.0)
+
+
+class TestBehaviour:
+    def test_issues_requests_and_quiesces(self) -> None:
+        system, workload = build()
+        workload.start()
+        system.run_to_quiescence(max_events=200_000)
+        assert workload.requests_issued > 0
+        system.assert_soundness()
+
+    def test_no_requests_after_duration(self) -> None:
+        system, workload = build()
+        workload.start()
+        system.run_to_quiescence(max_events=200_000)
+        sends = system.simulator.tracer.events("basic.request.sent")
+        assert all(event.time <= workload.duration for event in sends)
+
+    def test_deterministic_given_seed(self) -> None:
+        counts = []
+        for _ in range(2):
+            system, workload = build(seed=5)
+            workload.start()
+            system.run_to_quiescence(max_events=200_000)
+            counts.append(
+                (workload.requests_issued, len(system.declarations), system.now)
+            )
+        assert counts[0] == counts[1]
+
+    def test_different_seeds_differ(self) -> None:
+        outcomes = set()
+        for seed in range(4):
+            system, workload = build(seed=seed)
+            workload.start()
+            system.run_to_quiescence(max_events=200_000)
+            outcomes.add((workload.requests_issued, system.now))
+        assert len(outcomes) > 1
+
+    def test_eventually_produces_deadlocks(self) -> None:
+        # Over a handful of seeds with fan-out 2, deadlocks occur.
+        deadlocks = 0
+        for seed in range(6):
+            system, workload = build(seed=seed, max_targets=2)
+            workload.start()
+            system.run_to_quiescence(max_events=200_000)
+            deadlocks += len(system.oracle.vertices_on_dark_cycles())
+        assert deadlocks > 0
+
+    def test_blocked_vertices_do_not_rewake_spuriously(self) -> None:
+        system, workload = build(seed=1, max_targets=2)
+        workload.start()
+        system.run_to_quiescence(max_events=200_000)
+        # Deadlocked vertices stayed deadlocked: their edges persist.
+        for vertex_id in system.oracle.vertices_on_dark_cycles():
+            assert system.vertices[vertex_id].blocked

@@ -1,0 +1,113 @@
+"""Tests for the canned basic-model scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._ids import VertexId
+from repro.basic.system import BasicSystem
+from repro.errors import ConfigurationError
+from repro.workloads.scenarios import (
+    schedule_chain,
+    schedule_cycle,
+    schedule_cycle_with_tails,
+    schedule_figure_eight,
+    schedule_near_cycle,
+    schedule_ping_pong,
+)
+
+
+def v(i: int) -> VertexId:
+    return VertexId(i)
+
+
+class TestCycle:
+    def test_cycle_forms_and_deadlocks(self) -> None:
+        system = BasicSystem(n_vertices=4)
+        schedule_cycle(system, [0, 1, 2, 3])
+        system.run_to_quiescence()
+        assert system.oracle.vertices_on_dark_cycles() == {v(0), v(1), v(2), v(3)}
+
+    def test_cycle_over_subset_of_vertices(self) -> None:
+        system = BasicSystem(n_vertices=6)
+        schedule_cycle(system, [1, 3, 5])
+        system.run_to_quiescence()
+        assert system.oracle.vertices_on_dark_cycles() == {v(1), v(3), v(5)}
+        assert system.vertex(0).active
+
+    def test_too_small_cycle_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            schedule_cycle(BasicSystem(n_vertices=2), [0])
+
+
+class TestChainAndNearCycle:
+    def test_chain_drains_completely(self) -> None:
+        system = BasicSystem(n_vertices=5)
+        schedule_chain(system, [0, 1, 2, 3, 4])
+        system.run_to_quiescence()
+        assert len(system.oracle) == 0
+        assert system.declarations == []
+
+    def test_near_cycle_is_an_alias_for_chain(self) -> None:
+        system = BasicSystem(n_vertices=3)
+        schedule_near_cycle(system, [0, 1, 2])
+        system.run_to_quiescence()
+        assert system.declarations == []
+
+
+class TestCycleWithTails:
+    def test_tails_are_deadlocked_but_off_cycle(self) -> None:
+        system = BasicSystem(n_vertices=6)
+        schedule_cycle_with_tails(system, [0, 1, 2], [[3], [4, 5]])
+        system.run_to_quiescence()
+        on_cycle = system.oracle.vertices_on_dark_cycles()
+        assert on_cycle == {v(0), v(1), v(2)}
+        # Tails blocked forever (their edges are permanent).
+        for tail in (3, 4, 5):
+            assert system.vertex(tail).blocked
+            assert system.oracle.permanent_black_edges_from(v(tail))
+        system.assert_soundness()
+
+    def test_no_tails_degenerates_to_cycle(self) -> None:
+        system = BasicSystem(n_vertices=3)
+        schedule_cycle_with_tails(system, [0, 1, 2], [])
+        system.run_to_quiescence()
+        assert system.oracle.vertices_on_dark_cycles() == {v(0), v(1), v(2)}
+
+
+class TestFigureEight:
+    def test_shared_vertex_on_both_cycles(self) -> None:
+        system = BasicSystem(n_vertices=5)
+        schedule_figure_eight(system, shared=0, left=[1, 2], right=[3, 4])
+        system.run_to_quiescence()
+        assert system.oracle.vertices_on_dark_cycles() == {v(i) for i in range(5)}
+        system.assert_soundness()
+        system.assert_completeness()
+
+
+class TestPingPong:
+    def test_no_deadlock_ever_forms(self) -> None:
+        system = BasicSystem(n_vertices=4, service_delay=0.5)
+        schedule_ping_pong(system, [(0, 1), (2, 3)], repetitions=5)
+        system.run_to_quiescence()
+        assert system.declarations == []
+        assert len(system.oracle) == 0
+        # Formation tracker never saw a dark cycle either.
+        assert system.deadlock_formed_at == {}
+
+    def test_edges_never_coexist(self) -> None:
+        system = BasicSystem(n_vertices=2, service_delay=0.5)
+        schedule_ping_pong(system, [(0, 1)], repetitions=4)
+
+        overlap: list[float] = []
+
+        def watch(event) -> None:
+            if event.category == "basic.request.sent":
+                if system.oracle.has_edge(v(0), v(1)) and system.oracle.has_edge(
+                    v(1), v(0)
+                ):
+                    overlap.append(event.time)
+
+        system.simulator.tracer.subscribe(watch)
+        system.run_to_quiescence()
+        assert overlap == []

@@ -1,0 +1,192 @@
+"""Tests for the DDB transactional workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ddb.initiation import DdbImmediateInitiation
+from repro.ddb.resolution import AbortAboutTransaction
+from repro.ddb.system import DdbSystem
+from repro.ddb.transaction import Acquire
+from repro.errors import ConfigurationError
+from repro.workloads.transactions import (
+    TransactionWorkload,
+    WorkloadParams,
+    is_single_hop,
+)
+
+
+def build(
+    seed: int = 0, params: WorkloadParams | None = None
+) -> tuple[DdbSystem, TransactionWorkload]:
+    system = DdbSystem(
+        n_sites=3,
+        resources=9,
+        seed=seed,
+        resolution=AbortAboutTransaction(),
+        initiation=DdbImmediateInitiation(),
+    )
+    workload = TransactionWorkload(system, params)
+    return system, workload
+
+
+class TestParams:
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            WorkloadParams(n_transactions=0).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadParams(min_local=3, max_local=2).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadParams(read_ratio=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadParams(remote_probability=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadParams(hotspot_probability=-0.1).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadParams(mean_backoff=0.0).validate()
+
+    def test_system_without_resources_rejected(self) -> None:
+        system = DdbSystem(n_sites=1, resources={})
+        with pytest.raises(ConfigurationError):
+            TransactionWorkload(system)
+
+
+class TestSpecGeneration:
+    def test_specs_are_representable_single_hop(self) -> None:
+        # Every generated transaction fits the section 6 representable
+        # class: local acquisitions, then at most one remote one.
+        system, workload = build()
+        for tid in range(1, 50):
+            spec = workload.generate_spec(tid)
+            assert is_single_hop(spec)
+            workload.assert_representable(spec)  # must not raise
+
+    def test_local_acquires_are_homed_at_home(self) -> None:
+        system, workload = build()
+        for tid in range(1, 30):
+            spec = workload.generate_spec(tid)
+            acquires = [op for op in spec.operations if isinstance(op, Acquire)]
+            remote = [
+                op
+                for op in acquires
+                if system.resource_home[op.items[0][0]] != spec.home
+            ]
+            assert len(remote) <= 1
+            if remote:
+                assert acquires[-1] is remote[0]
+
+    def test_assert_representable_rejects_violations(self) -> None:
+        from repro._ids import SiteId, TransactionId
+        from repro.ddb.locks import LockMode
+        from repro.ddb.transaction import TransactionSpec, acquire
+
+        system, workload = build()
+        X = LockMode.EXCLUSIVE
+        # Two remote acquisitions.
+        bad = TransactionSpec(
+            tid=TransactionId(99),
+            home=SiteId(0),
+            operations=(acquire(("r1", X)), acquire(("r2", X))),
+        )
+        with pytest.raises(ConfigurationError):
+            workload.assert_representable(bad)
+        # Local acquisition after the remote hop.
+        bad2 = TransactionSpec(
+            tid=TransactionId(98),
+            home=SiteId(0),
+            operations=(acquire(("r1", X)), acquire(("r0", X))),
+        )
+        with pytest.raises(ConfigurationError):
+            workload.assert_representable(bad2)
+
+    def test_hotspot_concentrates_remote_hops(self) -> None:
+        params = WorkloadParams(
+            remote_probability=1.0, hotspot_probability=0.95, hotspot_size=1
+        )
+        _, workload = build(params=params)
+        hits = total = 0
+        for tid in range(1, 60):
+            spec = workload.generate_spec(tid)
+            acquires = [op for op in spec.operations if isinstance(op, Acquire)]
+            remote = acquires[-1].items[0][0]
+            total += 1
+            hits += remote == "r0"
+        # r0 is homed at S0; transactions homed elsewhere hit it ~95%.
+        assert hits / total > 0.4
+
+    def test_read_ratio_extremes(self) -> None:
+        from repro.ddb.locks import LockMode
+
+        params = WorkloadParams(read_ratio=1.0)
+        _, workload = build(params=params)
+        spec = workload.generate_spec(1)
+        modes = {op.items[0][1] for op in spec.operations if isinstance(op, Acquire)}
+        assert modes == {LockMode.SHARED}
+
+
+class TestExecution:
+    def test_workload_runs_and_commits(self) -> None:
+        params = WorkloadParams(
+            n_transactions=12,
+            mean_think=0.5,
+            arrival_window=10.0,
+            restart_horizon=400.0,
+        )
+        system, workload = build(seed=3, params=params)
+        workload.start()
+        system.run_to_quiescence(max_events=1_000_000)
+        assert workload.stats.commits == 12
+        assert system.soundness_violations == []
+        system.assert_no_deadlock_remains()
+        assert workload.stats.mean_response_time > 0
+
+    def test_high_contention_all_commit_eventually(self) -> None:
+        params = WorkloadParams(
+            n_transactions=8,
+            min_local=1,
+            max_local=1,
+            remote_probability=1.0,
+            read_ratio=0.0,
+            hotspot_probability=0.8,
+            hotspot_size=2,
+            mean_think=1.0,
+            arrival_window=4.0,
+            restart_horizon=2000.0,
+        )
+        system, workload = build(seed=7, params=params)
+        workload.start()
+        system.run_to_quiescence(max_events=2_000_000)
+        assert workload.stats.commits == 8
+        assert system.soundness_violations == []
+
+    def test_no_restart_mode_leaves_aborts_final(self) -> None:
+        params = WorkloadParams(
+            n_transactions=8,
+            remote_probability=1.0,
+            read_ratio=0.0,
+            hotspot_probability=0.9,
+            hotspot_size=2,
+            restart_aborted=False,
+            arrival_window=4.0,
+        )
+        system, workload = build(seed=5, params=params)
+        workload.start()
+        system.run_to_quiescence(max_events=1_000_000)
+        assert workload.stats.commits + workload.stats.aborts == 8
+        system.assert_no_deadlock_remains()
+
+    def test_deterministic_given_seed(self) -> None:
+        outcomes = []
+        for _ in range(2):
+            params = WorkloadParams(n_transactions=10, restart_horizon=300.0)
+            system, workload = build(seed=9, params=params)
+            workload.start()
+            system.run_to_quiescence(max_events=1_000_000)
+            outcomes.append((workload.stats.commits, workload.stats.aborts, system.now))
+        assert outcomes[0] == outcomes[1]
+
+    def test_stats_mean_requires_commits(self) -> None:
+        from repro.workloads.transactions import WorkloadStats
+
+        with pytest.raises(ValueError):
+            _ = WorkloadStats().mean_response_time
