@@ -7,7 +7,8 @@ the same, well-tested implementation.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping, TypeVar
+from collections.abc import Hashable, Iterable, Mapping
+from typing import TypeVar
 
 Node = TypeVar("Node", bound=Hashable)
 

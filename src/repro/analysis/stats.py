@@ -8,8 +8,8 @@ approximation, adequate for the replication counts used here.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 
 def mean(values: Sequence[float]) -> float:

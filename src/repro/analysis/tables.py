@@ -6,7 +6,8 @@ EXPERIMENTS.md and the bench output stay visually identical.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro.errors import ConfigurationError
 

@@ -12,49 +12,50 @@ and the rendering used by the documentation examples.  Two renderers:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
+from repro.sim import categories
 from repro.sim.trace import TraceEvent, Tracer
 
 #: category -> formatter(event) -> str; unknown categories fall back to
 #: "<category> <details>".
 _FORMATTERS: dict[str, Callable[[TraceEvent], str]] = {
-    "basic.request.sent": lambda e: f"v{e['source']} requests v{e['target']}",
-    "basic.request.received": lambda e: (
+    categories.BASIC_REQUEST_SENT: lambda e: f"v{e['source']} requests v{e['target']}",
+    categories.BASIC_REQUEST_RECEIVED: lambda e: (
         f"v{e['target']} receives request from v{e['source']} "
         f"(edge {e['source']}->{e['target']} turns black)"
     ),
-    "basic.reply.sent": lambda e: f"v{e['source']} replies to v{e['target']}",
-    "basic.reply.received": lambda e: (
+    categories.BASIC_REPLY_SENT: lambda e: f"v{e['source']} replies to v{e['target']}",
+    categories.BASIC_REPLY_RECEIVED: lambda e: (
         f"v{e['target']} receives reply (edge {e['target']}->{e['source']} gone)"
     ),
-    "basic.unblocked": lambda e: f"v{e['vertex']} becomes active",
-    "basic.computation.initiated": lambda e: (
+    categories.BASIC_UNBLOCKED: lambda e: f"v{e['vertex']} becomes active",
+    categories.BASIC_COMPUTATION_INITIATED: lambda e: (
         f"v{e['vertex']} initiates probe computation {e['tag']}"
     ),
-    "basic.probe.sent": lambda e: (
+    categories.BASIC_PROBE_SENT: lambda e: (
         f"v{e['source']} sends probe {e['tag']} to v{e['target']}"
     ),
-    "basic.probe.received": lambda e: (
+    categories.BASIC_PROBE_RECEIVED: lambda e: (
         f"v{e['target']} receives probe {e['tag']} from v{e['source']} "
         f"({'meaningful' if e['meaningful'] else 'not meaningful'})"
     ),
-    "basic.deadlock.declared": lambda e: (
+    categories.BASIC_DEADLOCK_DECLARED: lambda e: (
         f"*** v{e['vertex']} DECLARES DEADLOCK (computation {e['tag']}) ***"
     ),
-    "ddb.txn.begin": lambda e: (
+    categories.DDB_TXN_BEGIN: lambda e: (
         f"C{e['site']}: T{e['tid']} begins (incarnation {e['incarnation']})"
     ),
-    "ddb.txn.blocked": lambda e: f"C{e['site']}: T{e['tid']} blocks",
-    "ddb.txn.committed": lambda e: f"C{e['site']}: T{e['tid']} commits",
-    "ddb.txn.aborted": lambda e: f"C{e['site']}: T{e['tid']} aborted (victim)",
-    "ddb.deadlock.declared": lambda e: (
+    categories.DDB_TXN_BLOCKED: lambda e: f"C{e['site']}: T{e['tid']} blocks",
+    categories.DDB_TXN_COMMITTED: lambda e: f"C{e['site']}: T{e['tid']} commits",
+    categories.DDB_TXN_ABORTED: lambda e: f"C{e['site']}: T{e['tid']} aborted (victim)",
+    categories.DDB_DEADLOCK_DECLARED: lambda e: (
         f"*** C{e['site']} DECLARES {e['process']} DEADLOCKED ***"
     ),
-    "or.unblocked": lambda e: (
+    categories.OR_UNBLOCKED: lambda e: (
         f"v{e['vertex']} unblocks (granted by v{e['granter']})"
     ),
-    "or.deadlock.declared": lambda e: (
+    categories.OR_DEADLOCK_DECLARED: lambda e: (
         f"*** v{e['vertex']} DECLARES OR-DEADLOCK ({e['tag']}) ***"
     ),
 }
@@ -107,7 +108,7 @@ def render_lanes(tracer: Tracer, n_vertices: int, width: int = 6) -> str:
 
     for event in tracer:
         category = event.category
-        if category == "basic.request.sent":
+        if category == categories.BASIC_REQUEST_SENT:
             lines.append(
                 lane_row(
                     {int(event["source"]): "*", int(event["target"]): "."},
@@ -115,7 +116,7 @@ def render_lanes(tracer: Tracer, n_vertices: int, width: int = 6) -> str:
                     f"request v{event['source']}->v{event['target']}",
                 )
             )
-        elif category == "basic.probe.sent":
+        elif category == categories.BASIC_PROBE_SENT:
             lines.append(
                 lane_row(
                     {int(event["source"]): "*"},
@@ -123,7 +124,7 @@ def render_lanes(tracer: Tracer, n_vertices: int, width: int = 6) -> str:
                     f"probe {event['tag']} ->v{event['target']}",
                 )
             )
-        elif category == "basic.probe.received" and event["meaningful"]:
+        elif category == categories.BASIC_PROBE_RECEIVED and event["meaningful"]:
             lines.append(
                 lane_row(
                     {int(event["target"]): "o"},
@@ -131,7 +132,7 @@ def render_lanes(tracer: Tracer, n_vertices: int, width: int = 6) -> str:
                     f"meaningful probe {event['tag']}",
                 )
             )
-        elif category == "basic.deadlock.declared":
+        elif category == categories.BASIC_DEADLOCK_DECLARED:
             lines.append(
                 lane_row(
                     {int(event["vertex"]): "X"},

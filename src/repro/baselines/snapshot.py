@@ -43,6 +43,7 @@ from repro.baselines.base import BaselineDetector
 from repro.basic.messages import Reply
 from repro.basic.system import BasicSystem
 from repro.errors import ConfigurationError
+from repro.sim import categories
 from repro.sim.trace import TraceEvent
 
 
@@ -152,7 +153,7 @@ class SnapshotDetector(BaselineDetector):
         return handle
 
     def _observe_delivery(self, event: TraceEvent) -> None:
-        if event.category != "net.delivered":
+        if event.category != categories.NET_DELIVERED:
             return
         round_state = self._round
         if round_state is None or round_state.complete:

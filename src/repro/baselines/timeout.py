@@ -14,6 +14,7 @@ from repro._ids import VertexId
 from repro.baselines.base import BaselineDetector
 from repro.basic.system import BasicSystem
 from repro.errors import ConfigurationError
+from repro.sim import categories
 from repro.sim.trace import TraceEvent
 
 
@@ -37,7 +38,7 @@ class TimeoutDetector(BaselineDetector):
     # ------------------------------------------------------------------
 
     def _observe(self, event: TraceEvent) -> None:
-        if event.category == "basic.request.sent":
+        if event.category == categories.BASIC_REQUEST_SENT:
             vertex_id = event["source"]
             if vertex_id not in self._blocked_since:
                 self._blocked_since[vertex_id] = event.time
@@ -47,7 +48,7 @@ class TimeoutDetector(BaselineDetector):
                     lambda v=vertex_id, e=episode: self._check(v, e),
                     name=f"timeout check v{vertex_id}",
                 )
-        elif event.category == "basic.unblocked":
+        elif event.category == categories.BASIC_UNBLOCKED:
             vertex_id = event["vertex"]
             self._blocked_since.pop(vertex_id, None)
             self._episode[vertex_id] += 1

@@ -21,8 +21,8 @@ could peek at the global graph even by accident.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
-from typing import Callable, Iterable
 
 from repro._ids import ProbeTag, VertexId
 from repro.basic.messages import Probe

@@ -28,7 +28,7 @@ and is exactly the paper's notion of deadlock.
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro._ids import VertexId
 from repro.errors import AxiomViolation

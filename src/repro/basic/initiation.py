@@ -17,7 +17,8 @@ one is started (section 4.2/4.3).  Three policies are provided:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro._ids import VertexId
 from repro.errors import ConfigurationError
@@ -85,7 +86,10 @@ class DelayedInitiation(InitiationPolicy):
         for target in targets:
             key = (vertex.vertex_id, target)
 
-            def fire(vertex: "VertexProcess" = vertex, key: tuple[VertexId, VertexId] = key) -> None:
+            def fire(
+                vertex: "VertexProcess" = vertex,
+                key: tuple[VertexId, VertexId] = key,
+            ) -> None:
                 self._timers.pop(key, None)
                 # The timer is cancelled on deletion, so the edge existed
                 # continuously since creation; re-check defensively anyway.

@@ -20,8 +20,8 @@ It also keeps the per-computation probe counts that experiment E3 reads.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
 
 from repro._algo import cyclic_sccs
 from repro._ids import ProbeTag, VertexId
@@ -29,6 +29,7 @@ from repro.basic.graph import EdgeColor, WaitForGraph
 from repro.basic.initiation import ImmediateInitiation, InitiationPolicy
 from repro.basic.vertex import VertexProcess
 from repro.errors import ConfigurationError
+from repro.sim import categories
 from repro.sim.network import DelayModel, Network
 from repro.sim.simulator import Simulator
 from repro.sim.trace import TraceEvent
@@ -199,13 +200,13 @@ class BasicSystem:
             vertex.wfgd.start_as_initiator()
 
     def _observe(self, event: TraceEvent) -> None:
-        if event.category == "basic.request.sent":
+        if event.category == categories.BASIC_REQUEST_SENT:
             source = event["source"]
             if self.oracle.is_on_dark_cycle(source):
                 cycle = self.oracle.find_dark_cycle(source) or [source]
                 for member in cycle:
                     self.deadlock_formed_at.setdefault(member, event.time)
-        elif event.category == "basic.probe.sent":
+        elif event.category == categories.BASIC_PROBE_SENT:
             tag = event["tag"]
             self.probes_per_computation[tag] = self.probes_per_computation.get(tag, 0) + 1
 

@@ -20,7 +20,7 @@ transition purely for verification; no protocol decision reads it.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Iterable
+from collections.abc import Callable, Hashable, Iterable
 
 from repro._ids import ProbeTag, VertexId
 from repro.basic.detector import ProbeEngine
@@ -28,6 +28,7 @@ from repro.basic.graph import WaitForGraph
 from repro.basic.messages import Probe, Reply, Request, WfgdMessage
 from repro.basic.wfgd import WfgdParticipant
 from repro.errors import ProtocolError
+from repro.sim import categories
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 
@@ -145,7 +146,7 @@ class VertexProcess(Process):
             self.oracle.create_edge(self.vertex_id, target)
             self.pending_out.add(target)
             self.simulator.trace_now(
-                "basic.request.sent", source=self.vertex_id, target=target
+                categories.BASIC_REQUEST_SENT, source=self.vertex_id, target=target
             )
             self.send(target, Request(requester=self.vertex_id))
         self.initiation.on_edges_added(self, batch)
@@ -173,7 +174,7 @@ class VertexProcess(Process):
         """Step A0: begin a new probe computation from this vertex."""
         self.simulator.metrics.counter("basic.computations.initiated").increment()
         self.simulator.trace_now(
-            "basic.computation.initiated",
+            categories.BASIC_COMPUTATION_INITIATED,
             vertex=self.vertex_id,
             tag=self.engine.next_tag(),
         )
@@ -211,7 +212,7 @@ class VertexProcess(Process):
         self.pending_in.add(requester)
         self.oracle.blacken(requester, self.vertex_id)
         self.simulator.trace_now(
-            "basic.request.received", source=requester, target=self.vertex_id
+            categories.BASIC_REQUEST_RECEIVED, source=requester, target=self.vertex_id
         )
         # Section 5 persistent-send rule: if this vertex already knows it
         # is deadlocked, the new incoming black edge is permanent and its
@@ -229,11 +230,11 @@ class VertexProcess(Process):
         self.pending_out.discard(replier)
         self.oracle.delete_edge(self.vertex_id, replier)
         self.simulator.trace_now(
-            "basic.reply.received", source=replier, target=self.vertex_id
+            categories.BASIC_REPLY_RECEIVED, source=replier, target=self.vertex_id
         )
         self.initiation.on_edge_removed(self, replier)
         if self.active:
-            self.simulator.trace_now("basic.unblocked", vertex=self.vertex_id)
+            self.simulator.trace_now(categories.BASIC_UNBLOCKED, vertex=self.vertex_id)
             if self.auto_reply:
                 self._schedule_service()
             if self.unblocked_callback is not None:
@@ -242,7 +243,7 @@ class VertexProcess(Process):
     def _on_probe(self, sender: VertexId, probe: Probe) -> None:
         self.simulator.metrics.counter("basic.probes.received").increment()
         self.simulator.trace_now(
-            "basic.probe.received",
+            categories.BASIC_PROBE_RECEIVED,
             source=sender,
             target=self.vertex_id,
             tag=probe.tag,
@@ -280,7 +281,7 @@ class VertexProcess(Process):
         self.pending_in.discard(requester)
         self.oracle.whiten(requester, self.vertex_id)
         self.simulator.trace_now(
-            "basic.reply.sent", source=self.vertex_id, target=requester
+            categories.BASIC_REPLY_SENT, source=self.vertex_id, target=requester
         )
         self.send(requester, Reply(replier=self.vertex_id))
 
@@ -291,7 +292,7 @@ class VertexProcess(Process):
     def _send_probe(self, target: VertexId, probe: Probe) -> None:
         self.simulator.metrics.counter("basic.probes.sent").increment()
         self.simulator.trace_now(
-            "basic.probe.sent", source=self.vertex_id, target=target, tag=probe.tag
+            categories.BASIC_PROBE_SENT, source=self.vertex_id, target=target, tag=probe.tag
         )
         self.send(target, probe)
 
@@ -301,7 +302,9 @@ class VertexProcess(Process):
 
     def _declare_deadlock(self, tag: ProbeTag) -> None:
         self.simulator.metrics.counter("basic.deadlocks.declared").increment()
-        self.simulator.trace_now("basic.deadlock.declared", vertex=self.vertex_id, tag=tag)
+        self.simulator.trace_now(
+            categories.BASIC_DEADLOCK_DECLARED, vertex=self.vertex_id, tag=tag
+        )
         if self._on_declare is not None:
             self._on_declare(self, tag)
 

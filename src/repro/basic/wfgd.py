@@ -23,7 +23,7 @@ region, so the computation ceases in finite time.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro._ids import VertexId
 from repro.basic.graph import Edge

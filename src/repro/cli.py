@@ -7,6 +7,8 @@ Usage::
     repro experiment E3              # regenerate one experiment table
     repro experiment all --quick     # regenerate everything, fast settings
     repro verify                     # exhaustive small-scope model checking
+    repro lint src tests             # project-specific static analysis
+    repro lint --explain RPX005      # what a rule enforces, and why
 
 The same experiment code also runs under pytest-benchmark (see
 ``benchmarks/``); the CLI exists for quick inspection without pytest.
@@ -15,8 +17,9 @@ The same experiment code also runs under pytest-benchmark (see
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.experiments import ALL_EXPERIMENTS
 
@@ -210,6 +213,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run
+
+    return run(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -255,13 +264,35 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="exhaustive small-scope model checking of QRP1/QRP2"
     )
     verify.set_defaults(handler=_cmd_verify)
+
+    from repro.lint.cli import add_lint_arguments
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="project-specific static analysis (rules RPX001-RPX006)",
+        description=(
+            "AST lint pass enforcing the proof-carrying conventions the "
+            "verification layer depends on: seeded randomness, virtual time, "
+            "frozen messages, one-way layering, registered trace categories, "
+            "and process isolation."
+        ),
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); exit quietly
+        # without a traceback, like other well-behaved unix filters.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

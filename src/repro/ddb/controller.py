@@ -21,7 +21,7 @@ verification; no protocol decision ever reads it.
 from __future__ import annotations
 
 import itertools
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 from repro._ids import ProbeTag, ProcessId, ResourceId, SiteId, TransactionId
 from repro.ddb.detector import DdbDetector
@@ -36,7 +36,6 @@ from repro.ddb.messages import (
     RemoteRelease,
 )
 from repro.ddb.prevention import Decision
-from repro.ddb.wfgd import DdbWfgdMessage, DdbWfgdState
 from repro.ddb.transaction import (
     Acquire,
     AgentRuntime,
@@ -47,7 +46,9 @@ from repro.ddb.transaction import (
     TransactionSpec,
     TransactionStatus,
 )
+from repro.ddb.wfgd import DdbWfgdMessage, DdbWfgdState
 from repro.errors import ProtocolError
+from repro.sim import categories
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 
@@ -131,7 +132,7 @@ class Controller(Process):
             timestamp=timestamp,
         )
         self.simulator.trace_now(
-            "ddb.txn.begin", tid=spec.tid, incarnation=incarnation, site=self.site
+            categories.DDB_TXN_BEGIN, tid=spec.tid, incarnation=incarnation, site=self.site
         )
         self._advance(spec.tid)
 
@@ -157,7 +158,7 @@ class Controller(Process):
                 if execution.blocked:
                     execution.status = TransactionStatus.WAITING
                     self.simulator.trace_now(
-                        "ddb.txn.blocked", tid=tid, site=self.site
+                        categories.DDB_TXN_BLOCKED, tid=tid, site=self.site
                     )
                     self.system.initiation.on_process_blocked(
                         self, execution.spec.home_process
@@ -199,7 +200,7 @@ class Controller(Process):
             execution.agent_sites.add(site)
             self.oracle.add_inter_edge(home_pid, agent_pid, serial)
             self.simulator.trace_now(
-                "ddb.edge.added", kind="inter", source=home_pid, target=agent_pid
+                categories.DDB_EDGE_ADDED, kind="inter", source=home_pid, target=agent_pid
             )
             self.send(
                 site,
@@ -228,7 +229,7 @@ class Controller(Process):
         self.detector.prune(home_pid)
         self.simulator.metrics.counter("ddb.txn.committed").increment()
         self.simulator.trace_now(
-            "ddb.txn.committed", tid=execution.spec.tid, site=self.site
+            categories.DDB_TXN_COMMITTED, tid=execution.spec.tid, site=self.site
         )
         self.system.on_transaction_finished(execution, aborted=False)
 
@@ -356,7 +357,7 @@ class Controller(Process):
             if count == 0:
                 self.oracle.add_intra_edge(*edge)
                 self.simulator.trace_now(
-                    "ddb.edge.added", kind="intra", source=edge[0], target=edge[1]
+                    categories.DDB_EDGE_ADDED, kind="intra", source=edge[0], target=edge[1]
                 )
                 # WFGD persistent-send rule: a new waiter on an informed
                 # process is informed immediately.
@@ -484,7 +485,7 @@ class Controller(Process):
         if not inbound.remaining:
             self._complete_inbound(agent)
         else:
-            self.simulator.trace_now("ddb.agent.blocked", pid=agent.pid)
+            self.simulator.trace_now(categories.DDB_AGENT_BLOCKED, pid=agent.pid)
             self.system.initiation.on_process_blocked(self, agent.pid)
 
     def _complete_inbound(self, agent: AgentRuntime) -> None:
@@ -582,7 +583,7 @@ class Controller(Process):
         self.detector.prune(home_pid)
         self.system.initiation.on_process_unblocked(self, home_pid)
         self.simulator.metrics.counter("ddb.txn.aborted").increment()
-        self.simulator.trace_now("ddb.txn.aborted", tid=tid, site=self.site)
+        self.simulator.trace_now(categories.DDB_TXN_ABORTED, tid=tid, site=self.site)
         self.system.on_transaction_finished(execution, aborted=True)
 
     def _abort_agent(self, tid: TransactionId, incarnation: int) -> None:
@@ -742,7 +743,7 @@ class Controller(Process):
     def send_probe(self, site: SiteId, probe: DdbProbe) -> None:
         self.simulator.metrics.counter("ddb.probes.sent").increment()
         self.simulator.trace_now(
-            "ddb.probe.sent", site=self.site, destination=site, tag=probe.tag,
+            categories.DDB_PROBE_SENT, site=self.site, destination=site, tag=probe.tag,
             edge=probe.edge,
         )
         self.send(site, probe)
@@ -750,7 +751,7 @@ class Controller(Process):
     def declare_deadlock(self, process: ProcessId, tag: ProbeTag) -> None:
         self.simulator.metrics.counter("ddb.deadlocks.declared").increment()
         self.simulator.trace_now(
-            "ddb.deadlock.declared", site=self.site, process=process, tag=tag
+            categories.DDB_DEADLOCK_DECLARED, site=self.site, process=process, tag=tag
         )
         if getattr(self.system, "wfgd_on_declare", False):
             self.wfgd.seed(process)

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING
 
 from repro._ids import ProbeTag, ProcessId
 from repro.ddb.messages import DdbProbe, EdgeRef
+from repro.sim import categories
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ddb.controller import Controller
@@ -101,7 +102,7 @@ class DdbDetector:
         self._computations[tag] = computation
         controller.simulator.metrics.counter("ddb.computations.initiated").increment()
         controller.simulator.trace_now(
-            "ddb.computation.initiated", site=controller.site, about=about, tag=tag
+            categories.DDB_COMPUTATION_INITIATED, site=controller.site, about=about, tag=tag
         )
 
         computation.labelled = controller.intra_closure(
@@ -130,7 +131,7 @@ class DdbDetector:
         controller = self._controller
         meaningful = controller.inter_edge_black(probe.edge)
         controller.simulator.trace_now(
-            "ddb.probe.received",
+            categories.DDB_PROBE_RECEIVED,
             site=controller.site,
             tag=probe.tag,
             edge=probe.edge,

@@ -21,7 +21,7 @@ bypass the axiom checks deliberately and only on the abort path.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro._ids import ProcessId
 from repro.basic.graph import EdgeColor

@@ -29,7 +29,8 @@ victims' home controllers.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro._ids import ProcessId, TransactionId
 

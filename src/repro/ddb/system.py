@@ -20,8 +20,8 @@ drive :meth:`begin` / :meth:`restart` and observe completion through the
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
 
 from repro._algo import cyclic_sccs
 from repro._ids import ProbeTag, ProcessId, ResourceId, SiteId, TransactionId
@@ -32,6 +32,7 @@ from repro.ddb.initiation import DdbImmediateInitiation, DdbInitiationPolicy
 from repro.ddb.resolution import NoResolution, VictimPolicy
 from repro.ddb.transaction import TransactionExecution, TransactionSpec
 from repro.errors import ConfigurationError, ProtocolError
+from repro.sim import categories
 from repro.sim.network import DelayModel, Network
 from repro.sim.simulator import Simulator
 from repro.sim.trace import TraceEvent
@@ -280,12 +281,12 @@ class DdbSystem:
         self.resolution.on_declaration(controller, process, tag)
 
     def _observe(self, event: TraceEvent) -> None:
-        if event.category == "ddb.edge.added":
+        if event.category == categories.DDB_EDGE_ADDED:
             source = event["source"]
             if self.oracle.is_on_dark_cycle(source):
                 for member in self._dark_cycle_members(source):
                     self.deadlock_formed_at.setdefault(member, event.time)
-        elif event.category == "ddb.probe.sent":
+        elif event.category == categories.DDB_PROBE_SENT:
             tag = event["tag"]
             self.probes_per_computation[tag] = self.probes_per_computation.get(tag, 0) + 1
 

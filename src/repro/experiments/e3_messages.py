@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.analysis.tables import Table
 from repro.basic.initiation import ManualInitiation
 from repro.basic.system import BasicSystem
+from repro.sim import categories
 from repro.workloads.scenarios import schedule_cycle
 
 
@@ -40,7 +41,7 @@ class E3Result:
 
 def _per_edge_max(system: BasicSystem) -> int:
     per_edge: dict[tuple, int] = {}
-    for event in system.simulator.tracer.events("basic.probe.sent"):
+    for event in system.simulator.tracer.events(categories.BASIC_PROBE_SENT):
         key = (event["tag"], event["source"], event["target"])
         per_edge[key] = per_edge.get(key, 0) + 1
     return max(per_edge.values(), default=0)

@@ -1,0 +1,36 @@
+"""Project-specific static analysis (`repro lint`).
+
+A stdlib-``ast`` lint pass enforcing the proof-carrying conventions the
+verification layer depends on.  Each rule is mapped to a paper axiom or
+simulator invariant (see ``repro lint --explain RPXnnn`` and DESIGN.md):
+
+========  ==========================================================
+RPX001    no unseeded / process-global randomness outside sim/rng.py
+RPX002    no wall-clock reads in sim/, basic/, ddb/, ormodel/
+RPX003    message dataclasses in */messages.py must be frozen=True
+RPX004    protocol packages never import the harness layers
+RPX005    trace categories come from repro.sim.categories, not literals
+RPX006    handlers never mutate another process's state
+========  ==========================================================
+
+Suppress a finding in place with ``# repro-lint: disable=RPXnnn`` on the
+flagged line.  ``RPX000`` is reserved for files that fail to parse.
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import iter_python_files, lint_file, lint_paths, lint_source
+from repro.lint.rules import ALL_RULES, RULES_BY_ID, Rule, get_rule
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Diagnostic",
+    "Rule",
+    "get_rule",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

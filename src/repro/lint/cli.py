@@ -1,0 +1,80 @@
+"""``repro lint`` subcommand implementation."""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.lint.engine import lint_paths
+from repro.lint.rules import ALL_RULES, get_rule
+
+#: bumped whenever the JSON shape changes; consumers pin on it
+JSON_FORMAT_VERSION = 1
+
+
+def default_paths() -> list[str]:
+    """``src`` and ``tests`` when they exist, else the current directory."""
+    existing = [name for name in ("src", "tests") if Path(name).is_dir()]
+    return existing or ["."]
+
+
+def explain(rule_id: str) -> tuple[int, str]:
+    """(exit code, text) for ``--explain RPXnnn``."""
+    rule = get_rule(rule_id)
+    if rule is None:
+        known = ", ".join(r.rule_id for r in ALL_RULES)
+        return 2, f"unknown rule {rule_id!r}; known rules: {known}"
+    return 0, f"{rule.rule_id}: {rule.title}\n\n{rule.explanation}"
+
+
+def run(args: argparse.Namespace) -> int:
+    """Entry point wired into the main ``repro`` argument parser."""
+    if args.explain is not None:
+        code, text = explain(args.explain)
+        print(text)
+        return code
+
+    paths = args.paths or default_paths()
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}")
+        return 2
+
+    diagnostics = lint_paths(paths)
+    if args.format == "json":
+        payload = {
+            "version": JSON_FORMAT_VERSION,
+            "count": len(diagnostics),
+            "diagnostics": [diagnostic.to_json() for diagnostic in diagnostics],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format_text())
+        if diagnostics:
+            print(f"\n{len(diagnostics)} issue(s) found")
+        else:
+            print("clean: no lint issues found")
+    return 1 if diagnostics else 0
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RPXnnn",
+        default=None,
+        help="print what a rule enforces and which paper assumption it guards",
+    )

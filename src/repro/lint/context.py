@@ -1,0 +1,68 @@
+"""Per-file context handed to every lint rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.diagnostics import Diagnostic
+
+
+def logical_parts(path: str) -> tuple[str, ...]:
+    """Normalise ``path`` to package-relative parts for rule applicability.
+
+    Drops everything up to and including a ``src`` segment, then anchors at
+    the first ``repro`` or ``tests`` segment when present.  Examples::
+
+        src/repro/basic/vertex.py  -> ("repro", "basic", "vertex.py")
+        /abs/repo/src/repro/x.py   -> ("repro", "x.py")
+        tests/sim/test_clock.py    -> ("tests", "sim", "test_clock.py")
+
+    Fixture tests use this to lint a file *as if* it lived at a protocol
+    path, which is how path-scoped rules (RPX002/3/4) are exercised.
+    """
+    parts = tuple(part for part in path.replace("\\", "/").split("/") if part not in ("", "."))
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    for anchor in ("repro", "tests"):
+        if anchor in parts:
+            return parts[parts.index(anchor) :]
+    return parts
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    #: path shown in diagnostics (the real on-disk path)
+    display_path: str
+    #: package-relative parts used for applicability decisions
+    parts: tuple[str, ...]
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @property
+    def filename(self) -> str:
+        return self.parts[-1] if self.parts else self.display_path
+
+    @property
+    def package(self) -> tuple[str, ...]:
+        """Package chain, e.g. ``("repro", "basic")`` for basic/vertex.py."""
+        return self.parts[:-1]
+
+    def in_packages(self, *names: str) -> bool:
+        """True when the file sits under ``repro/<name>/`` for any name."""
+        return len(self.parts) >= 2 and self.parts[0] == "repro" and self.parts[1] in names
+
+    def is_module(self, *parts: str) -> bool:
+        """True when the file IS exactly ``repro/<...>/<name>.py``."""
+        return self.parts == parts
+
+    def diagnostic(self, rule_id: str, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule_id,
+            message=message,
+        )

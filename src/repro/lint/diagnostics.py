@@ -1,0 +1,34 @@
+"""Diagnostic records produced by the lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, anchored to a source location.
+
+    Ordering is ``(path, line, col, rule, message)`` so reports and the
+    JSON output are deterministic regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format_text(self) -> str:
+        """ruff/flake8-style ``path:line:col: RULE message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        """Stable machine-readable form (`repro lint --format json`)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -1,0 +1,124 @@
+"""Lint driver: file discovery, parsing, rule dispatch, suppression."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+
+from repro.lint.context import FileContext, logical_parts
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import ALL_RULES, Rule
+from repro.lint.suppress import filter_suppressed
+
+#: directory names never descended into during discovery.  ``fixtures`` is
+#: excluded so that the deliberately-bad lint fixtures under tests/lint/
+#: don't fail a whole-repo run; the fixture tests lint them explicitly.
+EXCLUDED_DIR_NAMES = frozenset(
+    {
+        "__pycache__",
+        "fixtures",
+        ".git",
+        ".hypothesis",
+        ".mypy_cache",
+        ".pytest_cache",
+        ".ruff_cache",
+        "build",
+        "dist",
+    }
+)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Yield .py files under ``paths`` (files are yielded as given)."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.parts
+            if any(
+                part in EXCLUDED_DIR_NAMES or part.endswith(".egg-info")
+                for part in parts[:-1]
+            ):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_source(
+    source: str,
+    logical_path: str,
+    display_path: str | None = None,
+    rules: Iterable[Rule] | None = None,
+    suppress: bool = True,
+) -> list[Diagnostic]:
+    """Lint ``source`` as if it lived at ``logical_path``.
+
+    ``logical_path`` drives path-scoped rule applicability (RPX002/3/4...);
+    ``display_path`` (default: the logical path) appears in diagnostics.
+    Fixture tests use the split to check protocol-path rules against files
+    stored under tests/lint/fixtures/.
+    """
+    display = display_path if display_path is not None else logical_path
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                path=display,
+                line=error.lineno or 1,
+                col=(error.offset or 0) or 1,
+                rule="RPX000",
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    ctx = FileContext(
+        display_path=display,
+        parts=logical_parts(logical_path),
+        tree=tree,
+        lines=lines,
+    )
+    diagnostics: list[Diagnostic] = []
+    for rule in rules if rules is not None else ALL_RULES:
+        if rule.applies_to(ctx):
+            diagnostics.extend(rule.check(ctx))
+    if suppress:
+        diagnostics = filter_suppressed(diagnostics, lines)
+    return sorted(diagnostics)
+
+
+def lint_file(
+    path: str | Path,
+    logical_path: str | None = None,
+    rules: Iterable[Rule] | None = None,
+    suppress: bool = True,
+) -> list[Diagnostic]:
+    """Lint one file from disk (see :func:`lint_source`)."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(
+        source,
+        logical_path=logical_path if logical_path is not None else str(path),
+        display_path=str(path),
+        rules=rules,
+        suppress=suppress,
+    )
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Iterable[Rule] | None = None,
+    suppress: bool = True,
+) -> list[Diagnostic]:
+    """Lint every Python file under ``paths``; diagnostics come back sorted."""
+    diagnostics: list[Diagnostic] = []
+    for path in iter_python_files(paths):
+        diagnostics.extend(lint_file(path, rules=rules, suppress=suppress))
+    return sorted(diagnostics)

@@ -1,0 +1,33 @@
+"""Rule registry: every RPX rule, in id order."""
+
+from __future__ import annotations
+
+from repro.lint.rules.base import Rule
+from repro.lint.rules.categories_rule import TraceCategoryRule
+from repro.lint.rules.determinism import UnseededRandomnessRule, WallClockRule
+from repro.lint.rules.isolation import ProcessIsolationRule
+from repro.lint.rules.layering import LayeringRule
+from repro.lint.rules.messages import FrozenMessagesRule
+
+ALL_RULES: tuple[Rule, ...] = (
+    UnseededRandomnessRule(),
+    WallClockRule(),
+    FrozenMessagesRule(),
+    LayeringRule(),
+    TraceCategoryRule(),
+    ProcessIsolationRule(),
+)
+
+RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
+
+
+def get_rule(rule_id: str) -> Rule | None:
+    return RULES_BY_ID.get(rule_id.upper())
+
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "get_rule",
+]

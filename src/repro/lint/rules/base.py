@@ -1,0 +1,33 @@
+"""Rule base class shared by all RPX rules."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.lint.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.lint.context import FileContext
+
+
+class Rule:
+    """One project-specific static check.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies_to` scopes path-dependent rules (default: every file).
+    ``explanation`` is the ``repro lint --explain RPXnnn`` text and must
+    name the paper axiom / simulator invariant the rule guards.
+    """
+
+    rule_id: ClassVar[str]
+    title: ClassVar[str]
+    explanation: ClassVar[str]
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(self, ctx: FileContext, node: object, message: str) -> Diagnostic:
+        return ctx.diagnostic(self.rule_id, node, message)  # type: ignore[arg-type]

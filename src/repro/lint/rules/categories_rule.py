@@ -1,0 +1,83 @@
+"""RPX005: trace categories come from the central registry, never literals."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules.base import Rule
+from repro.sim import categories as registry
+
+#: methods whose (first) string argument is a trace category
+_PRODUCER_METHODS = frozenset({"trace_now", "events"})
+
+
+class TraceCategoryRule(Rule):
+    """RPX005: no raw trace-category string literals in ``repro`` source."""
+
+    rule_id = "RPX005"
+    title = "trace categories must come from repro.sim.categories"
+    explanation = (
+        "The invariant checkers (verification/invariants.py) and the system\n"
+        "observers select trace events by exact category string: check_fifo\n"
+        "matches net.sent/net.delivered pairs, check_probe_edge_darkness\n"
+        "replays basic.request.*/basic.probe.* to re-establish the P1\n"
+        "consequence Theorem 2's proof uses.  A typo'd literal on either the\n"
+        "recording or the matching side makes a checker silently vacuous —\n"
+        "it sees no events and reports no violations.  Referencing constants\n"
+        "from repro.sim.categories turns that typo into an AttributeError,\n"
+        "and this rule keeps literals from creeping back in (Tracer.record /\n"
+        "trace_now / events arguments and event.category comparisons)."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.parts[:1] != ("repro",):
+            return False
+        # the registry itself is the one place the literals live
+        return not ctx.is_module("repro", "sim", "categories.py")
+
+    def _literal(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return None
+
+    def _flag(self, ctx: FileContext, node: ast.AST, value: str) -> Diagnostic:
+        constant = registry.constant_name_for(value)
+        if constant is not None:
+            hint = f"use repro.sim.categories.{constant}"
+        else:
+            hint = "register it in repro.sim.categories and reference the constant"
+        return self.diagnostic(
+            ctx, node, f"raw trace-category literal '{value}'; {hint}"
+        )
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                method = node.func.attr
+                candidates: list[ast.expr] = []
+                if method in _PRODUCER_METHODS and node.args:
+                    candidates.append(node.args[0])
+                elif method == "record":
+                    # Tracer.record(time, category, ...); histograms use
+                    # record(value) with numeric args, never str literals.
+                    candidates.extend(node.args[:2])
+                for arg in candidates:
+                    value = self._literal(arg)
+                    if value is not None:
+                        diagnostics.append(self._flag(ctx, arg, value))
+            elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+                if not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+                    continue
+                left = node.left
+                is_category = (
+                    isinstance(left, ast.Attribute) and left.attr == "category"
+                ) or (isinstance(left, ast.Name) and left.id == "category")
+                if not is_category:
+                    continue
+                value = self._literal(node.comparators[0])
+                if value is not None:
+                    diagnostics.append(self._flag(ctx, node.comparators[0], value))
+        return diagnostics

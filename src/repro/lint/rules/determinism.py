@@ -1,0 +1,264 @@
+"""RPX001 / RPX002: determinism rules — seeded randomness, virtual time."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules.base import Rule
+
+#: ``random`` module functions that draw from the process-global RNG.
+GLOBAL_RANDOM_FUNCTIONS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "uniform",
+        "triangular",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "expovariate",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "vonmisesvariate",
+        "betavariate",
+        "binomialvariate",
+        "gammavariate",
+        "paretovariate",
+        "weibullvariate",
+        "seed",
+        "setstate",
+        "getstate",
+    }
+)
+
+#: ``time`` module functions that read the host's clocks (or block on them).
+WALL_CLOCK_TIME_FUNCTIONS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+        "localtime",
+        "gmtime",
+    }
+)
+
+#: ``datetime.datetime`` / ``datetime.date`` constructors that read the host clock.
+WALL_CLOCK_DATETIME_METHODS = frozenset({"now", "utcnow", "today"})
+
+
+class _ModuleAliases(ast.NodeVisitor):
+    """Track what local names refer to the modules a rule cares about."""
+
+    def __init__(self, modules: frozenset[str]) -> None:
+        self._modules = modules
+        #: local name -> dotted module it refers to (e.g. "rnd" -> "random")
+        self.aliases: dict[str, str] = {}
+        #: (local name, module, original name) for from-imports
+        self.from_imports: list[tuple[ast.ImportFrom, str, str, str]] = []
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if alias.name in self._modules or root in self._modules:
+                self.aliases[alias.asname or root] = alias.name if alias.asname else root
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is not None and node.module in self._modules:
+            for alias in node.names:
+                self.from_imports.append(
+                    (node, node.module, alias.name, alias.asname or alias.name)
+                )
+        self.generic_visit(node)
+
+
+def _attribute_chain(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` -> ["a", "b", "c"]; None when the chain has calls/subscripts."""
+    chain: list[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        chain.append(node.id)
+        chain.reverse()
+        return chain
+    return None
+
+
+class UnseededRandomnessRule(Rule):
+    """RPX001: all randomness flows through seeded, named RNG streams."""
+
+    rule_id = "RPX001"
+    title = "no unseeded or process-global randomness outside sim/rng.py"
+    explanation = (
+        "Experiment results must be bit-reproducible from one root seed: the\n"
+        "paper's claims are checked by replaying traces, and the named-stream\n"
+        "discipline in repro.sim.rng isolates consumers of randomness from one\n"
+        "another.  Calling the random module's global functions (random.random,\n"
+        "random.shuffle, ...), constructing an unseeded random.Random(), or\n"
+        "touching numpy.random bypasses that discipline and silently breaks\n"
+        "determinism.  Draw from Simulator.rng.stream(name) instead.  Using\n"
+        "random.Random purely as a type annotation, or accepting an rng\n"
+        "parameter, is fine — only calls are flagged."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.is_module("repro", "sim", "rng.py")
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        aliases = _ModuleAliases(frozenset({"random", "numpy", "numpy.random"}))
+        aliases.visit(ctx.tree)
+
+        random_names = {name for name, mod in aliases.aliases.items() if mod == "random"}
+        numpy_names = {name for name, mod in aliases.aliases.items() if mod.startswith("numpy")}
+        numpy_random_names = {
+            name for name, mod in aliases.aliases.items() if mod == "numpy.random"
+        }
+        unseeded_class_names: set[str] = set()
+        for node, module, original, local in aliases.from_imports:
+            if module == "random" and original in GLOBAL_RANDOM_FUNCTIONS:
+                diagnostics.append(
+                    self.diagnostic(
+                        ctx,
+                        node,
+                        f"'from random import {original}' uses the process-global "
+                        "RNG; draw from a named stream (repro.sim.rng) instead",
+                    )
+                )
+            elif module == "random" and original == "Random":
+                unseeded_class_names.add(local)
+            elif module == "numpy" and original == "random":
+                numpy_random_names.add(local)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if chain is None:
+                continue
+            root, rest = chain[0], chain[1:]
+            if root in random_names and rest and rest[-1] in GLOBAL_RANDOM_FUNCTIONS:
+                diagnostics.append(
+                    self.diagnostic(
+                        ctx,
+                        node,
+                        f"call to global-RNG function random.{rest[-1]}(); use a "
+                        "seeded named stream from repro.sim.rng",
+                    )
+                )
+            elif (
+                (root in random_names and rest == ["Random"])
+                or (not rest and root in unseeded_class_names)
+            ) and not node.args and not node.keywords:
+                diagnostics.append(
+                    self.diagnostic(
+                        ctx,
+                        node,
+                        "unseeded random.Random() is nondeterministic; pass an "
+                        "explicit seed or use repro.sim.rng",
+                    )
+                )
+            elif (root in numpy_names and "random" in rest) or (
+                root in numpy_random_names and rest
+            ):
+                diagnostics.append(
+                    self.diagnostic(
+                        ctx,
+                        node,
+                        "numpy.random bypasses the seeded named-stream registry; "
+                        "use repro.sim.rng streams",
+                    )
+                )
+        return diagnostics
+
+
+class WallClockRule(Rule):
+    """RPX002: protocol and simulator code runs on virtual time only."""
+
+    rule_id = "RPX002"
+    title = "no wall-clock reads in sim/, basic/, ddb/, ormodel/"
+    explanation = (
+        "All temporal reasoning in the reproduction — FIFO delivery order,\n"
+        "detection latency, the 'black cycle at the time the probe is\n"
+        "received' condition of Theorem 2 — happens in virtual time owned by\n"
+        "sim.clock.Clock.  A time.time()/monotonic() read or datetime.now()\n"
+        "in protocol or simulator code couples results to the host machine\n"
+        "and makes traces non-replayable.  Use Simulator.now (and schedule()\n"
+        "instead of sleep())."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_packages("sim", "basic", "ddb", "ormodel")
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        aliases = _ModuleAliases(frozenset({"time", "datetime"}))
+        aliases.visit(ctx.tree)
+
+        time_names = {name for name, mod in aliases.aliases.items() if mod == "time"}
+        datetime_module_names = {
+            name for name, mod in aliases.aliases.items() if mod == "datetime"
+        }
+        datetime_class_names: set[str] = set()
+        for node, module, original, local in aliases.from_imports:
+            if module == "time" and original in WALL_CLOCK_TIME_FUNCTIONS:
+                diagnostics.append(
+                    self.diagnostic(
+                        ctx,
+                        node,
+                        f"'from time import {original}' reads the wall clock; "
+                        "protocol code must use virtual time (Simulator.now)",
+                    )
+                )
+            elif module == "datetime" and original in {"datetime", "date"}:
+                datetime_class_names.add(local)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if chain is None:
+                continue
+            root, rest = chain[0], chain[1:]
+            if root in time_names and rest and rest[-1] in WALL_CLOCK_TIME_FUNCTIONS:
+                diagnostics.append(
+                    self.diagnostic(
+                        ctx,
+                        node,
+                        f"wall-clock call time.{rest[-1]}(); use the virtual "
+                        "Clock via Simulator.now / Simulator.schedule",
+                    )
+                )
+            elif (
+                root in datetime_module_names
+                and len(rest) == 2
+                and rest[0] in {"datetime", "date"}
+                and rest[1] in WALL_CLOCK_DATETIME_METHODS
+            ) or (
+                root in datetime_class_names
+                and len(rest) == 1
+                and rest[0] in WALL_CLOCK_DATETIME_METHODS
+            ):
+                diagnostics.append(
+                    self.diagnostic(
+                        ctx,
+                        node,
+                        "wall-clock datetime constructor; simulations must be "
+                        "replayable from virtual time alone",
+                    )
+                )
+        return diagnostics

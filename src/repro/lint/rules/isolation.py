@@ -1,0 +1,176 @@
+"""RPX006: no shared-memory cheating between simulated processes."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules.base import Rule
+
+#: attribute names through which code reaches OTHER process objects
+PEER_ACCESS_ATTRS = frozenset({"network", "processes", "vertices", "controllers", "peers"})
+#: method names that reach a process registry
+PEER_ACCESS_CALLS = frozenset({"process", "controller"})
+#: container / object mutators — calling one on a peer chain is a write
+MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "popleft",
+        "clear",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+_HANDLER_PREFIXES = ("on_", "_on_")
+
+
+class _ChainInfo:
+    """Summary of an attribute/subscript/call access chain."""
+
+    __slots__ = ("root", "attrs", "reaches_peer")
+
+    def __init__(self, root: str | None, attrs: set[str], reaches_peer: bool) -> None:
+        self.root = root
+        self.attrs = attrs
+        self.reaches_peer = reaches_peer
+
+
+def _unroll(node: ast.AST) -> _ChainInfo:
+    """Walk an access chain down to its root Name.
+
+    ``self.network.process(j).pending_in`` ->
+    root="self", attrs={network, process, pending_in}, reaches_peer=True.
+    """
+    attrs: set[str] = set()
+    reaches_peer = False
+    while True:
+        if isinstance(node, ast.Attribute):
+            attrs.add(node.attr)
+            if node.attr in PEER_ACCESS_ATTRS:
+                reaches_peer = True
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute) and node.func.attr in PEER_ACCESS_CALLS:
+                reaches_peer = True
+            node = node.func
+        else:
+            break
+    root = node.id if isinstance(node, ast.Name) else None
+    return _ChainInfo(root, attrs, reaches_peer)
+
+
+def _is_process_class(node: ast.ClassDef) -> bool:
+    """Heuristic: the class (transitively) subclasses sim.process.Process."""
+    for base in node.bases:
+        text = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", "")
+        if "Process" in text or text == "Controller":
+            return True
+    return False
+
+
+class ProcessIsolationRule(Rule):
+    """RPX006: a process only ever mutates its own state."""
+
+    rule_id = "RPX006"
+    title = "message handlers must not mutate another process's attributes"
+    explanation = (
+        "Axiom P3: a process decides using local knowledge only — its own\n"
+        "edges, its own detector state — plus the messages it receives.  In\n"
+        "a single-address-space simulation nothing physically prevents\n"
+        "vertex j from reaching through the network registry and flipping\n"
+        "vertex k's pending_in, which would fabricate exactly the global\n"
+        "knowledge the distributed algorithm is proved not to need.  This\n"
+        "rule flags, inside Process subclasses, (a) any write through a\n"
+        "peer-reaching chain (.network / .vertices / .controllers /\n"
+        ".process(...)), and (b) handler methods (on_message / _on_*)\n"
+        "mutating their received arguments — in-flight messages are frozen\n"
+        "(RPX003) and must stay that way."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_packages("basic", "ddb", "ormodel")
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and _is_process_class(node):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        diagnostics.extend(self._check_method(ctx, item))
+        return diagnostics
+
+    def _check_method(
+        self, ctx: FileContext, method: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        is_handler = method.name == "on_message" or method.name.startswith(_HANDLER_PREFIXES)
+        params = {arg.arg for arg in method.args.args} - {"self"}
+        #: local names bound to expressions that reach peer processes
+        peer_vars: set[str] = set()
+
+        def chain_is_foreign(info: _ChainInfo) -> str | None:
+            if info.reaches_peer or (info.root is not None and info.root in peer_vars):
+                return "another process's state"
+            if is_handler and info.root is not None and info.root in params:
+                return f"its received argument '{info.root}'"
+            return None
+
+        for stmt in ast.walk(method):
+            if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        why = chain_is_foreign(_unroll(target))
+                        if why is not None:
+                            diagnostics.append(
+                                self.diagnostic(
+                                    ctx,
+                                    target,
+                                    f"handler '{method.name}' writes {why} "
+                                    "directly; communicate via messages instead",
+                                )
+                            )
+                    elif isinstance(target, ast.Name) and isinstance(stmt, ast.Assign):
+                        info = _unroll(stmt.value)
+                        if info.reaches_peer or (info.root in peer_vars):
+                            peer_vars.add(target.id)
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        why = chain_is_foreign(_unroll(target))
+                        if why is not None:
+                            diagnostics.append(
+                                self.diagnostic(
+                                    ctx,
+                                    target,
+                                    f"handler '{method.name}' deletes {why}",
+                                )
+                            )
+            elif isinstance(stmt, ast.Call):
+                func = stmt.func
+                if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+                    why = chain_is_foreign(_unroll(func.value))
+                    if why is not None:
+                        diagnostics.append(
+                            self.diagnostic(
+                                ctx,
+                                stmt,
+                                f"handler '{method.name}' calls mutator "
+                                f".{func.attr}() on {why}; only a process's "
+                                "own state may be mutated",
+                            )
+                        )
+        return diagnostics

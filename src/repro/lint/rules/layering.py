@@ -1,0 +1,76 @@
+"""RPX004: one-way layering between protocol packages and the harness."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules.base import Rule
+
+#: packages implementing the paper's models + the simulation substrate
+PROTOCOL_PACKAGES = frozenset({"basic", "ddb", "ormodel", "sim"})
+#: harness layers that may depend on protocol code, never the reverse
+HARNESS_PACKAGES = frozenset({"experiments", "analysis", "verification", "workloads"})
+
+
+class LayeringRule(Rule):
+    """RPX004: protocol packages never import the harness layers."""
+
+    rule_id = "RPX004"
+    title = "protocol packages must not import experiments/analysis/verification/workloads"
+    explanation = (
+        "The protocol packages (basic/, ddb/, ormodel/) and the simulation\n"
+        "substrate (sim/) are the trusted core the paper's proofs map onto;\n"
+        "experiments/, analysis/, verification/ and workloads/ observe that\n"
+        "core from outside (black-box monitoring, like the oracle layer).\n"
+        "A protocol->harness import would let verification state leak into\n"
+        "protocol decisions — exactly the shared-knowledge cheating axiom P3\n"
+        "forbids — and blocks future refactors (sharding, multi-process\n"
+        "backends) that need the core to stand alone."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_packages(*PROTOCOL_PACKAGES)
+
+    def _resolve_relative(self, ctx: FileContext, node: ast.ImportFrom) -> list[str]:
+        """Absolute module parts for a ``from . import x``-style node."""
+        base = list(ctx.package)
+        drop = node.level - 1
+        if drop:
+            base = base[:-drop] if drop < len(base) else []
+        if node.module:
+            base.extend(node.module.split("."))
+        return base
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    parts = alias.name.split(".")
+                    if len(parts) >= 2 and parts[0] == "repro" and parts[1] in HARNESS_PACKAGES:
+                        diagnostics.append(self._violation(ctx, node, alias.name))
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    parts = self._resolve_relative(ctx, node)
+                else:
+                    parts = node.module.split(".") if node.module else []
+                if len(parts) >= 2 and parts[0] == "repro" and parts[1] in HARNESS_PACKAGES:
+                    diagnostics.append(self._violation(ctx, node, ".".join(parts)))
+                elif parts == ["repro"]:
+                    for alias in node.names:
+                        if alias.name in HARNESS_PACKAGES:
+                            diagnostics.append(
+                                self._violation(ctx, node, f"repro.{alias.name}")
+                            )
+        return diagnostics
+
+    def _violation(self, ctx: FileContext, node: ast.AST, module: str) -> Diagnostic:
+        return self.diagnostic(
+            ctx,
+            node,
+            f"protocol package '{'.'.join(ctx.package)}' imports harness "
+            f"module '{module}' (one-way layering: protocol code must not "
+            "depend on experiments/analysis/verification/workloads)",
+        )

@@ -1,0 +1,65 @@
+"""RPX003: message dataclasses must be frozen (immutable in flight)."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules.base import Rule
+
+
+def _is_dataclass_ref(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Name) and node.id == "dataclass") or (
+        isinstance(node, ast.Attribute) and node.attr == "dataclass"
+    )
+
+
+class FrozenMessagesRule(Rule):
+    """RPX003: every dataclass in a ``messages.py`` is ``frozen=True``."""
+
+    rule_id = "RPX003"
+    title = "message dataclasses in */messages.py must be frozen=True"
+    explanation = (
+        "A message mutated after it is sent (or after receipt, while a copy\n"
+        "is still queued) breaks the FIFO-replay reasoning behind axioms\n"
+        "P1-P4: the invariant checkers match net.sent to net.delivered events\n"
+        "by message identity and value, and probe meaningfulness (section\n"
+        "3.2 / 6.5) is judged against the message as sent.  Declaring every\n"
+        "dataclass in a messages.py module frozen=True makes in-flight\n"
+        "immutability structural rather than conventional."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.filename == "messages.py"
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                if _is_dataclass_ref(decorator):
+                    diagnostics.append(
+                        self.diagnostic(
+                            ctx,
+                            node,
+                            f"message dataclass '{node.name}' is mutable; "
+                            "declare it @dataclass(frozen=True)",
+                        )
+                    )
+                elif isinstance(decorator, ast.Call) and _is_dataclass_ref(decorator.func):
+                    frozen = next(
+                        (kw.value for kw in decorator.keywords if kw.arg == "frozen"),
+                        None,
+                    )
+                    if not (isinstance(frozen, ast.Constant) and frozen.value is True):
+                        diagnostics.append(
+                            self.diagnostic(
+                                ctx,
+                                node,
+                                f"message dataclass '{node.name}' must set "
+                                "frozen=True (immutability of in-flight messages)",
+                            )
+                        )
+        return diagnostics

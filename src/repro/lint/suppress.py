@@ -1,0 +1,42 @@
+"""Per-line suppression comments: ``# repro-lint: disable=RPX001[,RPX002]``."""
+
+from __future__ import annotations
+
+import re
+
+from repro.lint.diagnostics import Diagnostic
+
+_DISABLE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def suppressions_by_line(lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line number -> set of suppressed rule ids ('ALL' for all).
+
+    The comment must sit on the same physical line the diagnostic is
+    reported on (for multi-line calls: the line of the flagged argument).
+    """
+    result: dict[int, set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _DISABLE.search(line)
+        if match is None:
+            continue
+        rules = {part.strip().upper() for part in match.group(1).split(",") if part.strip()}
+        if rules:
+            result[lineno] = rules
+    return result
+
+
+def filter_suppressed(
+    diagnostics: list[Diagnostic], lines: list[str]
+) -> list[Diagnostic]:
+    """Drop diagnostics whose line carries a matching disable comment."""
+    table = suppressions_by_line(lines)
+    if not table:
+        return diagnostics
+    kept = []
+    for diagnostic in diagnostics:
+        suppressed = table.get(diagnostic.line, set())
+        if "ALL" in suppressed or diagnostic.rule in suppressed:
+            continue
+        kept.append(diagnostic)
+    return kept

@@ -19,12 +19,13 @@ Verification mirrors :class:`~repro.basic.system.BasicSystem`:
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Iterable
 
 from repro._ids import ProbeTag, VertexId
 from repro.errors import ConfigurationError
 from repro.ormodel.vertex import OrVertexProcess
+from repro.sim import categories
 from repro.sim.network import DelayModel, Network
 from repro.sim.simulator import Simulator
 
@@ -171,10 +172,10 @@ class OrSystem:
     def _observe(self, event) -> None:
         from repro.ormodel.messages import Grant
 
-        if event.category == "net.sent" and isinstance(event["message"], Grant):
+        if event.category == categories.NET_SENT and isinstance(event["message"], Grant):
             key = (event["sender"], event["destination"])
             self._grants_in_flight[key] = self._grants_in_flight.get(key, 0) + 1
-        elif event.category == "net.delivered" and isinstance(event["message"], Grant):
+        elif event.category == categories.NET_DELIVERED and isinstance(event["message"], Grant):
             key = (event["sender"], event["destination"])
             self._grants_in_flight[key] -= 1
             if not self._grants_in_flight[key]:

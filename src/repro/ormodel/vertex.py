@@ -26,12 +26,13 @@ Detector (Chandy-Misra-Haas communication model, a diffusing computation):
 
 from __future__ import annotations
 
+from collections.abc import Callable, Hashable, Iterable
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable
 
 from repro._ids import ProbeTag, VertexId
 from repro.errors import ProtocolError
 from repro.ormodel.messages import Grant, OrQuery, OrReply, RequestAny
+from repro.sim import categories
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 
@@ -109,7 +110,7 @@ class OrVertexProcess(Process):
         self.dependent_set = set(batch)
         self.oracle.set_dependents(self.vertex_id, set(batch))
         self.simulator.trace_now(
-            "or.request.sent", source=self.vertex_id, targets=tuple(batch)
+            categories.OR_REQUEST_SENT, source=self.vertex_id, targets=tuple(batch)
         )
         for target in batch:
             self.send(target, RequestAny(requester=self.vertex_id))
@@ -173,7 +174,7 @@ class OrVertexProcess(Process):
             self.simulator.metrics.counter("or.grants.stale").increment()
             return
         self.simulator.trace_now(
-            "or.unblocked", vertex=self.vertex_id, granter=message.granter
+            categories.OR_UNBLOCKED, vertex=self.vertex_id, granter=message.granter
         )
         self.dependent_set.clear()
         self.oracle.set_dependents(self.vertex_id, set())
@@ -229,7 +230,7 @@ class OrVertexProcess(Process):
                 self.declared.append(tag)
                 self.simulator.metrics.counter("or.deadlocks.declared").increment()
                 self.simulator.trace_now(
-                    "or.deadlock.declared", vertex=self.vertex_id, tag=tag
+                    categories.OR_DEADLOCK_DECLARED, vertex=self.vertex_id, tag=tag
                 )
                 if self._on_declare is not None:
                     self._on_declare(self, tag)
@@ -269,7 +270,7 @@ class OrVertexProcess(Process):
     def _emit_grant(self, requester: VertexId) -> None:
         self.pending_grants.discard(requester)
         self.simulator.trace_now(
-            "or.grant.sent", source=self.vertex_id, target=requester
+            categories.OR_GRANT_SENT, source=self.vertex_id, target=requester
         )
         self.send(requester, Grant(granter=self.vertex_id))
 

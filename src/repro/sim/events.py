@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.errors import SimulationError
 

@@ -20,9 +20,11 @@ soundness argument -- genuinely depend on ordered delivery.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Hashable, Protocol
+from collections.abc import Callable, Hashable
+from typing import Any, Protocol
 
 from repro.errors import SimulationError
+from repro.sim import categories
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 
@@ -183,12 +185,15 @@ class Network:
         metrics.counter("net.messages.sent").increment()
         metrics.counter(f"net.messages.sent.{type_key}").increment()
         self.simulator.trace_now(
-            "net.sent", sender=sender, destination=destination, message=message
+            categories.NET_SENT, sender=sender, destination=destination, message=message
         )
 
         def deliver() -> None:
             self.simulator.trace_now(
-                "net.delivered", sender=sender, destination=destination, message=message
+                categories.NET_DELIVERED,
+                sender=sender,
+                destination=destination,
+                message=message,
             )
             metrics.counter("net.messages.delivered").increment()
             self._processes[destination].on_message(sender, message)

@@ -13,7 +13,8 @@ message handler runs to completion before any other event fires.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Hashable
+from collections.abc import Hashable
+from typing import TYPE_CHECKING, Any
 
 from repro.sim.simulator import Simulator
 

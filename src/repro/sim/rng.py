@@ -20,7 +20,7 @@ def derive_seed(root_seed: int, name: str) -> int:
     Uses SHA-256 over a canonical encoding so the mapping is stable across
     Python versions and processes (unlike ``hash()``, which is salted).
     """
-    payload = f"{root_seed}:{name}".encode("utf-8")
+    payload = f"{root_seed}:{name}".encode()
     digest = hashlib.sha256(payload).digest()
     return int.from_bytes(digest[:8], "big")
 

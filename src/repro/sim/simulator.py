@@ -9,7 +9,7 @@ time deadline, or an event-count limit.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.errors import SimulationError
 from repro.sim.clock import Clock

@@ -9,8 +9,9 @@ black cycle *at the time the probe is received*".
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any
 
 
 @dataclass(frozen=True)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.sim import categories
 from repro.sim.trace import Tracer
 
 
@@ -32,10 +33,10 @@ def check_fifo(tracer: Tracer) -> list[str]:
     sent: dict[tuple, list] = {}
     delivered_index: dict[tuple, int] = {}
     for event in tracer:
-        if event.category == "net.sent":
+        if event.category == categories.NET_SENT:
             key = (event["sender"], event["destination"])
             sent.setdefault(key, []).append(event["message"])
-        elif event.category == "net.delivered":
+        elif event.category == categories.NET_DELIVERED:
             key = (event["sender"], event["destination"])
             index = delivered_index.get(key, 0)
             queue = sent.get(key, [])
@@ -75,17 +76,17 @@ def _edge_intervals(tracer: Tracer) -> dict[tuple, list[_EdgeInterval]]:
     """Reconstruct edge colour history from request/reply trace events."""
     intervals: dict[tuple, list[_EdgeInterval]] = {}
     for event in tracer:
-        if event.category == "basic.request.sent":
+        if event.category == categories.BASIC_REQUEST_SENT:
             key = (event["source"], event["target"])
             intervals.setdefault(key, []).append(_EdgeInterval(created=event.time))
-        elif event.category == "basic.request.received":
+        elif event.category == categories.BASIC_REQUEST_RECEIVED:
             key = (event["source"], event["target"])
             intervals[key][-1].blackened = event.time
-        elif event.category == "basic.reply.sent":
+        elif event.category == categories.BASIC_REPLY_SENT:
             # reply from target back to source whitens edge (source, target)
             key = (event["target"], event["source"])
             intervals[key][-1].whitened = event.time
-        elif event.category == "basic.reply.received":
+        elif event.category == categories.BASIC_REPLY_RECEIVED:
             key = (event["target"], event["source"])
             intervals[key][-1].deleted = event.time
     return intervals
@@ -103,10 +104,10 @@ def check_probe_edge_darkness(tracer: Tracer) -> list[str]:
     sends: dict[tuple, list[float]] = {}
     consumed: dict[tuple, int] = {}
     for event in tracer:
-        if event.category == "basic.probe.sent":
+        if event.category == categories.BASIC_PROBE_SENT:
             key = (event["tag"], event["source"], event["target"])
             sends.setdefault(key, []).append(event.time)
-        elif event.category == "basic.probe.received" and event["meaningful"]:
+        elif event.category == categories.BASIC_PROBE_RECEIVED and event["meaningful"]:
             key = (event["tag"], event["source"], event["target"])
             index = consumed.get(key, 0)
             send_times = sends.get(key, [])

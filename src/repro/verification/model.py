@@ -31,8 +31,8 @@ in channel (j, i).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, replace
-from typing import Iterable, Union
 
 # ----------------------------------------------------------------------
 # Messages (wire format of the model)
@@ -73,7 +73,7 @@ class Initiate:
     source: int
 
 
-ScriptAction = Union[Request, Reply, Initiate]
+ScriptAction = Request | Reply | Initiate
 
 
 @dataclass(frozen=True)
@@ -84,7 +84,7 @@ class Deliver:
     target: int
 
 
-Action = Union[ScriptAction, Deliver]
+Action = ScriptAction | Deliver
 
 # ----------------------------------------------------------------------
 # State

@@ -21,8 +21,8 @@ and FIFO channels.  Messages: ``("reqany", src)``, ``("grant", src)``,
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, replace
-from typing import Iterable, Union
 
 Message = tuple
 
@@ -53,7 +53,7 @@ class InitiateOr:
     source: int
 
 
-ScriptAction = Union[RequestAny, GrantTo, InitiateOr]
+ScriptAction = RequestAny | GrantTo | InitiateOr
 
 
 @dataclass(frozen=True)
@@ -62,7 +62,7 @@ class Deliver:
     target: int
 
 
-Action = Union[ScriptAction, Deliver]
+Action = ScriptAction | Deliver
 
 Channels = tuple[tuple[tuple[int, int], tuple[Message, ...]], ...]
 

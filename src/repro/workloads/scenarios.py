@@ -7,7 +7,7 @@ to the system's vertices, so callers size the system to fit.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.basic.system import BasicSystem
 from repro.errors import ConfigurationError

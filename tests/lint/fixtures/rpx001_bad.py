@@ -1,0 +1,18 @@
+# lint-as: src/repro/workloads/fixture.py
+"""RPX001 failing fixture: process-global and unseeded randomness."""
+
+from __future__ import annotations
+
+import random
+
+
+def jitter() -> float:
+    return random.random()  # expect: RPX001
+
+
+def pick(items: list[int]) -> int:
+    return random.choice(items)  # expect: RPX001
+
+
+def fresh_stream() -> random.Random:
+    return random.Random()  # expect: RPX001

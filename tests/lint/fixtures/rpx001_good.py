@@ -1,0 +1,16 @@
+# lint-as: src/repro/workloads/fixture.py
+"""RPX001 passing fixture: randomness via seeded streams and annotations."""
+
+from __future__ import annotations
+
+import random
+
+
+def think_time(rng: random.Random) -> float:
+    # drawing from an injected (named, seeded) stream is the convention
+    return rng.expovariate(1.0)
+
+
+def make_stream(seed: int) -> random.Random:
+    # an explicitly seeded Random is reproducible
+    return random.Random(seed)

@@ -1,0 +1,19 @@
+# lint-as: src/repro/sim/fixture.py
+"""RPX002 failing fixture: wall-clock reads inside a protocol package."""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()  # expect: RPX002
+
+
+def wait_a_bit() -> None:
+    time.sleep(0.1)  # expect: RPX002
+
+
+def timestamp() -> str:
+    return datetime.now().isoformat()  # expect: RPX002

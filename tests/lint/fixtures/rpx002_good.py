@@ -1,0 +1,15 @@
+# lint-as: src/repro/sim/fixture.py
+"""RPX002 passing fixture: protocol code reads virtual time only."""
+
+from __future__ import annotations
+
+
+class Driver:
+    def __init__(self, simulator) -> None:
+        self.simulator = simulator
+
+    def stamp(self) -> float:
+        return self.simulator.now
+
+    def later(self, action) -> None:
+        self.simulator.schedule(1.0, action)

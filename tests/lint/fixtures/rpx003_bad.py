@@ -1,0 +1,21 @@
+# lint-as: src/repro/fixturemodel/messages.py
+"""RPX003 failing fixture: mutable message dataclasses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Ping:  # expect: RPX003
+    sender: int
+
+
+@dataclass(frozen=False)
+class Pong:  # expect: RPX003
+    replier: int
+
+
+@dataclass(slots=True)
+class Nudge:  # expect: RPX003
+    target: int

@@ -1,0 +1,20 @@
+# lint-as: src/repro/fixturemodel/messages.py
+"""RPX003 passing fixture: all message dataclasses frozen."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Ping:
+    sender: int
+
+
+@dataclass(frozen=True, slots=True)
+class Batch:
+    items: tuple[int, ...] = field(default_factory=tuple)
+
+
+class NotADataclass:
+    """Plain helper classes in a messages module are not constrained."""

@@ -1,0 +1,14 @@
+# lint-as: src/repro/basic/fixture.py
+"""RPX004 failing fixture: protocol package reaching into the harness."""
+
+from __future__ import annotations
+
+import repro.experiments.e1_completeness  # expect: RPX004
+from repro import workloads  # expect: RPX004
+from repro.verification.oracle import probe_oracle  # expect: RPX004
+
+
+def peek(system) -> object:
+    from repro.analysis.stats import mean  # expect: RPX004
+
+    return mean, workloads, probe_oracle, repro.experiments.e1_completeness

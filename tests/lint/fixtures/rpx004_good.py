@@ -1,0 +1,12 @@
+# lint-as: src/repro/basic/fixture.py
+"""RPX004 passing fixture: protocol code imports sideways and down only."""
+
+from __future__ import annotations
+
+from repro._ids import VertexId
+from repro.basic.messages import Probe
+from repro.errors import ProtocolError
+from repro.sim import categories
+from repro.sim.process import Process
+
+__all__ = ["VertexId", "Probe", "ProtocolError", "categories", "Process"]

@@ -1,0 +1,20 @@
+# lint-as: src/repro/basic/fixture.py
+"""RPX005 failing fixture: raw and typo'd trace-category literals."""
+
+from __future__ import annotations
+
+
+def announce(simulator, vertex: int) -> None:
+    simulator.trace_now("basic.unblocked", vertex=vertex)  # expect: RPX005
+
+
+def record_directly(tracer, now: float) -> None:
+    tracer.record(now, "basic.probe.snet", source=0)  # expect: RPX005
+
+
+def count_probes(tracer) -> int:
+    return len(tracer.events("basic.probe.sent"))  # expect: RPX005
+
+
+def is_delivery(event) -> bool:
+    return event.category == "net.delivered"  # expect: RPX005

@@ -1,0 +1,18 @@
+# lint-as: src/repro/basic/fixture.py
+"""RPX005 passing fixture: categories referenced through the registry."""
+
+from __future__ import annotations
+
+from repro.sim import categories
+
+
+def announce(simulator, vertex: int) -> None:
+    simulator.trace_now(categories.BASIC_UNBLOCKED, vertex=vertex)
+
+
+def count_probes(tracer) -> int:
+    return len(tracer.events(categories.BASIC_PROBE_SENT))
+
+
+def is_delivery(event) -> bool:
+    return event.category == categories.NET_DELIVERED

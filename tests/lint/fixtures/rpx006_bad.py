@@ -1,0 +1,16 @@
+# lint-as: src/repro/basic/fixture.py
+"""RPX006 failing fixture: shared-memory cheating between processes."""
+
+from __future__ import annotations
+
+from repro.sim.process import Process
+
+
+class CheatingVertex(Process):
+    def on_message(self, sender, message) -> None:
+        self.network.process(sender).pending_in.add(self.pid)  # expect: RPX006
+        message.tag = 99  # expect: RPX006
+
+    def _on_probe(self, probe) -> None:
+        victim = self.network.process(0)
+        victim.blocked = True  # expect: RPX006

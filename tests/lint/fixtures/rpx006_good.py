@@ -1,0 +1,27 @@
+# lint-as: src/repro/basic/fixture.py
+"""RPX006 passing fixture: handlers mutate their own state, send messages."""
+
+from __future__ import annotations
+
+from repro.sim.process import Process
+
+
+class WellBehavedVertex(Process):
+    def __init__(self, pid, simulator) -> None:
+        super().__init__(pid, simulator)
+        self.pending_in: set[int] = set()
+        self._records: dict[int, object] = {}
+
+    def on_message(self, sender, message) -> None:
+        # own state: fine
+        self.pending_in.add(sender)
+        # reading a peer is fine; only writes are isolation violations
+        peer = self.network.process(sender)
+        if peer is not None:
+            self.send(sender, message)
+
+    def _on_reply(self, message) -> None:
+        # mutating state fetched from our own containers is fine
+        record = self._records.get(0)
+        if record is not None:
+            record.done = True

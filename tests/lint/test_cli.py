@@ -1,0 +1,127 @@
+"""End-to-end tests of the ``repro lint`` subcommand."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+BAD_PROTOCOL_FILE = (
+    "import time\n"
+    "\n"
+    "\n"
+    "def stamp() -> float:\n"
+    "    return time.time()\n"
+)
+
+
+def write_tree(root: Path, rel: str, content: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, tmp_path: Path, capsys) -> None:
+        write_tree(tmp_path, "src/repro/sim/clean.py", "x = 1\n")
+        assert main(["lint", str(tmp_path / "src")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, tmp_path: Path, capsys) -> None:
+        write_tree(tmp_path, "src/repro/sim/dirty.py", BAD_PROTOCOL_FILE)
+        assert main(["lint", str(tmp_path / "src")]) == 1
+        out = capsys.readouterr().out
+        assert "RPX002" in out
+        assert "dirty.py:5:" in out
+        assert "1 issue(s) found" in out
+
+    def test_missing_path_exits_two(self, tmp_path: Path, capsys) -> None:
+        assert main(["lint", str(tmp_path / "nowhere")]) == 2
+        assert "no such path" in capsys.readouterr().out
+
+
+class TestJsonFormat:
+    def test_json_output_is_machine_readable_and_stable(
+        self, tmp_path: Path, capsys
+    ) -> None:
+        write_tree(tmp_path, "src/repro/sim/dirty.py", BAD_PROTOCOL_FILE)
+        assert main(["lint", str(tmp_path / "src"), "--format", "json"]) == 1
+        first = capsys.readouterr().out
+        payload = json.loads(first)
+        assert payload["version"] == 1
+        assert payload["count"] == 1
+        (diagnostic,) = payload["diagnostics"]
+        assert diagnostic["rule"] == "RPX002"
+        assert diagnostic["line"] == 5
+        assert diagnostic["col"] >= 1
+        assert diagnostic["path"].endswith("dirty.py")
+        assert "time" in diagnostic["message"]
+        # byte-for-byte stable across runs
+        assert main(["lint", str(tmp_path / "src"), "--format", "json"]) == 1
+        assert capsys.readouterr().out == first
+
+    def test_json_clean_payload(self, tmp_path: Path, capsys) -> None:
+        write_tree(tmp_path, "src/repro/sim/clean.py", "x = 1\n")
+        assert main(["lint", str(tmp_path / "src"), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"version": 1, "count": 0, "diagnostics": []}
+
+    def test_json_diagnostics_are_sorted(self, tmp_path: Path, capsys) -> None:
+        write_tree(tmp_path, "src/repro/sim/b.py", BAD_PROTOCOL_FILE)
+        write_tree(tmp_path, "src/repro/sim/a.py", BAD_PROTOCOL_FILE)
+        assert main(["lint", str(tmp_path / "src"), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        paths = [d["path"] for d in payload["diagnostics"]]
+        assert paths == sorted(paths)
+
+
+class TestExplain:
+    @pytest.mark.parametrize(
+        "rule_id", ["RPX001", "RPX002", "RPX003", "RPX004", "RPX005", "RPX006"]
+    )
+    def test_explain_prints_rule_doc(self, rule_id: str, capsys) -> None:
+        assert main(["lint", "--explain", rule_id]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(f"{rule_id}:")
+        # every explanation ties the rule back to the paper / invariants
+        assert len(out.splitlines()) > 3
+
+    def test_explain_is_case_insensitive(self, capsys) -> None:
+        assert main(["lint", "--explain", "rpx004"]) == 0
+        assert "RPX004" in capsys.readouterr().out
+
+    def test_explain_unknown_rule_exits_two(self, capsys) -> None:
+        assert main(["lint", "--explain", "RPX999"]) == 2
+        assert "unknown rule" in capsys.readouterr().out
+
+
+class TestSuppressionEndToEnd:
+    def test_disable_comment_silences_the_run(self, tmp_path: Path, capsys) -> None:
+        write_tree(
+            tmp_path,
+            "src/repro/sim/suppressed.py",
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=RPX002\n",
+        )
+        assert main(["lint", str(tmp_path / "src")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestDiscovery:
+    def test_fixture_directories_are_skipped(self, tmp_path: Path, capsys) -> None:
+        write_tree(
+            tmp_path, "tests/lint/fixtures/bad.py", BAD_PROTOCOL_FILE.replace(
+                "import time", "# lint-as: src/repro/sim/x.py\nimport time"
+            )
+        )
+        assert main(["lint", str(tmp_path / "tests")]) == 0
+
+    def test_explicit_file_argument_is_always_linted(
+        self, tmp_path: Path, capsys
+    ) -> None:
+        path = write_tree(tmp_path, "src/repro/sim/dirty.py", BAD_PROTOCOL_FILE)
+        assert main(["lint", str(path)]) == 1

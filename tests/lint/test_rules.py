@@ -1,0 +1,140 @@
+"""Fixture-driven tests: one passing and one failing fixture per RPX rule.
+
+Each fixture's first line is ``# lint-as: <logical path>`` — the path the
+file is linted *as*, which is how path-scoped rules (wall-clock only in
+protocol packages, frozen dataclasses only in messages.py, ...) are
+exercised from files that physically live under tests/lint/fixtures/.
+Failing fixtures mark every expected finding with ``# expect: RPXnnn`` on
+the flagged line; the test demands an exact (rule, line) match, so a
+fixture that accidentally trips a *different* rule fails loudly.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+RULE_IDS = ("RPX001", "RPX002", "RPX003", "RPX004", "RPX005", "RPX006")
+
+_EXPECT = re.compile(r"#\s*expect:\s*([A-Z0-9,\s]+)")
+
+
+def load_fixture(name: str) -> tuple[str, str]:
+    source = (FIXTURES / name).read_text()
+    first_line = source.splitlines()[0]
+    assert first_line.startswith("# lint-as:"), f"{name} missing '# lint-as:' header"
+    logical = first_line.split(":", 1)[1].strip()
+    return source, logical
+
+
+def expected_findings(source: str) -> set[tuple[str, int]]:
+    findings: set[tuple[str, int]] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _EXPECT.search(line)
+        if match:
+            for rule_id in match.group(1).split(","):
+                findings.add((rule_id.strip(), lineno))
+    return findings
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_good_fixture_is_clean(rule_id: str) -> None:
+    source, logical = load_fixture(f"{rule_id.lower()}_good.py")
+    diagnostics = lint_source(source, logical)
+    assert diagnostics == [], [d.format_text() for d in diagnostics]
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_bad_fixture_reports_rule_and_lines(rule_id: str) -> None:
+    source, logical = load_fixture(f"{rule_id.lower()}_bad.py")
+    expected = expected_findings(source)
+    assert expected, "bad fixture must carry at least one '# expect:' marker"
+    assert {rule for rule, _ in expected} == {rule_id}
+    diagnostics = lint_source(source, logical)
+    actual = {(d.rule, d.line) for d in diagnostics}
+    assert actual == expected, [d.format_text() for d in diagnostics]
+
+
+class TestCorruptingRealSources:
+    """Deliberate corruption of real repo files is caught precisely."""
+
+    def repo_root(self) -> Path:
+        return Path(__file__).parents[2]
+
+    def test_unfreezing_a_message_dataclass_is_caught(self) -> None:
+        path = self.repo_root() / "src" / "repro" / "basic" / "messages.py"
+        source = path.read_text()
+        assert "@dataclass(frozen=True)\nclass Probe:" in source
+        corrupted = source.replace(
+            "@dataclass(frozen=True)\nclass Probe:", "@dataclass\nclass Probe:"
+        )
+        class_line = corrupted.splitlines().index("class Probe:") + 1
+        diagnostics = lint_source(corrupted, "src/repro/basic/messages.py")
+        assert [(d.rule, d.line) for d in diagnostics] == [("RPX003", class_line)]
+        assert "Probe" in diagnostics[0].message
+
+    def test_typoing_a_trace_category_is_caught(self) -> None:
+        path = self.repo_root() / "src" / "repro" / "basic" / "vertex.py"
+        source = path.read_text()
+        assert "categories.BASIC_PROBE_SENT" in source
+        corrupted = source.replace(
+            "categories.BASIC_PROBE_SENT", '"basic.probe.snet"', 1
+        )
+        literal_line = next(
+            lineno
+            for lineno, line in enumerate(corrupted.splitlines(), start=1)
+            if '"basic.probe.snet"' in line
+        )
+        diagnostics = lint_source(corrupted, "src/repro/basic/vertex.py")
+        assert [(d.rule, d.line) for d in diagnostics] == [("RPX005", literal_line)]
+        assert "register it in repro.sim.categories" in diagnostics[0].message
+
+    def test_registered_literal_suggests_the_constant(self) -> None:
+        source = 'def f(sim):\n    sim.trace_now("net.sent", sender=1)\n'
+        (diagnostic,) = lint_source(source, "src/repro/sim/fixture.py")
+        assert diagnostic.rule == "RPX005"
+        assert "repro.sim.categories.NET_SENT" in diagnostic.message
+
+
+class TestSuppression:
+    def test_same_line_disable_comment_suppresses(self) -> None:
+        source, logical = load_fixture("rpx005_bad.py")
+        suppressed = source.replace(
+            "# expect: RPX005", "# repro-lint: disable=RPX005"
+        )
+        assert lint_source(suppressed, logical) == []
+
+    def test_disable_all_suppresses_every_rule(self) -> None:
+        source = (
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=all\n"
+        )
+        assert lint_source(source, "src/repro/sim/fixture.py") == []
+
+    def test_disable_comment_for_other_rule_does_not_suppress(self) -> None:
+        source = (
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=RPX001\n"
+        )
+        diagnostics = lint_source(source, "src/repro/sim/fixture.py")
+        assert [d.rule for d in diagnostics] == ["RPX002"]
+
+    def test_suppression_can_be_switched_off(self) -> None:
+        source = (
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=RPX002\n"
+        )
+        diagnostics = lint_source(source, "src/repro/sim/fixture.py", suppress=False)
+        assert [d.rule for d in diagnostics] == ["RPX002"]
+
+
+def test_syntax_error_yields_rpx000() -> None:
+    diagnostics = lint_source("def broken(:\n", "src/repro/basic/fixture.py")
+    assert len(diagnostics) == 1
+    assert diagnostics[0].rule == "RPX000"
+    assert "syntax error" in diagnostics[0].message

@@ -1,0 +1,46 @@
+"""The repo must satisfy its own lint rules, and the registry must be total."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.sim import categories
+
+REPO_ROOT = Path(__file__).parents[2]
+
+
+def test_repo_is_lint_clean() -> None:
+    """`repro lint src tests` over the real tree reports nothing."""
+    diagnostics = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    assert diagnostics == [], "\n".join(d.format_text() for d in diagnostics)
+
+
+def test_every_constant_is_in_all_categories() -> None:
+    constants = {
+        name: value
+        for name, value in vars(categories).items()
+        if name.isupper() and name != "ALL_CATEGORIES" and isinstance(value, str)
+    }
+    assert set(constants.values()) == set(categories.ALL_CATEGORIES)
+    # constant naming convention: upper-cased dotted string
+    for name, value in constants.items():
+        assert name == value.replace(".", "_").upper()
+        assert categories.constant_name_for(value) == name
+        assert categories.is_registered(value)
+    assert categories.constant_name_for("no.such.category") is None
+    assert not categories.is_registered("no.such.category")
+
+
+def test_runtime_traces_only_use_registered_categories() -> None:
+    """A full basic-model run records no category outside the registry."""
+    from repro.basic.system import BasicSystem
+    from repro.workloads.scenarios import schedule_cycle
+
+    system = BasicSystem(n_vertices=3, wfgd_on_declare=True)
+    schedule_cycle(system, [0, 1, 2])
+    system.run_to_quiescence()
+    recorded = {event.category for event in system.simulator.tracer}
+    assert recorded, "expected a non-empty trace"
+    unregistered = recorded - categories.ALL_CATEGORIES
+    assert not unregistered, f"unregistered categories recorded: {unregistered}"

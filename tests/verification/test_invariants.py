@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.basic.system import BasicSystem
+from repro.sim import categories
 from repro.sim.network import ExponentialDelay
 from repro.sim.trace import Tracer
 from repro.verification.invariants import check_fifo, check_probe_edge_darkness
@@ -52,3 +53,173 @@ class TestProbeDarknessChecker:
 
     # The positive case (a genuine P1 breach is flagged) is exercised by
     # tests/ablation/test_fifo_requirement.py on the scripted phantom run.
+
+
+class TestFifoInterleavedChannels:
+    """check_fifo must keep per-channel state: globally interleaved traffic
+    on independent channels is fine; only same-channel reordering counts."""
+
+    def test_interleaved_channels_in_order_is_clean(self) -> None:
+        tracer = Tracer()
+        # Channels (0,1), (1,0) and (2,1) interleaved in global time; each
+        # channel individually delivers in send order.
+        tracer.record(0.0, categories.NET_SENT, sender=0, destination=1, message="a1")
+        tracer.record(0.1, categories.NET_SENT, sender=1, destination=0, message="x1")
+        tracer.record(0.2, categories.NET_SENT, sender=0, destination=1, message="a2")
+        tracer.record(0.3, categories.NET_SENT, sender=2, destination=1, message="y1")
+        tracer.record(0.4, categories.NET_DELIVERED, sender=2, destination=1, message="y1")
+        tracer.record(0.5, categories.NET_DELIVERED, sender=0, destination=1, message="a1")
+        tracer.record(0.6, categories.NET_SENT, sender=1, destination=0, message="x2")
+        tracer.record(0.7, categories.NET_DELIVERED, sender=1, destination=0, message="x1")
+        tracer.record(0.8, categories.NET_DELIVERED, sender=0, destination=1, message="a2")
+        tracer.record(0.9, categories.NET_DELIVERED, sender=1, destination=0, message="x2")
+        assert check_fifo(tracer) == []
+
+    def test_equal_payloads_in_order_is_clean(self) -> None:
+        # Matching is positional per channel, so repeated identical payloads
+        # delivered in order must not confuse the checker.
+        tracer = Tracer()
+        for t in (0.0, 0.1):
+            tracer.record(t, categories.NET_SENT, sender=0, destination=1, message="ping")
+        for t in (1.0, 1.1):
+            tracer.record(
+                t, categories.NET_DELIVERED, sender=0, destination=1, message="ping"
+            )
+        assert check_fifo(tracer) == []
+
+    def test_reordering_is_localised_to_the_offending_channel(self) -> None:
+        tracer = Tracer()
+        # Channel (0,1): reordered.  Channel (2,3): clean, interleaved with it.
+        tracer.record(0.0, categories.NET_SENT, sender=0, destination=1, message="a")
+        tracer.record(0.1, categories.NET_SENT, sender=2, destination=3, message="p")
+        tracer.record(0.2, categories.NET_SENT, sender=0, destination=1, message="b")
+        tracer.record(0.3, categories.NET_SENT, sender=2, destination=3, message="q")
+        tracer.record(1.0, categories.NET_DELIVERED, sender=2, destination=3, message="p")
+        tracer.record(1.1, categories.NET_DELIVERED, sender=0, destination=1, message="b")
+        tracer.record(1.2, categories.NET_DELIVERED, sender=2, destination=3, message="q")
+        tracer.record(1.3, categories.NET_DELIVERED, sender=0, destination=1, message="a")
+        violations = check_fifo(tracer)
+        # Positional matching flags both out-of-order deliveries on (0, 1)
+        # and nothing on (2, 3).
+        assert violations
+        assert all("(0, 1)" in violation for violation in violations)
+        assert not any("(2, 3)" in violation for violation in violations)
+
+
+class TestProbeDarknessEdgeBranches:
+    """Synthetic traces driving the interval logic of _edge_intervals /
+    dark_throughout through its individual failure branches."""
+
+    @staticmethod
+    def _edge_lifecycle(
+        tracer: Tracer,
+        source: int,
+        target: int,
+        created: float,
+        blackened: float,
+        whitened: float | None = None,
+        deleted: float | None = None,
+    ) -> None:
+        tracer.record(
+            created, categories.BASIC_REQUEST_SENT, source=source, target=target
+        )
+        tracer.record(
+            blackened, categories.BASIC_REQUEST_RECEIVED, source=source, target=target
+        )
+        if whitened is not None:
+            # reply travels target -> source; invariants key it back to (source, target)
+            tracer.record(
+                whitened, categories.BASIC_REPLY_SENT, source=target, target=source
+            )
+        if deleted is not None:
+            tracer.record(
+                deleted, categories.BASIC_REPLY_RECEIVED, source=target, target=source
+            )
+
+    def test_edge_whitened_mid_flight_is_a_violation(self) -> None:
+        # Probe sent at t=2 along (1, 2); the edge whitens at t=3 (reply
+        # sent) while the probe is still in flight; meaningful receipt at
+        # t=4 therefore breaks the P1 consequence.
+        tracer = Tracer()
+        self._edge_lifecycle(tracer, source=1, target=2, created=0.0, blackened=1.0,
+                             whitened=3.0, deleted=5.0)
+        tracer.record(2.0, categories.BASIC_PROBE_SENT, source=1, target=2, tag=7)
+        tracer.record(
+            4.0,
+            categories.BASIC_PROBE_RECEIVED,
+            source=1,
+            target=2,
+            tag=7,
+            meaningful=True,
+        )
+        violations = check_probe_edge_darkness(tracer)
+        assert len(violations) == 1
+        assert "P1 violated" in violations[0]
+        assert "(1, 2)" in violations[0]
+
+    def test_edge_dark_throughout_flight_is_clean(self) -> None:
+        # Same trace shape, but the probe lands before the reply whitens
+        # the edge: receipt at t=2.5 < whitened at t=3.
+        tracer = Tracer()
+        self._edge_lifecycle(tracer, source=1, target=2, created=0.0, blackened=1.0,
+                             whitened=3.0, deleted=5.0)
+        tracer.record(2.0, categories.BASIC_PROBE_SENT, source=1, target=2, tag=7)
+        tracer.record(
+            2.5,
+            categories.BASIC_PROBE_RECEIVED,
+            source=1,
+            target=2,
+            tag=7,
+            meaningful=True,
+        )
+        assert check_probe_edge_darkness(tracer) == []
+
+    def test_probe_sent_before_edge_existed_is_a_violation(self) -> None:
+        tracer = Tracer()
+        self._edge_lifecycle(tracer, source=1, target=2, created=1.0, blackened=2.0)
+        tracer.record(0.5, categories.BASIC_PROBE_SENT, source=1, target=2, tag=3)
+        tracer.record(
+            3.0,
+            categories.BASIC_PROBE_RECEIVED,
+            source=1,
+            target=2,
+            tag=3,
+            meaningful=True,
+        )
+        violations = check_probe_edge_darkness(tracer)
+        assert len(violations) == 1
+        assert "P1 violated" in violations[0]
+
+    def test_meaningful_probe_without_send_is_a_violation(self) -> None:
+        tracer = Tracer()
+        self._edge_lifecycle(tracer, source=1, target=2, created=0.0, blackened=1.0)
+        tracer.record(
+            2.0,
+            categories.BASIC_PROBE_RECEIVED,
+            source=1,
+            target=2,
+            tag=9,
+            meaningful=True,
+        )
+        violations = check_probe_edge_darkness(tracer)
+        assert len(violations) == 1
+        assert "never sent" in violations[0]
+
+    def test_recreated_edge_second_interval_covers_flight(self) -> None:
+        # The edge (1, 2) lives twice.  The probe's flight falls entirely
+        # inside the second lifetime, so the checker must scan the full
+        # interval history rather than only the first incarnation.
+        tracer = Tracer()
+        self._edge_lifecycle(tracer, source=1, target=2, created=0.0, blackened=1.0,
+                             whitened=2.0, deleted=3.0)
+        self._edge_lifecycle(tracer, source=1, target=2, created=4.0, blackened=5.0)
+        tracer.record(6.0, categories.BASIC_PROBE_SENT, source=1, target=2, tag=11)
+        tracer.record(
+            7.0,
+            categories.BASIC_PROBE_RECEIVED,
+            source=1,
+            target=2,
+            tag=11,
+            meaningful=True,
+        )
+        assert check_probe_edge_darkness(tracer) == []
