@@ -2,18 +2,22 @@
 
 Turns a recorded trace into a human-readable protocol timeline -- the
 debugging view you want when a test's message choreography surprises you,
-and the rendering used by the documentation examples.  Two renderers:
+and the rendering used by the documentation examples.  Three renderers:
 
 * :func:`render_timeline` -- chronological event list with aligned time
   stamps and compact, per-category phrasing;
 * :func:`render_lanes` -- a lane per vertex with message arrows between
-  lanes (sequence-chart style) for small basic-model scenarios.
+  lanes (sequence-chart style) for small basic-model scenarios;
+* :func:`render_spans` -- one row per probe computation ``(i, n)``,
+  rendered from the :mod:`repro.obs.spans` span model (the same model the
+  ``repro spans`` CLI and the Chrome-trace exporter consume).
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
 
+from repro.obs.spans import ProbeComputationSpan
 from repro.sim import categories
 from repro.sim.trace import TraceEvent, Tracer
 
@@ -86,6 +90,37 @@ def render_timeline(
         if limit is not None and len(lines) >= limit:
             lines.append("... (truncated)")
             break
+    return "\n".join(lines)
+
+
+def render_spans(spans: Iterable[ProbeComputationSpan]) -> str:
+    """Tabulate probe-computation spans: one row per ``(i, n)`` tag.
+
+    Columns: the tag, the initiation instant, hop count (meaningful/total),
+    the worst per-edge probe count (section 4 allows at most 1), the
+    outcome, and the detection latency for computations that declared.
+    """
+    header = (
+        f"{'tag':>8}  {'initiated':>10}  {'hops':>5}  {'meaningful':>10}  "
+        f"{'max/edge':>8}  {'outcome':<10}  {'latency':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for span in spans:
+        initiated = (
+            f"{span.initiated_at:10.3f}" if span.initiated_at is not None else "?".rjust(10)
+        )
+        latency = (
+            f"{span.detection_latency:8.3f}"
+            if span.detection_latency is not None
+            else "-".rjust(8)
+        )
+        lines.append(
+            f"{str(span.tag):>8}  {initiated}  {span.probes_sent:>5}  "
+            f"{span.meaningful_probes:>10}  {span.max_probes_on_one_edge:>8}  "
+            f"{span.outcome.value:<10}  {latency}"
+        )
+    if len(lines) == 2:
+        lines.append("(no probe computations in trace)")
     return "\n".join(lines)
 
 

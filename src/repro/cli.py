@@ -9,6 +9,9 @@ Usage::
     repro verify                     # exhaustive small-scope model checking
     repro lint src tests             # project-specific static analysis
     repro lint --explain RPX005      # what a rule enforces, and why
+    repro trace --format chrome --out trace.json   # Perfetto-loadable trace
+    repro spans                      # per-computation span table + bounds
+    repro profile --scenario cycle --n 64          # simulator hot-path profile
 
 The same experiment code also runs under pytest-benchmark (see
 ``benchmarks/``); the CLI exists for quick inspection without pytest.
@@ -118,6 +121,114 @@ def _cmd_timeline(_: argparse.Namespace) -> int:
     schedule_cycle(system, [0, 1, 2])
     system.run_to_quiescence()
     print(render_timeline(system.simulator.tracer))
+    return 0
+
+
+#: scenarios the observability commands can run; all deterministic per seed.
+OBS_SCENARIOS = ("quickstart", "cycle", "chain", "figure-eight", "ping-pong")
+
+
+def _build_obs_scenario(args: argparse.Namespace):
+    """Build a BasicSystem with the requested canned workload scheduled."""
+    from repro.basic.system import BasicSystem
+    from repro.workloads import scenarios
+
+    name = args.scenario
+    seed = args.seed
+    if name == "quickstart":
+        system = BasicSystem(n_vertices=3, seed=seed)
+        scenarios.schedule_cycle(system, [0, 1, 2])
+    elif name == "cycle":
+        n = args.n or 8
+        system = BasicSystem(n_vertices=n, seed=seed)
+        scenarios.schedule_cycle(system, list(range(n)))
+    elif name == "chain":
+        n = args.n or 8
+        system = BasicSystem(n_vertices=n, seed=seed)
+        scenarios.schedule_chain(system, list(range(n)))
+    elif name == "figure-eight":
+        n = max(args.n or 5, 5)
+        half = (n - 1) // 2
+        system = BasicSystem(n_vertices=n, seed=seed)
+        scenarios.schedule_figure_eight(
+            system, shared=0, left=list(range(1, 1 + half)), right=list(range(1 + half, n))
+        )
+    elif name == "ping-pong":
+        n = max(args.n or 4, 2)
+        system = BasicSystem(n_vertices=n, seed=seed)
+        pairs = [(i, i + 1) for i in range(0, n - 1, 2)]
+        scenarios.schedule_ping_pong(system, pairs, repetitions=4)
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(f"unknown scenario {name!r}")
+    return system
+
+
+def _add_obs_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        choices=OBS_SCENARIOS,
+        default="quickstart",
+        help="workload to run (default: quickstart, the 3-cycle demo)",
+    )
+    parser.add_argument(
+        "--n", type=int, default=None, help="scenario size (vertices), where applicable"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed (default: 0)")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.export import events_to_chrome, events_to_jsonl
+
+    system = _build_obs_scenario(args)
+    system.run_to_quiescence()
+    tracer = system.simulator.tracer
+    if args.format == "chrome":
+        payload = json.dumps(events_to_chrome(tracer), indent=2, sort_keys=True)
+    else:
+        payload = events_to_jsonl(tracer)
+    if args.out is not None:
+        Path(args.out).write_text(payload, encoding="utf-8")
+        print(
+            f"[{args.format} trace of '{args.scenario}' "
+            f"({len(tracer)} events) written to {args.out}]"
+        )
+    else:
+        print(payload, end="" if payload.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    from repro.analysis.timeline import render_spans
+    from repro.errors import BoundViolation
+    from repro.obs.spans import build_spans, check_probe_bounds
+
+    system = _build_obs_scenario(args)
+    system.run_to_quiescence()
+    spans = build_spans(system.simulator.tracer)
+    print(f"probe computations for scenario '{args.scenario}' (seed {args.seed}):")
+    print(render_spans(spans))
+    try:
+        check_probe_bounds(spans, n_vertices=len(system.vertices))
+    except BoundViolation as violation:
+        print(f"BOUND VIOLATED: {violation}")
+        return 1
+    print(
+        f"section 4 bounds OK: <= 1 probe per edge per computation "
+        f"across {len(spans)} computation(s)"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import profiling
+
+    system = _build_obs_scenario(args)
+    with profiling(system.simulator, sample_every=args.sample_every) as profiler:
+        system.run_to_quiescence()
+    print(profiler.report().render())
     return 0
 
 
@@ -244,6 +355,61 @@ def build_parser() -> argparse.ArgumentParser:
         "timeline", help="render a protocol timeline of the 3-cycle demo"
     )
     timeline.set_defaults(handler=_cmd_timeline)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run a scenario and export its trace (jsonl or chrome/Perfetto)",
+        description=(
+            "Runs a deterministic scenario to quiescence and exports the "
+            "structured trace: 'jsonl' is the lossless archival round-trip "
+            "format, 'chrome' loads in Perfetto (ui.perfetto.dev) or "
+            "chrome://tracing with per-vertex tracks, probe-computation "
+            "spans, and probe-hop flow arrows."
+        ),
+    )
+    _add_obs_scenario_arguments(trace)
+    trace.add_argument(
+        "--format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="export format (default: jsonl)",
+    )
+    trace.add_argument(
+        "--out", metavar="PATH", default=None, help="write to PATH instead of stdout"
+    )
+    trace.set_defaults(handler=_cmd_trace)
+
+    spans = subparsers.add_parser(
+        "spans",
+        help="per-computation span table with section 4 probe-bound checks",
+        description=(
+            "Runs a scenario, reconstructs every probe computation (i, n) "
+            "from the trace, prints one row per computation (hops, outcome, "
+            "detection latency), and machine-checks the paper's 'at most "
+            "one probe per edge per computation' bound; a violated bound "
+            "is a hard error (exit 1)."
+        ),
+    )
+    _add_obs_scenario_arguments(spans)
+    spans.set_defaults(handler=_cmd_spans)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="profile the simulator hot path on a scenario",
+        description=(
+            "Runs a scenario with the opt-in wall-clock profiler attached "
+            "and prints events/sec, per-handler-category wall time, and "
+            "event-queue depth statistics."
+        ),
+    )
+    _add_obs_scenario_arguments(profile)
+    profile.add_argument(
+        "--sample-every",
+        type=int,
+        default=64,
+        help="queue-depth sampling period in events (default: 64)",
+    )
+    profile.set_defaults(handler=_cmd_profile)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate an experiment table (E1..E8 or 'all')"

@@ -51,6 +51,23 @@ class ProtocolError(ReproError):
     """
 
 
+class BoundViolation(ReproError):
+    """A run exceeded one of the paper's proved performance bounds.
+
+    Section 4 bounds a probe computation at **one probe per edge** (a vertex
+    propagates at most once per computation, sending at most one probe per
+    outgoing edge) and hence at most ``|E|`` probes overall -- ``N`` on a
+    simple cycle of ``N`` vertices.  The span layer
+    (:mod:`repro.obs.spans`) machine-checks these bounds on every
+    reconstructed computation; a violation always indicates a protocol bug,
+    never a legal run-time condition.
+    """
+
+    def __init__(self, bound: str, message: str) -> None:
+        super().__init__(f"bound {bound} violated: {message}")
+        self.bound = bound
+
+
 class TransactionAborted(ReproError):
     """Raised inside transaction logic when the transaction has been aborted
     (e.g. chosen as a deadlock victim) and must stop issuing operations."""

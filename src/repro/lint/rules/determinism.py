@@ -58,6 +58,21 @@ WALL_CLOCK_TIME_FUNCTIONS = frozenset(
 #: ``datetime.datetime`` / ``datetime.date`` constructors that read the host clock.
 WALL_CLOCK_DATETIME_METHODS = frozenset({"now", "utcnow", "today"})
 
+#: The RPX002 allowlist: modules inside the scoped packages that may read
+#: the wall clock.  Deliberately a closed set of exact module paths, not a
+#: pattern.  ``repro/obs/profile.py`` is the simulator profiler: it times
+#: event handlers with ``time.perf_counter`` to report events/sec and
+#: per-handler wall time.  Its readings never flow back into the
+#: simulation (no delay, schedule, or protocol decision depends on them),
+#: and everything it records into shared state (time series, trace
+#: events) is stamped with virtual time -- see that module's docstring
+#: for the full discipline.  Any new entry here needs the same argument.
+WALL_CLOCK_ALLOWED_MODULES = frozenset(
+    {
+        ("repro", "obs", "profile.py"),
+    }
+)
+
 
 class _ModuleAliases(ast.NodeVisitor):
     """Track what local names refer to the modules a rule cares about."""
@@ -190,7 +205,7 @@ class WallClockRule(Rule):
     """RPX002: protocol and simulator code runs on virtual time only."""
 
     rule_id = "RPX002"
-    title = "no wall-clock reads in sim/, basic/, ddb/, ormodel/"
+    title = "no wall-clock reads in sim/, basic/, ddb/, ormodel/, obs/"
     explanation = (
         "All temporal reasoning in the reproduction — FIFO delivery order,\n"
         "detection latency, the 'black cycle at the time the probe is\n"
@@ -198,11 +213,19 @@ class WallClockRule(Rule):
         "sim.clock.Clock.  A time.time()/monotonic() read or datetime.now()\n"
         "in protocol or simulator code couples results to the host machine\n"
         "and makes traces non-replayable.  Use Simulator.now (and schedule()\n"
-        "instead of sleep())."
+        "instead of sleep()).\n"
+        "\n"
+        "One documented exception (WALL_CLOCK_ALLOWED_MODULES):\n"
+        "repro/obs/profile.py, the opt-in simulator profiler, measures\n"
+        "handler wall time by design.  It may read the wall clock because\n"
+        "its readings never feed back into the simulation and everything it\n"
+        "records into shared state is virtual-time stamped."
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
-        return ctx.in_packages("sim", "basic", "ddb", "ormodel")
+        if ctx.parts in WALL_CLOCK_ALLOWED_MODULES:
+            return False
+        return ctx.in_packages("sim", "basic", "ddb", "ormodel", "obs")
 
     def check(self, ctx: FileContext) -> list[Diagnostic]:
         diagnostics: list[Diagnostic] = []

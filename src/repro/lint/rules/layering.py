@@ -10,24 +10,31 @@ from repro.lint.rules.base import Rule
 
 #: packages implementing the paper's models + the simulation substrate
 PROTOCOL_PACKAGES = frozenset({"basic", "ddb", "ormodel", "sim"})
-#: harness layers that may depend on protocol code, never the reverse
-HARNESS_PACKAGES = frozenset({"experiments", "analysis", "verification", "workloads"})
+#: harness layers that may depend on protocol code, never the reverse.
+#: ``obs`` belongs here: it folds traces into spans and profiles the
+#: engine from outside; the simulator exposes only a structural
+#: ProfileHook protocol so it never needs to import obs.
+HARNESS_PACKAGES = frozenset(
+    {"experiments", "analysis", "verification", "workloads", "obs"}
+)
 
 
 class LayeringRule(Rule):
     """RPX004: protocol packages never import the harness layers."""
 
     rule_id = "RPX004"
-    title = "protocol packages must not import experiments/analysis/verification/workloads"
+    title = "protocol packages must not import experiments/analysis/verification/workloads/obs"
     explanation = (
         "The protocol packages (basic/, ddb/, ormodel/) and the simulation\n"
         "substrate (sim/) are the trusted core the paper's proofs map onto;\n"
-        "experiments/, analysis/, verification/ and workloads/ observe that\n"
-        "core from outside (black-box monitoring, like the oracle layer).\n"
+        "experiments/, analysis/, verification/, workloads/ and obs/ observe\n"
+        "that core from outside (black-box monitoring, like the oracle layer).\n"
         "A protocol->harness import would let verification state leak into\n"
         "protocol decisions — exactly the shared-knowledge cheating axiom P3\n"
         "forbids — and blocks future refactors (sharding, multi-process\n"
-        "backends) that need the core to stand alone."
+        "backends) that need the core to stand alone.  The simulator's\n"
+        "profiling hook is a structural Protocol for this reason: obs\n"
+        "implements it without sim ever importing obs."
     )
 
     def applies_to(self, ctx: FileContext) -> bool:

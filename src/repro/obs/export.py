@@ -1,0 +1,406 @@
+"""Trace export/import: lossless JSONL and Chrome trace-event JSON.
+
+Two formats, two purposes:
+
+* **JSONL** (:func:`write_jsonl` / :func:`read_jsonl`) is the archival
+  format: one event per line, typed encoding for the protocol payloads
+  (tags, frozen message dataclasses, tuples, enums), and a guaranteed
+  round-trip -- ``read(write(events)) == events`` event for event.  A trace
+  exported from one run can be re-imported and fed to the span builder or
+  the invariant checkers offline.
+* **Chrome trace-event JSON** (:func:`events_to_chrome`) is the *viewing*
+  format: load the file in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing`` and see one track per vertex/site, probe
+  computations and probe hops as duration slices, flow arrows following
+  each probe across tracks, and deadlock declarations as instant markers.
+  Virtual time units are mapped to microseconds (1 sim unit = 1 ms on
+  screen with the default ``displayTimeUnit``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+from collections.abc import Hashable, Iterable
+from enum import Enum
+from pathlib import Path
+from typing import Any
+
+from repro.obs.spans import BASIC_SPAN_SCHEMA, SpanSchema, build_spans
+from repro.sim.trace import TraceEvent, Tracer
+
+#: marker key for typed JSON encodings; a plain dict using this key is
+#: escaped through the "map" form, so the encoding stays unambiguous.
+_KIND = "~kind"
+
+#: only types from these package roots are reconstructed on import.
+_TRUSTED_ROOTS = ("repro.",)
+
+
+class TraceEncodingError(ValueError):
+    """A trace payload could not be encoded/decoded losslessly."""
+
+
+def _qualname(value: object) -> str:
+    cls = type(value)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def _encode(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise TraceEncodingError(f"non-finite float {value!r} is not portable")
+        return value
+    if isinstance(value, Enum):
+        return {_KIND: "enum", "type": _qualname(value), "name": value.name}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            _KIND: "dataclass",
+            "type": _qualname(value),
+            "fields": {
+                f.name: _encode(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, tuple):
+        return {_KIND: "tuple", "items": [_encode(item) for item in value]}
+    if isinstance(value, (set, frozenset)):
+        try:
+            items: list[Any] = sorted(value)
+        except TypeError:
+            items = sorted(value, key=repr)
+        return {
+            _KIND: "frozenset" if isinstance(value, frozenset) else "set",
+            "items": [_encode(item) for item in items],
+        }
+    if isinstance(value, list):
+        return [_encode(item) for item in value]
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value) and _KIND not in value:
+            return {key: _encode(item) for key, item in value.items()}
+        return {
+            _KIND: "map",
+            "items": [[_encode(key), _encode(item)] for key, item in value.items()],
+        }
+    raise TraceEncodingError(
+        f"cannot losslessly encode {value!r} of type {_qualname(value)}"
+    )
+
+
+def _resolve_type(path: str) -> type:
+    if not path.startswith(_TRUSTED_ROOTS):
+        raise TraceEncodingError(
+            f"refusing to import {path!r}: only {_TRUSTED_ROOTS} types are trusted"
+        )
+    # qualnames of nested classes contain dots; walk from the module side
+    parts = path.split(".")
+    for split in range(len(parts) - 1, 0, -1):
+        module_name = ".".join(parts[:split])
+        try:
+            module = importlib.import_module(module_name)
+        except ModuleNotFoundError:
+            continue
+        obj: Any = module
+        try:
+            for attr in parts[split:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            break
+        if isinstance(obj, type):
+            return obj
+        break
+    raise TraceEncodingError(f"cannot resolve type {path!r}")
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, list):
+        return [_decode(item) for item in value]
+    if not isinstance(value, dict):
+        return value
+    kind = value.get(_KIND)
+    if kind is None:
+        return {key: _decode(item) for key, item in value.items()}
+    if kind == "tuple":
+        return tuple(_decode(item) for item in value["items"])
+    if kind == "set":
+        return {_decode(item) for item in value["items"]}
+    if kind == "frozenset":
+        return frozenset(_decode(item) for item in value["items"])
+    if kind == "map":
+        return {_decode(key): _decode(item) for key, item in value["items"]}
+    if kind == "enum":
+        cls = _resolve_type(value["type"])
+        if not issubclass(cls, Enum):
+            raise TraceEncodingError(f"{value['type']!r} is not an Enum")
+        return cls[value["name"]]
+    if kind == "dataclass":
+        cls = _resolve_type(value["type"])
+        if not dataclasses.is_dataclass(cls):
+            raise TraceEncodingError(f"{value['type']!r} is not a dataclass")
+        fields = {key: _decode(item) for key, item in value["fields"].items()}
+        return cls(**fields)
+    raise TraceEncodingError(f"unknown encoding kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# JSONL round-trip
+# ---------------------------------------------------------------------------
+
+
+def event_to_dict(event: TraceEvent) -> dict[str, Any]:
+    """One event as a JSON-compatible dict (typed payload encoding)."""
+    return {
+        "time": event.time,
+        "category": event.category,
+        "details": {key: _encode(item) for key, item in event.details.items()},
+    }
+
+
+def event_from_dict(data: dict[str, Any]) -> TraceEvent:
+    return TraceEvent(
+        time=data["time"],
+        category=data["category"],
+        details={key: _decode(item) for key, item in data["details"].items()},
+    )
+
+
+def events_to_jsonl(events: Tracer | Iterable[TraceEvent]) -> str:
+    """Serialise events to JSONL, one event per line, in trace order."""
+    lines = [
+        json.dumps(event_to_dict(event), sort_keys=True, separators=(",", ":"))
+        for event in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def events_from_jsonl(text: str) -> list[TraceEvent]:
+    """Parse JSONL produced by :func:`events_to_jsonl` back into events."""
+    events = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(event_from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            raise TraceEncodingError(f"bad JSONL at line {lineno}: {error}") from error
+    return events
+
+
+def write_jsonl(path: str | Path, events: Tracer | Iterable[TraceEvent]) -> Path:
+    """Write events as JSONL to ``path`` and return the path."""
+    path = Path(path)
+    path.write_text(events_to_jsonl(events), encoding="utf-8")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Read a JSONL trace file back into :class:`TraceEvent` objects."""
+    return events_from_jsonl(Path(path).read_text(encoding="utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON (Perfetto-loadable)
+# ---------------------------------------------------------------------------
+
+#: one simulation time unit maps to this many Chrome-trace microseconds.
+_US_PER_UNIT = 1000.0
+
+
+def _us(time: float) -> float:
+    return round(time * _US_PER_UNIT, 3)
+
+
+def events_to_chrome(
+    events: Tracer | Iterable[TraceEvent],
+    schema: SpanSchema = BASIC_SPAN_SCHEMA,
+) -> dict[str, Any]:
+    """Render a trace as a Chrome trace-event document.
+
+    The document uses the JSON-object format (``{"traceEvents": [...]}``):
+
+    * one *thread* track per protocol participant (vertex / site),
+    * each probe computation ``(i, n)`` as a duration slice (``ph: "X"``)
+      on its initiator's track, covering initiation to last activity,
+    * each probe hop as a duration slice on the sender's track plus a
+      **flow arrow** (``ph: "s"``/``"f"``) from sender to receiver track,
+    * deadlock declarations as instant events (``ph: "i"``).
+    """
+    event_list = list(events)
+    spans = build_spans(event_list, schema=schema)
+
+    participants: set[Hashable] = set()
+    for span in spans:
+        participants.add(span.initiator)
+        for hop in span.hops:
+            if hop.source is not None:
+                participants.add(hop.source)
+            if hop.target is not None:
+                participants.add(hop.target)
+    tids = {
+        participant: index
+        for index, participant in enumerate(sorted(participants, key=str))
+    }
+
+    pid = 0
+    trace_events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"{schema.model} model"},
+        }
+    ]
+    prefix = "v" if schema.model == "basic" else "C"
+    for participant, tid in tids.items():
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"{prefix}{participant}"},
+            }
+        )
+
+    flow_id = 0
+    for span in spans:
+        start = span.initiated_at
+        if start is not None:
+            duration = max(span.end_time - start, 0.0)
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": f"probe {span.tag}",
+                    "cat": "probe.computation",
+                    "pid": pid,
+                    "tid": tids[span.initiator],
+                    "ts": _us(start),
+                    "dur": max(_us(duration), 1.0),
+                    "args": {
+                        "tag": str(span.tag),
+                        "outcome": span.outcome.value,
+                        "probes_sent": span.probes_sent,
+                        "meaningful_probes": span.meaningful_probes,
+                        "detection_latency": span.detection_latency,
+                    },
+                }
+            )
+        for hop in span.hops:
+            if hop.sent_at is None:
+                continue
+            hop_name = f"hop {span.tag} {prefix}{hop.source}->{prefix}{hop.target}"
+            end = hop.received_at if hop.received_at is not None else hop.sent_at
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": hop_name,
+                    "cat": "probe.hop",
+                    "pid": pid,
+                    "tid": tids.get(hop.source, 0),
+                    "ts": _us(hop.sent_at),
+                    "dur": max(_us(end - hop.sent_at), 1.0),
+                    "args": {
+                        "meaningful": hop.meaningful,
+                        "queue_delay": hop.queue_delay,
+                        "flight_delay": hop.flight_delay,
+                    },
+                }
+            )
+            if hop.received_at is not None and hop.target in tids:
+                flow_id += 1
+                common = {"cat": "probe.flow", "name": f"probe {span.tag}", "pid": pid}
+                trace_events.append(
+                    {
+                        "ph": "s",
+                        "id": flow_id,
+                        "tid": tids.get(hop.source, 0),
+                        "ts": _us(hop.sent_at),
+                        **common,
+                    }
+                )
+                trace_events.append(
+                    {
+                        "ph": "f",
+                        "bp": "e",
+                        "id": flow_id,
+                        "tid": tids[hop.target],
+                        "ts": _us(hop.received_at),
+                        **common,
+                    }
+                )
+        if span.declared_at is not None:
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "s": "g",
+                    "name": f"DEADLOCK {span.tag}",
+                    "cat": "probe.declaration",
+                    "pid": pid,
+                    "tid": tids[span.initiator],
+                    "ts": _us(span.declared_at),
+                }
+            )
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs.export",
+            "model": schema.model,
+            "spans": len(spans),
+            "events": len(event_list),
+        },
+    }
+
+
+def write_chrome(
+    path: str | Path,
+    events: Tracer | Iterable[TraceEvent],
+    schema: SpanSchema = BASIC_SPAN_SCHEMA,
+) -> Path:
+    """Write a Chrome trace-event JSON file and return the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(events_to_chrome(events, schema=schema), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+    return path
+
+
+def validate_chrome(document: dict[str, Any]) -> list[str]:
+    """Schema sanity-check a Chrome trace document; returns problem strings.
+
+    Not a full spec validator -- it checks what Perfetto needs to load the
+    file: the ``traceEvents`` array, per-event required keys, and matched
+    flow begin/finish pairs.
+    """
+    problems: list[str] = []
+    trace_events = document.get("traceEvents")
+    if not isinstance(trace_events, list):
+        return ["document has no 'traceEvents' array"]
+    flows: dict[Any, list[str]] = {}
+    for index, entry in enumerate(trace_events):
+        if not isinstance(entry, dict):
+            problems.append(f"traceEvents[{index}] is not an object")
+            continue
+        phase = entry.get("ph")
+        if phase not in {"X", "B", "E", "i", "I", "M", "s", "t", "f", "b", "e", "n"}:
+            problems.append(f"traceEvents[{index}] has unknown phase {phase!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in entry:
+                problems.append(f"traceEvents[{index}] ({phase}) missing {key!r}")
+        if phase != "M" and "ts" not in entry:
+            problems.append(f"traceEvents[{index}] ({phase}) missing 'ts'")
+        if phase == "X" and not isinstance(entry.get("dur"), (int, float)):
+            problems.append(f"traceEvents[{index}] (X) missing numeric 'dur'")
+        if phase in {"s", "f"}:
+            flows.setdefault(entry.get("id"), []).append(phase)
+    for flow, phases in sorted(flows.items(), key=lambda item: str(item[0])):
+        if sorted(phases) != ["f", "s"]:
+            problems.append(f"flow id {flow!r} has unmatched phases {phases}")
+    return problems

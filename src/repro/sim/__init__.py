@@ -24,7 +24,14 @@ EXPERIMENTS.md is exactly reproducible.
 
 from repro.sim.clock import Clock
 from repro.sim.events import Event, EventHandle, EventQueue
-from repro.sim.metrics import Counter, Histogram, MetricsRegistry
+from repro.sim.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+    TimeSeries,
+)
 from repro.sim.network import (
     DelayModel,
     ExponentialDelay,
@@ -46,12 +53,15 @@ __all__ = [
     "EventQueue",
     "ExponentialDelay",
     "FixedDelay",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Network",
     "Process",
     "RngRegistry",
+    "Sample",
     "Simulator",
+    "TimeSeries",
     "TraceEvent",
     "Tracer",
     "UniformDelay",

@@ -45,6 +45,11 @@ DDB_PROBE_RECEIVED: Final = "ddb.probe.received"
 DDB_COMPUTATION_INITIATED: Final = "ddb.computation.initiated"
 DDB_DEADLOCK_DECLARED: Final = "ddb.deadlock.declared"
 
+# -- observability / profiling (repro.obs) ---------------------------------
+#: Periodic event-queue-depth sample recorded by the opt-in profiler
+#: (virtual-time stamped, hence deterministic and replayable).
+PROFILE_QUEUE_SAMPLED: Final = "profile.queue.sampled"
+
 # -- OR / communication model (section 7) ----------------------------------
 OR_REQUEST_SENT: Final = "or.request.sent"
 OR_GRANT_SENT: Final = "or.grant.sent"

@@ -108,5 +108,15 @@ class EventQueue:
         """
         return sum(1 for event in self._heap if not event.cancelled)
 
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, cancelled entries included.
+
+        O(1), so safe to read per event; the profiling layer uses it as the
+        queue-depth signal (an upper bound on live events -- cancelled
+        entries are removed lazily).
+        """
+        return len(self._heap)
+
     def __bool__(self) -> bool:
         return self.next_time is not None

@@ -75,8 +75,14 @@ class Histogram:
 
     @property
     def values(self) -> list[float]:
-        """A copy of all recorded values, in recording order is not
-        guaranteed (values may have been sorted for quantile queries)."""
+        """A copy of all recorded values.
+
+        Recording order is **not** guaranteed: quantile queries
+        (:meth:`quantile`, :meth:`summary`) sort the backing list in place,
+        so after any such query the values come back sorted instead of in
+        insertion order.  The returned list is always a fresh copy, so
+        mutating it never affects the histogram.
+        """
         return list(self._values)
 
     def quantile(self, q: float) -> float:
@@ -113,16 +119,98 @@ class Histogram:
         return f"Histogram({self.name!r}, count={self.count})"
 
 
+class Gauge:
+    """A point-in-time value that can move both ways.
+
+    Counters are monotone by contract; gauges track levels -- messages in
+    flight, live event-queue depth -- that rise and fall.  The profiling
+    layer (:mod:`repro.obs.profile`) samples gauges into time series.
+    """
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if math.isnan(value):
+            raise ValueError(f"gauge {self.name!r} cannot be set to NaN")
+        self._value = value
+
+    def increment(self, amount: float = 1.0) -> None:
+        self.set(self._value + amount)
+
+    def decrement(self, amount: float = 1.0) -> None:
+        self.set(self._value - amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self._value})"
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One time-series observation: a value at a virtual-time instant."""
+
+    time: float
+    value: float
+
+
+class TimeSeries:
+    """An append-only sequence of ``(virtual time, value)`` samples.
+
+    Used for level-over-time telemetry such as event-queue depth.  Sample
+    times must be non-decreasing, which the single-threaded simulator
+    guarantees for anything recorded from inside event handlers.
+    """
+
+    __slots__ = ("name", "_samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: list[Sample] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self._samples and time < self._samples[-1].time:
+            raise ValueError(
+                f"time series {self.name!r} requires non-decreasing times: "
+                f"got {time} after {self._samples[-1].time}"
+            )
+        self._samples.append(Sample(time=time, value=value))
+
+    @property
+    def samples(self) -> list[Sample]:
+        """A copy of all samples, in recording order."""
+        return list(self._samples)
+
+    @property
+    def last(self) -> Sample | None:
+        return self._samples[-1] if self._samples else None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.name!r}, samples={len(self._samples)})"
+
+
 @dataclass
 class MetricsRegistry:
-    """Owner of named counters and histograms.
+    """Owner of named counters, histograms, gauges, and time series.
 
-    ``counter(name)`` / ``histogram(name)`` create on first use and memoise,
-    so call sites never need to pre-register metrics.
+    ``counter(name)`` / ``histogram(name)`` / ``gauge(name)`` /
+    ``timeseries(name)`` create on first use and memoise, so call sites
+    never need to pre-register metrics.
     """
 
     counters: dict[str, Counter] = field(default_factory=dict)
     histograms: dict[str, Histogram] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    series: dict[str, TimeSeries] = field(default_factory=dict)
 
     def counter(self, name: str) -> Counter:
         existing = self.counters.get(name)
@@ -136,6 +224,20 @@ class MetricsRegistry:
         if existing is None:
             existing = Histogram(name)
             self.histograms[name] = existing
+        return existing
+
+    def gauge(self, name: str) -> Gauge:
+        existing = self.gauges.get(name)
+        if existing is None:
+            existing = Gauge(name)
+            self.gauges[name] = existing
+        return existing
+
+    def timeseries(self, name: str) -> TimeSeries:
+        existing = self.series.get(name)
+        if existing is None:
+            existing = TimeSeries(name)
+            self.series[name] = existing
         return existing
 
     def counter_value(self, name: str) -> int:

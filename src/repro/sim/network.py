@@ -184,6 +184,8 @@ class Network:
         metrics = self.simulator.metrics
         metrics.counter("net.messages.sent").increment()
         metrics.counter(f"net.messages.sent.{type_key}").increment()
+        in_flight = metrics.gauge("net.messages.in_flight")
+        in_flight.increment()
         self.simulator.trace_now(
             categories.NET_SENT, sender=sender, destination=destination, message=message
         )
@@ -196,6 +198,7 @@ class Network:
                 message=message,
             )
             metrics.counter("net.messages.delivered").increment()
+            in_flight.decrement()
             self._processes[destination].on_message(sender, message)
 
         self.simulator.schedule_at(

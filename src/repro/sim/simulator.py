@@ -10,13 +10,33 @@ time deadline, or an event-count limit.
 from __future__ import annotations
 
 from collections.abc import Callable
+from typing import Protocol
 
 from repro.errors import SimulationError
 from repro.sim.clock import Clock
-from repro.sim.events import EventHandle, EventQueue
+from repro.sim.events import Event, EventHandle, EventQueue
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
+
+
+class ProfileHook(Protocol):
+    """Structural interface for the opt-in execution profiler.
+
+    The simulator itself never reads the wall clock (rule RPX002); it only
+    calls out to an attached hook around each event.  The one concrete
+    implementation lives in :mod:`repro.obs.profile`, the single module
+    allowed to measure wall time.  When no hook is attached the per-event
+    overhead is one attribute read and one ``is None`` test.
+    """
+
+    def before_event(self, event: Event) -> None:
+        """Called after the clock advanced, before the action runs."""
+        ...
+
+    def after_event(self, event: Event, queue_depth: int) -> None:
+        """Called after the action ran; ``queue_depth`` is the raw heap size."""
+        ...
 
 
 class Simulator:
@@ -38,6 +58,9 @@ class Simulator:
         self.metrics = MetricsRegistry()
         self.rng = RngRegistry(seed)
         self._events_executed = 0
+        #: Opt-in execution profiler (see :class:`ProfileHook`).  Attach /
+        #: detach via :class:`repro.obs.profile.SimulatorProfiler`.
+        self.profile_hook: ProfileHook | None = None
 
     @property
     def now(self) -> float:
@@ -70,7 +93,13 @@ class Simulator:
         event = self.queue.pop()
         self.clock.advance_to(event.time)
         self._events_executed += 1
-        event.action()
+        hook = self.profile_hook
+        if hook is None:
+            event.action()
+        else:
+            hook.before_event(event)
+            event.action()
+            hook.after_event(event, self.queue.heap_size)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:

@@ -10,6 +10,7 @@ black cycle *at the time the probe is received*".
 from __future__ import annotations
 
 from collections.abc import Callable, Iterator
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -58,6 +59,37 @@ class Tracer:
     def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
         """Invoke ``callback`` synchronously for every future event."""
         self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Detach a subscriber registered with :meth:`subscribe`.
+
+        Raises :class:`ValueError` if ``callback`` is not currently
+        subscribed -- a silent no-op here would hide double-detach bugs in
+        invariant checkers.  If the same callback was subscribed more than
+        once, one registration is removed per call.
+        """
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            raise ValueError(
+                f"callback {callback!r} is not subscribed to this tracer"
+            ) from None
+
+    @contextmanager
+    def subscribed(self, callback: Callable[[TraceEvent], None]) -> Iterator[None]:
+        """Context manager: subscribe ``callback`` for the ``with`` body only.
+
+        Span builders and invariant checkers use this to observe one bounded
+        run without leaking a subscription into later phases::
+
+            with tracer.subscribed(collector.on_event):
+                system.run_to_quiescence()
+        """
+        self.subscribe(callback)
+        try:
+            yield
+        finally:
+            self.unsubscribe(callback)
 
     def events(self, category: str | None = None) -> list[TraceEvent]:
         """All events, or those whose category matches exactly."""

@@ -1,0 +1,23 @@
+# lint-as: src/repro/obs/spans.py
+"""RPX002 allowlist failing fixture: the rest of obs/ stays wall-clock free.
+
+The allowlist names exactly ``repro/obs/profile.py``; linted as any other
+module under ``obs/`` (here: spans.py), wall-clock reads are flagged.
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime
+
+
+def stamp_span() -> float:
+    return time.perf_counter()  # expect: RPX002
+
+
+def wall_deadline() -> float:
+    return time.monotonic() + 5.0  # expect: RPX002
+
+
+def label() -> str:
+    return datetime.now().isoformat()  # expect: RPX002

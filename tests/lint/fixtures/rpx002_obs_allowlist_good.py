@@ -1,0 +1,19 @@
+# lint-as: src/repro/obs/profile.py
+"""RPX002 allowlist passing fixture: the profiler module may read wall time.
+
+``repro/obs/profile.py`` is the one module on the RPX002 allowlist
+(WALL_CLOCK_ALLOWED_MODULES); linted *as* that path, perf_counter reads
+are clean.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    def __init__(self) -> None:
+        self.started = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started

@@ -60,6 +60,32 @@ def test_bad_fixture_reports_rule_and_lines(rule_id: str) -> None:
     assert actual == expected, [d.format_text() for d in diagnostics]
 
 
+class TestWallClockAllowlist:
+    """RPX002's narrow allowlist: exactly repro/obs/profile.py, nothing else."""
+
+    def test_profile_module_may_read_wall_clock(self) -> None:
+        source, logical = load_fixture("rpx002_obs_allowlist_good.py")
+        assert logical == "src/repro/obs/profile.py"
+        diagnostics = lint_source(source, logical)
+        assert diagnostics == [], [d.format_text() for d in diagnostics]
+
+    def test_other_obs_modules_are_flagged(self) -> None:
+        source, logical = load_fixture("rpx002_obs_allowlist_bad.py")
+        expected = expected_findings(source)
+        assert expected and {rule for rule, _ in expected} == {"RPX002"}
+        diagnostics = lint_source(source, logical)
+        assert {(d.rule, d.line) for d in diagnostics} == expected
+
+    def test_allowlist_is_exact_module_paths(self) -> None:
+        from repro.lint.rules.determinism import WALL_CLOCK_ALLOWED_MODULES
+
+        assert WALL_CLOCK_ALLOWED_MODULES == {("repro", "obs", "profile.py")}
+        # a nested or renamed module does not inherit the exemption
+        source = "import time\nt = time.perf_counter()\n"
+        diagnostics = lint_source(source, "src/repro/obs/profile/extra.py")
+        assert [d.rule for d in diagnostics] == ["RPX002"]
+
+
 class TestCorruptingRealSources:
     """Deliberate corruption of real repo files is caught precisely."""
 

@@ -1,4 +1,4 @@
-"""Unit tests for counters and histograms."""
+"""Unit tests for counters, histograms, gauges, and time series."""
 
 from __future__ import annotations
 
@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sim.metrics import Counter, Histogram, MetricsRegistry
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
 
 
 class TestCounter:
@@ -65,6 +65,29 @@ class TestHistogram:
         histogram.record(1.0)
         assert histogram.quantile(0.0) == 1.0
 
+    def test_values_returns_a_fresh_copy(self) -> None:
+        # regression: mutating the returned list must not corrupt the
+        # histogram's backing storage
+        histogram = Histogram("h")
+        histogram.record(2.0)
+        histogram.record(1.0)
+        values = histogram.values
+        values.append(99.0)
+        values.clear()
+        assert histogram.count == 2
+        assert sorted(histogram.values) == [1.0, 2.0]
+        assert histogram.values is not histogram.values
+
+    def test_values_order_not_guaranteed_after_quantile(self) -> None:
+        # documented behaviour: quantile() may sort the backing list in
+        # place, so values reflects sorted order afterwards -- multiset
+        # content is what is guaranteed, not recording order
+        histogram = Histogram("h")
+        for value in (3.0, 1.0, 2.0):
+            histogram.record(value)
+        histogram.quantile(0.5)
+        assert histogram.values == [1.0, 2.0, 3.0]
+
     @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=200))
     def test_quantile_bounds_property(self, values: list[float]) -> None:
         histogram = Histogram("h")
@@ -73,6 +96,60 @@ class TestHistogram:
         assert histogram.quantile(0.0) == min(values)
         assert histogram.quantile(1.0) == max(values)
         assert min(values) <= histogram.quantile(0.5) <= max(values)
+
+
+class TestGauge:
+    def test_set_and_read(self) -> None:
+        gauge = Gauge("g")
+        assert gauge.value == 0.0
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+        gauge.set(-2.0)  # unlike Counter, a gauge may go down
+        assert gauge.value == -2.0
+
+    def test_increment_and_decrement(self) -> None:
+        gauge = Gauge("g")
+        gauge.increment()
+        gauge.increment(2.0)
+        gauge.decrement(0.5)
+        assert gauge.value == pytest.approx(2.5)
+
+    def test_nan_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Gauge("g").set(float("nan"))
+
+
+class TestTimeSeries:
+    def test_records_time_value_pairs(self) -> None:
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(2.0, 3.0)
+        assert len(series) == 2
+        assert [(sample.time, sample.value) for sample in series.samples] == [
+            (0.0, 1.0),
+            (2.0, 3.0),
+        ]
+        assert series.last is not None and series.last.value == 3.0
+
+    def test_times_must_be_non_decreasing(self) -> None:
+        series = TimeSeries("s")
+        series.record(5.0, 1.0)
+        series.record(5.0, 2.0)  # equal times are fine (same virtual instant)
+        with pytest.raises(ValueError):
+            series.record(4.9, 3.0)
+
+    def test_samples_is_a_copy(self) -> None:
+        series = TimeSeries("s")
+        series.record(1.0, 1.0)
+        samples = series.samples
+        samples.clear()
+        assert len(series) == 1
+
+    def test_empty_series(self) -> None:
+        series = TimeSeries("s")
+        assert len(series) == 0
+        assert series.last is None
+        assert series.samples == []
 
 
 class TestMetricsRegistry:
@@ -94,3 +171,10 @@ class TestMetricsRegistry:
         registry = MetricsRegistry()
         registry.histogram("h").record(1.0)
         assert registry.histogram("h").count == 1
+
+    def test_gauge_and_timeseries_memoised(self) -> None:
+        registry = MetricsRegistry()
+        registry.gauge("g").set(4.0)
+        assert registry.gauge("g").value == 4.0
+        registry.timeseries("s").record(0.0, 1.0)
+        assert len(registry.timeseries("s")) == 1

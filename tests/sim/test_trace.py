@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.sim.trace import TraceEvent, Tracer
 
 
@@ -39,6 +41,37 @@ class TestTracer:
         assert len(tracer) == 0
         assert len(seen) == 1
         assert seen[0]["k"] == "v"
+
+    def test_unsubscribe_stops_delivery(self) -> None:
+        tracer = Tracer()
+        seen: list[TraceEvent] = []
+        tracer.subscribe(seen.append)
+        tracer.record(1.0, "a")
+        tracer.unsubscribe(seen.append)
+        tracer.record(2.0, "b")
+        assert [event.category for event in seen] == ["a"]
+
+    def test_unsubscribe_unknown_callback_raises(self) -> None:
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="not subscribed"):
+            tracer.unsubscribe(lambda event: None)
+
+    def test_subscribed_context_manager_detaches(self) -> None:
+        tracer = Tracer()
+        seen: list[TraceEvent] = []
+        with tracer.subscribed(seen.append):
+            tracer.record(1.0, "inside")
+        tracer.record(2.0, "outside")
+        assert [event.category for event in seen] == ["inside"]
+
+    def test_subscribed_detaches_on_error(self) -> None:
+        tracer = Tracer()
+        seen: list[TraceEvent] = []
+        with pytest.raises(RuntimeError):
+            with tracer.subscribed(seen.append):
+                raise RuntimeError("boom")
+        tracer.record(1.0, "after")
+        assert seen == []
 
     def test_clear(self) -> None:
         tracer = Tracer()

@@ -58,6 +58,46 @@ class TestCommands:
         assert main(["experiment", "e4", "--quick"]) == 0
         assert "E4" in capsys.readouterr().out
 
+    def test_spans(self, capsys) -> None:
+        assert main(["spans"]) == 0
+        out = capsys.readouterr().out
+        assert "probe computations" in out
+        assert "deadlock" in out
+        assert "section 4 bounds OK" in out
+
+    def test_spans_other_scenarios(self, capsys) -> None:
+        assert main(["spans", "--scenario", "chain", "--n", "4"]) == 0
+        assert "fizzled" in capsys.readouterr().out
+        assert main(["spans", "--scenario", "ping-pong"]) == 0
+        assert "superseded" in capsys.readouterr().out
+
+    def test_trace_jsonl_round_trips(self, capsys) -> None:
+        from repro.obs.export import events_from_jsonl
+
+        assert main(["trace", "--format", "jsonl"]) == 0
+        events = events_from_jsonl(capsys.readouterr().out)
+        assert events
+        assert any(e.category == "basic.deadlock.declared" for e in events)
+
+    def test_trace_chrome_to_file(self, tmp_path, capsys) -> None:
+        import json
+
+        from repro.obs.export import validate_chrome
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "--format", "chrome", "--out", str(out_path)]) == 0
+        assert "written to" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        assert validate_chrome(document) == []
+        assert document["otherData"]["spans"] > 0
+
+    def test_profile(self, capsys) -> None:
+        assert main(["profile", "--sample-every", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "simulator profile" in out
+        assert "events/s" in out
+        assert "deliver Probe" in out
+
     def test_experiment_json_export(self, tmp_path, capsys) -> None:
         import json
 
