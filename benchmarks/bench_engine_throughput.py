@@ -13,7 +13,7 @@ from repro.sim.simulator import Simulator
 from repro.workloads.scenarios import schedule_cycle
 
 
-def test_event_loop_throughput(benchmark):
+def test_event_loop_throughput(benchmark, bench_baseline):
     """Schedule-and-run 10k trivial events."""
 
     def run() -> int:
@@ -25,6 +25,13 @@ def test_event_loop_throughput(benchmark):
 
     executed = benchmark(run)
     assert executed == 10_000
+    recorded = bench_baseline.get("throughput", {}).get("engine.event_loop")
+    if recorded:
+        mean = benchmark.stats.stats.mean
+        print(
+            f"\n[engine.event_loop: {executed / mean:,.0f} ev/s here vs "
+            f"{recorded:,.0f} recorded in BENCH_baseline.json (run-only timing)]"
+        )
 
 
 class _Sink(Process):

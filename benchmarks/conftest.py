@@ -14,6 +14,7 @@ to produce EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -21,9 +22,27 @@ import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Quick-tier baseline maintained by ``repro bench record`` / checked in CI
+#: by ``repro bench check`` (see ``repro.sweep.baseline``).
+BASELINE_PATH = Path(__file__).parent / "BENCH_baseline.json"
+
 
 def full_mode() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_baseline() -> dict:
+    """The committed quick-tier baseline document (empty dict if absent).
+
+    ``throughput`` maps micro-benchmark names to events/sec recorded on the
+    reference machine; ``shapes`` maps grid names to the SHA-256 of their
+    canonical quick-sweep documents.  Benchmarks can use it to annotate
+    reports; the hard regression gate lives in ``repro bench check``.
+    """
+    if not BASELINE_PATH.exists():
+        return {}
+    return json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
 
 
 @pytest.fixture

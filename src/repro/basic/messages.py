@@ -14,21 +14,21 @@ from dataclasses import dataclass
 from repro._ids import ProbeTag, VertexId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """``p_i`` asks ``p_j`` to carry out an action (creates a grey edge)."""
 
     requester: VertexId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Reply:
     """``p_j`` tells ``p_i`` the requested action is done (whitens the edge)."""
 
     replier: VertexId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Probe:
     """A deadlock-detection probe of computation ``tag`` (section 3.2).
 
@@ -43,7 +43,7 @@ class Probe:
     tag: ProbeTag
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WfgdMessage:
     """A WFGD message: a set of edges on permanent black paths (section 5).
 

@@ -130,7 +130,14 @@ class BasicSystem:
             self.network.register(vertex)
             self.vertices[vid] = vertex
 
-        self.simulator.tracer.subscribe(self._observe)
+        # Category-scoped subscription: with trace=False every *other*
+        # category then skips TraceEvent construction entirely (the
+        # tracer's zero-cost path), which is most of the win of running
+        # big sweeps untraced.
+        self.simulator.tracer.subscribe(
+            self._observe,
+            categories=(categories.BASIC_REQUEST_SENT, categories.BASIC_PROBE_SENT),
+        )
 
     # ------------------------------------------------------------------
     # Convenience accessors

@@ -12,6 +12,9 @@ Usage::
     repro trace --format chrome --out trace.json   # Perfetto-loadable trace
     repro spans                      # per-computation span table + bounds
     repro profile --scenario cycle --n 64          # simulator hot-path profile
+    repro sweep --grid e3 --workers 4 --out results/   # parallel sweep
+    repro bench record               # (re)write benchmarks/BENCH_baseline.json
+    repro bench check                # fail on throughput/shape regressions
 
 The same experiment code also runs under pytest-benchmark (see
 ``benchmarks/``); the CLI exists for quick inspection without pytest.
@@ -257,6 +260,74 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.sweep import GRIDS, build_grid, canonical_json, merge_results, run_sweep
+    from repro.sweep.merge import timing_sidecar
+
+    names = list(GRIDS) if args.grid.lower() == "all" else [args.grid.lower()]
+    for name in names:
+        if name not in GRIDS:
+            print(f"unknown grid {name!r}; choose from {', '.join(GRIDS)} or 'all'")
+            return 2
+    exit_code = 0
+    for name in names:
+        grid = build_grid(name, quick=args.quick)
+        results = run_sweep(grid.cells, workers=args.workers)
+        merged = merge_results(grid.name, results)
+        summary = merged["summary"]
+        mode = "quick" if args.quick else "full"
+        print(
+            f"[{grid.name} ({mode}): {summary['cells']} cells, "
+            f"{summary['ok']} ok, {summary['errors']} errors, "
+            f"{summary['events']} events on {args.workers} worker(s)]"
+        )
+        if summary["errors"]:
+            exit_code = 1
+            for cell in merged["cells"]:
+                if cell["status"] == "error":
+                    print(f"  ERROR {cell['cell_id']}: {cell['error']}")
+        if args.out is not None:
+            directory = Path(args.out)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"BENCH_{grid.name}.json"
+            path.write_text(canonical_json(merged), encoding="utf-8")
+            timing_path = directory / f"BENCH_{grid.name}.timing.json"
+            timing_path.write_text(
+                canonical_json(timing_sidecar(grid.name, results)), encoding="utf-8"
+            )
+            print(f"  [written to {path} (+ timing sidecar)]")
+        else:
+            print(canonical_json(merged), end="")
+    return exit_code
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.sweep import baseline
+
+    path = Path(args.baseline)
+    if args.action == "record":
+        document = baseline.record(path, repeats=args.repeats)
+        print(f"[baseline written to {path}]")
+        for name, value in sorted(document["throughput"].items()):
+            print(f"  {name}: {value:.1f} ev/s")
+        for name, digest in sorted(document["shapes"].items()):
+            print(f"  shape {name}: {digest[:16]}...")
+        return 0
+    try:
+        lines = baseline.check(path, threshold=args.threshold, repeats=args.repeats)
+    except baseline.BenchRegression as regression:
+        print(f"BENCH CHECK FAILED: {regression}")
+        return 1
+    for line in lines:
+        print(f"  {line}")
+    print("[bench check ok]")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verification import or_model
     from repro.verification.explorer import explore
@@ -425,6 +496,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write <experiment>.json files into DIR",
     )
     experiment.set_defaults(handler=_cmd_experiment)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a declarative experiment grid across worker processes",
+        description=(
+            "Shards a declarative grid of (scenario, size, seed, delay, T) "
+            "cells across worker processes, each cell in its own "
+            "deterministic simulator, and merges the results into a "
+            "canonical BENCH_<grid>.json that is byte-identical for any "
+            "worker count.  Wall-clock timings go to a separate "
+            "BENCH_<grid>.timing.json sidecar."
+        ),
+    )
+    sweep.add_argument(
+        "--grid",
+        required=True,
+        help="grid name (e1..e8) or 'all'",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = run inline, no subprocesses; default: 1)",
+    )
+    sweep.add_argument(
+        "--quick", action="store_true", help="smaller grids for a fast run"
+    )
+    sweep.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write BENCH_<grid>.json (+ timing sidecar) into DIR instead of stdout",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="record or check the quick benchmark baseline (CI regression gate)",
+        description=(
+            "The quick bench tier: three engine micro-benchmarks "
+            "(events/sec) plus a deterministic shape hash of every sweep "
+            "grid's quick run.  'record' writes the baseline; 'check' "
+            "fails (exit 1) on a >threshold throughput drop or any shape "
+            "change."
+        ),
+    )
+    bench.add_argument("action", choices=("record", "check"))
+    bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default="benchmarks/BENCH_baseline.json",
+        help="baseline file (default: benchmarks/BENCH_baseline.json)",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional throughput drop before failing (default: 0.25)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="micro-benchmark repeats; best run is compared (default: 5)",
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     verify = subparsers.add_parser(
         "verify", help="exhaustive small-scope model checking of QRP1/QRP2"

@@ -23,7 +23,7 @@ from repro._ids import ProbeTag, ProcessId, ResourceId, TransactionId
 from repro.ddb.locks import LockMode
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EdgeRef:
     """Identity of one inter-controller edge incarnation.
 
@@ -38,7 +38,7 @@ class EdgeRef:
     serial: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RemoteAcquireRequest:
     """C_j asks C_m to acquire resources for transaction ``transaction``.
 
@@ -56,7 +56,7 @@ class RemoteAcquireRequest:
     timestamp: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RemoteAcquireGranted:
     """C_m tells C_j that every requested item was acquired.
 
@@ -67,7 +67,7 @@ class RemoteAcquireGranted:
     edge: EdgeRef
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RemoteRelease:
     """At commit, the home controller tells C_m to release T's locks there."""
 
@@ -75,7 +75,7 @@ class RemoteRelease:
     incarnation: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RemoteAbort:
     """Victim abort: C_m must drop T's waits and locks at its site."""
 
@@ -83,7 +83,7 @@ class RemoteAbort:
     incarnation: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbortDemand:
     """A controller that declared ``(T, S)`` deadlocked asks T's home
     controller to abort T (resolution extension, not in the paper).
@@ -97,7 +97,7 @@ class AbortDemand:
     force: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DdbProbe:
     """A probe of computation ``tag`` sent along inter-controller ``edge``.
 

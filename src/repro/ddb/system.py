@@ -151,7 +151,10 @@ class DdbSystem:
         #: Times at which any transaction aborted (stale-declaration check).
         self._abort_times: list[float] = []
 
-        self.simulator.tracer.subscribe(self._observe)
+        self.simulator.tracer.subscribe(
+            self._observe,
+            categories=(categories.DDB_EDGE_ADDED, categories.DDB_PROBE_SENT),
+        )
 
     # ------------------------------------------------------------------
     # Accessors

@@ -22,6 +22,17 @@ from repro.sim.network import ExponentialDelay
 from repro.workloads.basic_random import RandomRequestWorkload
 from repro.workloads.scenarios import schedule_cycle
 
+#: Sweep axes.  ``repro.sweep.grids`` re-expresses this experiment as a
+#: declarative grid over the same axes, so the numbers stay in one place.
+CYCLE_SIZES = (2, 3, 4, 8, 16, 32)
+QUICK_CYCLE_SIZES = (2, 3, 4, 8)
+CYCLE_SEEDS = (0, 1, 2)
+QUICK_CYCLE_SEEDS = (0, 1)
+RANDOM_SEEDS = tuple(range(8))
+QUICK_RANDOM_SEEDS = (0, 1)
+RANDOM_N_VERTICES = 10
+RANDOM_DURATION = 60.0
+
 
 @dataclass
 class E1Result:
@@ -35,8 +46,8 @@ class E1Result:
 
 
 def run_cycles(
-    sizes: tuple[int, ...] = (2, 3, 4, 8, 16, 32),
-    seeds: tuple[int, ...] = (0, 1, 2),
+    sizes: tuple[int, ...] = CYCLE_SIZES,
+    seeds: tuple[int, ...] = CYCLE_SEEDS,
 ) -> list[E1Result]:
     results: list[E1Result] = []
     for k in sizes:
@@ -61,9 +72,9 @@ def run_cycles(
 
 
 def run_random(
-    n_vertices: int = 10,
-    seeds: tuple[int, ...] = (0, 1, 2, 3, 4, 5, 6, 7),
-    duration: float = 60.0,
+    n_vertices: int = RANDOM_N_VERTICES,
+    seeds: tuple[int, ...] = RANDOM_SEEDS,
+    duration: float = RANDOM_DURATION,
 ) -> list[E1Result]:
     formed = detected = 0
     for seed in seeds:
@@ -93,10 +104,10 @@ def run_random(
 
 
 def run(quick: bool = False) -> tuple[Table, list[E1Result]]:
-    sizes = (2, 3, 4, 8) if quick else (2, 3, 4, 8, 16, 32)
-    seeds = (0, 1) if quick else (0, 1, 2)
+    sizes = QUICK_CYCLE_SIZES if quick else CYCLE_SIZES
+    seeds = QUICK_CYCLE_SEEDS if quick else CYCLE_SEEDS
     results = run_cycles(sizes=sizes, seeds=seeds)
-    results += run_random(seeds=(0, 1) if quick else tuple(range(8)))
+    results += run_random(seeds=QUICK_RANDOM_SEEDS if quick else RANDOM_SEEDS)
     table = Table(
         "E1 (Theorem 1): completeness -- every true deadlock detected",
         ["workload", "deadlock components", "detected", "missed"],

@@ -22,6 +22,17 @@ from repro.sim.network import ExponentialDelay, UniformDelay
 from repro.workloads.basic_random import RandomRequestWorkload
 from repro.workloads.scenarios import schedule_chain
 
+#: Sweep axes (shared with the declarative grid in ``repro.sweep.grids``).
+SEEDS = tuple(range(10))
+QUICK_SEEDS = tuple(range(3))
+CHURN_N_VERTICES = 8
+CHURN_DURATION = 40.0
+MIXED_N_VERTICES = 10
+MIXED_DURATION = 50.0
+NEAR_CYCLE_N_VERTICES = 6
+NEAR_CYCLE_WAVES = 8
+NEAR_CYCLE_PERIOD = 15.0
+
 
 @dataclass
 class E2Result:
@@ -34,14 +45,14 @@ def run_churn(seeds: tuple[int, ...]) -> E2Result:
     declarations = unsound = 0
     for seed in seeds:
         system = BasicSystem(
-            n_vertices=8,
+            n_vertices=CHURN_N_VERTICES,
             seed=seed,
             delay_model=UniformDelay(0.1, 3.0),
             service_delay=0.2,
             strict=False,
         )
         workload = RandomRequestWorkload(
-            system, mean_think=1.0, max_targets=1, duration=40.0
+            system, mean_think=1.0, max_targets=1, duration=CHURN_DURATION
         )
         workload.start()
         system.run_to_quiescence(max_events=500_000)
@@ -54,14 +65,14 @@ def run_mixed(seeds: tuple[int, ...]) -> E2Result:
     declarations = unsound = 0
     for seed in seeds:
         system = BasicSystem(
-            n_vertices=10,
+            n_vertices=MIXED_N_VERTICES,
             seed=seed,
             delay_model=ExponentialDelay(mean=1.5),
             service_delay=0.5,
             strict=False,
         )
         workload = RandomRequestWorkload(
-            system, mean_think=1.5, max_targets=3, duration=50.0
+            system, mean_think=1.5, max_targets=3, duration=MIXED_DURATION
         )
         workload.start()
         system.run_to_quiescence(max_events=500_000)
@@ -74,14 +85,19 @@ def run_near_cycles(seeds: tuple[int, ...]) -> E2Result:
     declarations = unsound = 0
     for seed in seeds:
         system = BasicSystem(
-            n_vertices=6,
+            n_vertices=NEAR_CYCLE_N_VERTICES,
             seed=seed,
             delay_model=UniformDelay(0.5, 2.0),
             service_delay=0.3,
             strict=False,
         )
-        for wave in range(8):
-            schedule_chain(system, list(range(6)), start=wave * 15.0, gap=0.2)
+        for wave in range(NEAR_CYCLE_WAVES):
+            schedule_chain(
+                system,
+                list(range(NEAR_CYCLE_N_VERTICES)),
+                start=wave * NEAR_CYCLE_PERIOD,
+                gap=0.2,
+            )
         system.run_to_quiescence(max_events=500_000)
         declarations += len(system.declarations)
         unsound += len(system.soundness_violations)
@@ -89,7 +105,7 @@ def run_near_cycles(seeds: tuple[int, ...]) -> E2Result:
 
 
 def run(quick: bool = False) -> tuple[Table, list[E2Result]]:
-    seeds = tuple(range(3)) if quick else tuple(range(10))
+    seeds = QUICK_SEEDS if quick else SEEDS
     results = [run_churn(seeds), run_mixed(seeds), run_near_cycles(seeds)]
     table = Table(
         "E2 (Theorem 2): soundness -- no false deadlock reports",

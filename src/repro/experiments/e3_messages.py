@@ -23,6 +23,12 @@ from repro.basic.system import BasicSystem
 from repro.sim import categories
 from repro.workloads.scenarios import schedule_cycle
 
+#: Sweep axes (shared with the declarative grid in ``repro.sweep.grids``).
+CYCLE_SIZES = (4, 8, 16, 32, 64, 128)
+QUICK_CYCLE_SIZES = (4, 8, 16, 32)
+DENSE_CONFIGS = ((16, 3), (32, 4), (64, 5))
+QUICK_DENSE_CONFIGS = ((16, 3), (32, 4))
+
 
 @dataclass
 class E3Result:
@@ -82,9 +88,9 @@ def run_dense(n: int, fan_out: int, seed: int = 0) -> E3Result:
 
 
 def run(quick: bool = False) -> tuple[Table, list[E3Result]]:
-    sizes = (4, 8, 16, 32) if quick else (4, 8, 16, 32, 64, 128)
+    sizes = QUICK_CYCLE_SIZES if quick else CYCLE_SIZES
     results = [run_cycle(k) for k in sizes]
-    dense = ((16, 3), (32, 4)) if quick else ((16, 3), (32, 4), (64, 5))
+    dense = QUICK_DENSE_CONFIGS if quick else DENSE_CONFIGS
     results += [run_dense(n, fan_out) for n, fan_out in dense]
     table = Table(
         "E3 (section 4.3): probe-message complexity",

@@ -20,6 +20,10 @@ from repro.basic.initiation import ManualInitiation
 from repro.basic.system import BasicSystem
 from repro.workloads.scenarios import schedule_cycle
 
+#: Sweep axes (shared with the declarative grid in ``repro.sweep.grids``).
+CONFIGS = ((4, 5), (8, 10), (16, 20), (32, 20))
+QUICK_CONFIGS = ((4, 5), (8, 10))
+
 
 @dataclass
 class E4Result:
@@ -57,7 +61,7 @@ def run_config(n: int, rounds: int, seed: int = 0) -> E4Result:
 
 
 def run(quick: bool = False) -> tuple[Table, list[E4Result]]:
-    configs = [(4, 5), (8, 10)] if quick else [(4, 5), (8, 10), (16, 20), (32, 20)]
+    configs = QUICK_CONFIGS if quick else CONFIGS
     results = [run_config(n, rounds) for n, rounds in configs]
     table = Table(
         "E4 (section 4.3): per-vertex detector state is O(N)",

@@ -30,6 +30,16 @@ from repro.basic.system import BasicSystem
 from repro.sim.network import ExponentialDelay
 from repro.workloads.basic_random import RandomRequestWorkload
 
+#: Sweep axes (shared with the declarative grid in ``repro.sweep.grids``).
+#: ``None`` means the batch-level immediate-initiation rule (reference row);
+#: T=0 is the proper left end of the per-edge delayed-rule sweep.
+T_SWEEP: tuple[float | None, ...] = (None, 0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+QUICK_T_SWEEP: tuple[float | None, ...] = (None, 0.0, 1.0, 4.0, 16.0)
+SEEDS = tuple(range(8))
+QUICK_SEEDS = tuple(range(3))
+N_VERTICES = 10
+DURATION = 60.0
+
 
 @dataclass
 class E5Result:
@@ -49,8 +59,8 @@ class E5Result:
 def run_config(
     timeout: float | None,
     seeds: tuple[int, ...],
-    n_vertices: int = 10,
-    duration: float = 60.0,
+    n_vertices: int = N_VERTICES,
+    duration: float = DURATION,
 ) -> E5Result:
     computations = avoided = probes = formed = detected = 0
     latencies: list[float] = []
@@ -93,13 +103,8 @@ def run_config(
 
 
 def run(quick: bool = False) -> tuple[Table, list[E5Result]]:
-    seeds = tuple(range(3)) if quick else tuple(range(8))
-    # The delayed rule times each *edge* individually, so T=0 (not the
-    # batch-level "immediate" rule) is the proper left end of the sweep;
-    # the immediate rule is included as a reference row.
-    sweep: list[float | None] = [None, 0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
-    if quick:
-        sweep = [None, 0.0, 1.0, 4.0, 16.0]
+    seeds = QUICK_SEEDS if quick else SEEDS
+    sweep = QUICK_T_SWEEP if quick else T_SWEEP
     results = [run_config(timeout, seeds) for timeout in sweep]
     table = Table(
         "E5 (section 4.3): the T initiation-delay tradeoff",

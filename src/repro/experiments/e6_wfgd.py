@@ -21,6 +21,20 @@ from repro.analysis.tables import Table
 from repro.basic.system import BasicSystem
 from repro.workloads.scenarios import schedule_cycle_with_tails
 
+#: Sweep axes (shared with the declarative grid in ``repro.sweep.grids``).
+#: Each config is ``(cycle_size, tail lengths)``; a tail of length L is a
+#: chain of L extra vertices waiting into the cycle.
+QUICK_CONFIGS: tuple[tuple[int, tuple[int, ...]], ...] = (
+    (3, ()),
+    (3, (1,)),
+    (4, (1, 2)),
+    (5, (3,)),
+)
+CONFIGS: tuple[tuple[int, tuple[int, ...]], ...] = QUICK_CONFIGS + (
+    (8, (2, 1, 3)),
+    (12, (5,)),
+)
+
 
 @dataclass
 class E6Result:
@@ -38,14 +52,15 @@ class E6Result:
         )
 
 
-def run_config(cycle_size: int, tails: list[list[int]], seed: int = 0) -> E6Result:
-    n = cycle_size + sum(len(tail) for tail in tails)
+def run_config(cycle_size: int, tails: tuple[int, ...], seed: int = 0) -> E6Result:
+    """Run one config; ``tails`` gives the length of each attached tail."""
+    n = cycle_size + sum(tails)
     cycle = list(range(cycle_size))
     offset = cycle_size
     tail_ids: list[list[int]] = []
-    for tail in tails:
-        tail_ids.append(list(range(offset, offset + len(tail))))
-        offset += len(tail)
+    for length in tails:
+        tail_ids.append(list(range(offset, offset + length)))
+        offset += length
     system = BasicSystem(n_vertices=n, seed=seed, wfgd_on_declare=True)
     schedule_cycle_with_tails(system, cycle, tail_ids)
     system.run_to_quiescence()
@@ -74,17 +89,7 @@ def run_config(cycle_size: int, tails: list[list[int]], seed: int = 0) -> E6Resu
 
 
 def run(quick: bool = False) -> tuple[Table, list[E6Result]]:
-    configs: list[tuple[int, list[list[int]]]] = [
-        (3, []),
-        (3, [[0]]),
-        (4, [[0], [0, 0]]),
-        (5, [[0, 0, 0]]),
-    ]
-    if not quick:
-        configs += [
-            (8, [[0, 0], [0], [0, 0, 0]]),
-            (12, [[0] * 5]),
-        ]
+    configs = QUICK_CONFIGS if quick else CONFIGS
     results = [run_config(cycle_size, tails) for cycle_size, tails in configs]
     table = Table(
         "E6 (section 5): WFGD propagation to all deadlocked vertices",

@@ -25,6 +25,11 @@ from repro.ddb.transaction import Think, TransactionSpec, acquire
 from repro.ddb.locks import LockMode
 from repro._ids import TransactionId
 
+#: Sweep axes (shared with the declarative grid in ``repro.sweep.grids``).
+#: Each config is ``(n_sites, extra_local)``.
+CONFIGS = ((3, 2), (4, 4), (6, 6), (8, 8))
+QUICK_CONFIGS = ((3, 2), (4, 4))
+
 
 @dataclass
 class E7Result:
@@ -36,7 +41,7 @@ class E7Result:
     detected: bool
 
 
-def _ring_system(n_sites: int, extra_local: int, optimized: bool, seed: int) -> DdbSystem:
+def ring_system(n_sites: int, extra_local: int, optimized: bool, seed: int) -> DdbSystem:
     """An n-site ring deadlock plus ``extra_local`` harmless blocked
     processes per site (they inflate the naive scan's candidate count)."""
     resources: dict[ResourceId, SiteId] = {}
@@ -91,7 +96,7 @@ def _ring_system(n_sites: int, extra_local: int, optimized: bool, seed: int) -> 
 
 
 def run_config(n_sites: int, extra_local: int, optimized: bool, seed: int = 0) -> E7Result:
-    system = _ring_system(n_sites, extra_local, optimized, seed)
+    system = ring_system(n_sites, extra_local, optimized, seed)
     system.run_to_quiescence(max_events=1_000_000)
     system.assert_soundness()
     complete, _ = system.completeness_report()
@@ -106,7 +111,7 @@ def run_config(n_sites: int, extra_local: int, optimized: bool, seed: int = 0) -
 
 
 def run(quick: bool = False) -> tuple[Table, list[E7Result]]:
-    configs = [(3, 2), (4, 4)] if quick else [(3, 2), (4, 4), (6, 6), (8, 8)]
+    configs = QUICK_CONFIGS if quick else CONFIGS
     results: list[E7Result] = []
     for n_sites, extra_local in configs:
         for optimized in (False, True):

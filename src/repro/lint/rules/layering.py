@@ -1,4 +1,4 @@
-"""RPX004: one-way layering between protocol packages and the harness."""
+"""RPX004: one-way layering between protocol, harness, and driver tiers."""
 
 from __future__ import annotations
 
@@ -17,28 +17,47 @@ PROTOCOL_PACKAGES = frozenset({"basic", "ddb", "ormodel", "sim"})
 HARNESS_PACKAGES = frozenset(
     {"experiments", "analysis", "verification", "workloads", "obs"}
 )
+#: the driver tier sits on top of everything: ``sweep`` fans experiment
+#: grids out across processes and may import both protocol and harness
+#: packages -- but nothing below it may import the driver back, or the
+#: experiments would no longer be runnable (or reasoned about) standalone.
+DRIVER_PACKAGES = frozenset({"sweep"})
 
 
 class LayeringRule(Rule):
-    """RPX004: protocol packages never import the harness layers."""
+    """RPX004: imports must point strictly down the tier stack.
+
+    protocol (basic/ddb/ormodel/sim) < harness (experiments/analysis/
+    verification/workloads/obs) < driver (sweep).  A file in a tier may
+    import same-tier and lower-tier packages only.
+    """
 
     rule_id = "RPX004"
-    title = "protocol packages must not import experiments/analysis/verification/workloads/obs"
+    title = "layer tiers import strictly downward (protocol < harness < driver)"
     explanation = (
         "The protocol packages (basic/, ddb/, ormodel/) and the simulation\n"
         "substrate (sim/) are the trusted core the paper's proofs map onto;\n"
         "experiments/, analysis/, verification/, workloads/ and obs/ observe\n"
-        "that core from outside (black-box monitoring, like the oracle layer).\n"
-        "A protocol->harness import would let verification state leak into\n"
-        "protocol decisions — exactly the shared-knowledge cheating axiom P3\n"
-        "forbids — and blocks future refactors (sharding, multi-process\n"
-        "backends) that need the core to stand alone.  The simulator's\n"
-        "profiling hook is a structural Protocol for this reason: obs\n"
-        "implements it without sim ever importing obs."
+        "that core from outside (black-box monitoring, like the oracle layer),\n"
+        "and sweep/ is the driver tier that fans the harness out across worker\n"
+        "processes.  A protocol->harness import would let verification state\n"
+        "leak into protocol decisions — exactly the shared-knowledge cheating\n"
+        "axiom P3 forbids — and a harness->driver import would make single\n"
+        "experiments depend on the multiprocessing machinery that runs them,\n"
+        "so neither tier could be refactored (sharding, multi-process\n"
+        "backends, remote workers) without touching the tiers below.  The\n"
+        "simulator's profiling hook is a structural Protocol for this reason:\n"
+        "obs implements it without sim ever importing obs."
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
-        return ctx.in_packages(*PROTOCOL_PACKAGES)
+        return ctx.in_packages(*PROTOCOL_PACKAGES, *HARNESS_PACKAGES)
+
+    def _forbidden(self, ctx: FileContext) -> frozenset[str]:
+        """Packages the current file's tier must not import."""
+        if ctx.in_packages(*PROTOCOL_PACKAGES):
+            return HARNESS_PACKAGES | DRIVER_PACKAGES
+        return DRIVER_PACKAGES
 
     def _resolve_relative(self, ctx: FileContext, node: ast.ImportFrom) -> list[str]:
         """Absolute module parts for a ``from . import x``-style node."""
@@ -51,33 +70,35 @@ class LayeringRule(Rule):
         return base
 
     def check(self, ctx: FileContext) -> list[Diagnostic]:
+        forbidden = self._forbidden(ctx)
         diagnostics: list[Diagnostic] = []
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     parts = alias.name.split(".")
-                    if len(parts) >= 2 and parts[0] == "repro" and parts[1] in HARNESS_PACKAGES:
+                    if len(parts) >= 2 and parts[0] == "repro" and parts[1] in forbidden:
                         diagnostics.append(self._violation(ctx, node, alias.name))
             elif isinstance(node, ast.ImportFrom):
                 if node.level:
                     parts = self._resolve_relative(ctx, node)
                 else:
                     parts = node.module.split(".") if node.module else []
-                if len(parts) >= 2 and parts[0] == "repro" and parts[1] in HARNESS_PACKAGES:
+                if len(parts) >= 2 and parts[0] == "repro" and parts[1] in forbidden:
                     diagnostics.append(self._violation(ctx, node, ".".join(parts)))
                 elif parts == ["repro"]:
                     for alias in node.names:
-                        if alias.name in HARNESS_PACKAGES:
+                        if alias.name in forbidden:
                             diagnostics.append(
                                 self._violation(ctx, node, f"repro.{alias.name}")
                             )
         return diagnostics
 
     def _violation(self, ctx: FileContext, node: ast.AST, module: str) -> Diagnostic:
+        tier = "protocol" if ctx.in_packages(*PROTOCOL_PACKAGES) else "harness"
         return self.diagnostic(
             ctx,
             node,
-            f"protocol package '{'.'.join(ctx.package)}' imports harness "
-            f"module '{module}' (one-way layering: protocol code must not "
-            "depend on experiments/analysis/verification/workloads)",
+            f"{tier} package '{'.'.join(ctx.package)}' imports higher-tier "
+            f"module '{module}' (one-way layering: protocol < harness < "
+            "driver; imports must point strictly downward)",
         )

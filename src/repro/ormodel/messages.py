@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro._ids import ProbeTag, VertexId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestAny:
     """``p_i`` asks to communicate with the receiver; ``p_i`` proceeds as
     soon as ANY member of its dependent set grants."""
@@ -15,7 +15,7 @@ class RequestAny:
     requester: VertexId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Grant:
     """The receiver's awaited communication.  The first grant unblocks the
     requester; later grants (from other dependent-set members) are stale
@@ -24,7 +24,7 @@ class Grant:
     granter: VertexId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OrQuery:
     """query(i, m, j) of the communication-model algorithm.
 
@@ -36,7 +36,7 @@ class OrQuery:
     sender: VertexId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OrReply:
     """reply(i, j, m): the answer to a query of computation ``tag``."""
 

@@ -117,7 +117,10 @@ class OrSystem:
         #: needed because the state-only criterion is not stable while a
         #: grant is travelling (its receiver is about to unblock).
         self._grants_in_flight: dict[tuple[VertexId, VertexId], int] = {}
-        self.simulator.tracer.subscribe(self._observe)
+        self.simulator.tracer.subscribe(
+            self._observe,
+            categories=(categories.NET_SENT, categories.NET_DELIVERED),
+        )
         self.vertices: dict[VertexId, OrVertexProcess] = {}
         for i in range(n_vertices):
             vid = VertexId(i)

@@ -4,6 +4,13 @@ Events are ordered by ``(time, sequence)``: events scheduled earlier in real
 (simulation-construction) order run first among same-time events.  This
 stability is what makes the whole simulation deterministic for a given seed,
 which in turn makes every benchmark and test reproducible.
+
+The heap stores ``(time, sequence, event)`` triples rather than the events
+themselves: tuple comparison runs in C and -- because ``sequence`` is unique
+-- never falls through to comparing the :class:`Event` payload.  At heap
+depth *d* a push or pop performs O(log d) comparisons, so moving them out
+of Python (the dataclass-generated ``__lt__`` allocated two tuples per
+comparison) is the single largest win in the engine's hot path.
 """
 
 from __future__ import annotations
@@ -18,13 +25,15 @@ from repro.errors import SimulationError
 Action = Callable[[], None]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
     Only ``time`` and ``sequence`` participate in ordering; the action and
     name are payload.  ``cancelled`` supports O(1) cancellation with lazy
-    removal from the heap.
+    removal from the heap.  ``slots=True`` matters here: events are the
+    single most-allocated object in any run, and slotted attribute access
+    is what the engine's inner loop (pop, execute) touches.
     """
 
     time: float
@@ -32,6 +41,11 @@ class Event:
     action: Action = field(compare=False)
     name: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+
+
+#: One heap entry: ``(time, sequence, event)``.  Ordered entirely by the
+#: first two fields (``sequence`` is unique), compared in C.
+HeapEntry = tuple[float, int, Event]
 
 
 class EventHandle:
@@ -68,16 +82,19 @@ class EventHandle:
 class EventQueue:
     """A stable min-heap of :class:`Event` objects with lazy cancellation."""
 
+    __slots__ = ("_counter", "_heap")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[HeapEntry] = []
         self._counter = itertools.count()
 
     def push(self, time: float, action: Action, name: str = "") -> EventHandle:
         """Add an event at absolute ``time`` and return its handle."""
         if time < 0:
             raise SimulationError(f"event time must be non-negative, got {time}")
-        event = Event(time=time, sequence=next(self._counter), action=action, name=name)
-        heapq.heappush(self._heap, event)
+        sequence = next(self._counter)
+        event = Event(time=time, sequence=sequence, action=action, name=name)
+        heapq.heappush(self._heap, (time, sequence, event))
         return EventHandle(event)
 
     def pop(self) -> Event:
@@ -86,8 +103,9 @@ class EventQueue:
         Raises :class:`SimulationError` when empty; check :meth:`__bool__`
         or :attr:`next_time` first.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if event.cancelled:
                 continue
             return event
@@ -96,9 +114,10 @@ class EventQueue:
     @property
     def next_time(self) -> float | None:
         """Time of the earliest pending event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) events.
@@ -106,7 +125,7 @@ class EventQueue:
         O(heap size); intended for assertions and quiescence checks, not
         hot loops (the engine's hot path uses :attr:`next_time`).
         """
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for entry in self._heap if not entry[2].cancelled)
 
     @property
     def heap_size(self) -> int:

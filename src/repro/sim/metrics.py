@@ -10,7 +10,9 @@ is single-threaded by construction.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
 
 
 class Counter:
@@ -198,53 +200,73 @@ class TimeSeries:
         return f"TimeSeries({self.name!r}, samples={len(self._samples)})"
 
 
-@dataclass
+class _LazyMetricDict(dict):  # type: ignore[type-arg]
+    """A ``dict`` that builds the metric on first access (``__missing__``).
+
+    Registration is thereby *lazy*: a metric exists only once something
+    touches it, and the steady-state lookup ``registry.counters[name]`` is
+    one hash probe with no ``get``/``is None`` detour -- the accessor
+    methods below sit on hot paths (one counter bump per message sent).
+    """
+
+    __slots__ = ("_factory",)
+
+    def __init__(self, factory: Callable[[str], Any]) -> None:
+        super().__init__()
+        self._factory = factory
+
+    def __missing__(self, name: str) -> Any:
+        metric = self._factory(name)
+        self[name] = metric
+        return metric
+
+
 class MetricsRegistry:
     """Owner of named counters, histograms, gauges, and time series.
 
     ``counter(name)`` / ``histogram(name)`` / ``gauge(name)`` /
-    ``timeseries(name)`` create on first use and memoise, so call sites
-    never need to pre-register metrics.
+    ``timeseries(name)`` create on first use and memoise (lazily, via
+    ``__missing__``), so call sites never need to pre-register metrics.
+    Hot call sites should nevertheless bind the returned object once --
+    the metric instance is stable for the registry's lifetime.
     """
 
-    counters: dict[str, Counter] = field(default_factory=dict)
-    histograms: dict[str, Histogram] = field(default_factory=dict)
-    gauges: dict[str, Gauge] = field(default_factory=dict)
-    series: dict[str, TimeSeries] = field(default_factory=dict)
+    __slots__ = ("counters", "gauges", "histograms", "series")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = _LazyMetricDict(Counter)
+        self.histograms: dict[str, Histogram] = _LazyMetricDict(Histogram)
+        self.gauges: dict[str, Gauge] = _LazyMetricDict(Gauge)
+        self.series: dict[str, TimeSeries] = _LazyMetricDict(TimeSeries)
 
     def counter(self, name: str) -> Counter:
-        existing = self.counters.get(name)
-        if existing is None:
-            existing = Counter(name)
-            self.counters[name] = existing
-        return existing
+        return self.counters[name]
 
     def histogram(self, name: str) -> Histogram:
-        existing = self.histograms.get(name)
-        if existing is None:
-            existing = Histogram(name)
-            self.histograms[name] = existing
-        return existing
+        return self.histograms[name]
 
     def gauge(self, name: str) -> Gauge:
-        existing = self.gauges.get(name)
-        if existing is None:
-            existing = Gauge(name)
-            self.gauges[name] = existing
-        return existing
+        return self.gauges[name]
 
     def timeseries(self, name: str) -> TimeSeries:
-        existing = self.series.get(name)
-        if existing is None:
-            existing = TimeSeries(name)
-            self.series[name] = existing
-        return existing
+        return self.series[name]
 
     def counter_value(self, name: str) -> int:
-        """Value of a counter, 0 if it was never touched."""
+        """Value of a counter, 0 if it was never touched.
+
+        Deliberately does **not** instantiate the counter: reading a value
+        must not mutate the registry (snapshots stay minimal).
+        """
         existing = self.counters.get(name)
         return existing.value if existing is not None else 0
 
     def snapshot(self) -> dict[str, int]:
         """All counter values as a plain dict (for table rendering)."""
         return {name: counter.value for name, counter in sorted(self.counters.items())}
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"histograms={len(self.histograms)}, gauges={len(self.gauges)}, "
+            f"series={len(self.series)})"
+        )

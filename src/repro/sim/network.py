@@ -25,6 +25,7 @@ from typing import Any, Protocol
 
 from repro.errors import SimulationError
 from repro.sim import categories
+from repro.sim.metrics import Counter
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 
@@ -130,6 +131,15 @@ class Network:
         # detection policy see byte-identical workload evolution --
         # essential for the cross-policy comparisons in E5/E7/E8.
         self._rngs: dict[str, random.Random] = {}
+        # Hot-path caches: metric objects are stable for the registry's
+        # lifetime, so bind them once instead of re-resolving per message;
+        # per-type counters and delivery-event names are memoised lazily.
+        metrics = simulator.metrics
+        self._sent_counter = metrics.counter("net.messages.sent")
+        self._delivered_counter = metrics.counter("net.messages.delivered")
+        self._in_flight = metrics.gauge("net.messages.in_flight")
+        self._type_counters: dict[str, Counter] = {}
+        self._deliver_names: dict[tuple[str, Hashable, Hashable], str] = {}
 
     def register(self, process: Process) -> None:
         """Add ``process`` to the network; its pid must be unique."""
@@ -181,29 +191,45 @@ class Network:
                 delivery_time = floor + self._FIFO_EPSILON
             self._last_delivery[channel] = delivery_time
 
-        metrics = self.simulator.metrics
-        metrics.counter("net.messages.sent").increment()
-        metrics.counter(f"net.messages.sent.{type_key}").increment()
-        in_flight = metrics.gauge("net.messages.in_flight")
+        self._sent_counter.increment()
+        type_counter = self._type_counters.get(type_key)
+        if type_counter is None:
+            type_counter = self.simulator.metrics.counter(f"net.messages.sent.{type_key}")
+            self._type_counters[type_key] = type_counter
+        type_counter.increment()
+        in_flight = self._in_flight
         in_flight.increment()
-        self.simulator.trace_now(
-            categories.NET_SENT, sender=sender, destination=destination, message=message
-        )
-
-        def deliver() -> None:
-            self.simulator.trace_now(
-                categories.NET_DELIVERED,
+        tracer = self.simulator.tracer
+        if tracer.wants(categories.NET_SENT):
+            tracer.record(
+                now,
+                categories.NET_SENT,
                 sender=sender,
                 destination=destination,
                 message=message,
             )
-            metrics.counter("net.messages.delivered").increment()
+
+        delivered_counter = self._delivered_counter
+
+        def deliver() -> None:
+            if tracer.wants(categories.NET_DELIVERED):
+                tracer.record(
+                    self.simulator.now,
+                    categories.NET_DELIVERED,
+                    sender=sender,
+                    destination=destination,
+                    message=message,
+                )
+            delivered_counter.increment()
             in_flight.decrement()
             self._processes[destination].on_message(sender, message)
 
-        self.simulator.schedule_at(
-            delivery_time, deliver, name=f"deliver {type_key} {sender!r}->{destination!r}"
-        )
+        name_key = (type_key, sender, destination)
+        name = self._deliver_names.get(name_key)
+        if name is None:
+            name = f"deliver {type_key} {sender!r}->{destination!r}"
+            self._deliver_names[name_key] = name
+        self.simulator.schedule_at(delivery_time, deliver, name=name)
 
     def __repr__(self) -> str:
         return (

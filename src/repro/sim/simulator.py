@@ -5,10 +5,24 @@ registry, and an RNG registry, and exposes the scheduling API used by model
 code.  Running is pull-based: :meth:`run` pops events in ``(time, sequence)``
 order, advances the clock, and executes their actions until quiescence, a
 time deadline, or an event-count limit.
+
+The engine is the hot path of every experiment sweep, so the execution core
+is written for speed without changing observable behaviour:
+
+* the plain-vs-profiled execution choice is a **precomputed dispatch**
+  (``_execute``), rebuilt whenever :attr:`profile_hook` is assigned, so
+  :meth:`step` pays no per-event ``is None`` branch;
+* :meth:`run` inlines the pop/advance/execute cycle over the raw heap with
+  bound locals, skipping the per-event property and method lookups of the
+  naive ``while step()`` loop.
+
+Both paths execute events in exactly the same ``(time, sequence)`` order and
+produce bit-identical traces -- ``tests/sim/test_hot_path.py`` proves it.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Callable
 from typing import Protocol
 
@@ -27,7 +41,8 @@ class ProfileHook(Protocol):
     calls out to an attached hook around each event.  The one concrete
     implementation lives in :mod:`repro.obs.profile`, the single module
     allowed to measure wall time.  When no hook is attached the per-event
-    overhead is one attribute read and one ``is None`` test.
+    overhead is zero: assigning :attr:`Simulator.profile_hook` swaps the
+    precomputed execute dispatch rather than testing ``is None`` per event.
     """
 
     def before_event(self, event: Event) -> None:
@@ -58,9 +73,33 @@ class Simulator:
         self.metrics = MetricsRegistry()
         self.rng = RngRegistry(seed)
         self._events_executed = 0
-        #: Opt-in execution profiler (see :class:`ProfileHook`).  Attach /
-        #: detach via :class:`repro.obs.profile.SimulatorProfiler`.
-        self.profile_hook: ProfileHook | None = None
+        self._profile_hook: ProfileHook | None = None
+        self._execute: Callable[[Event], None] = self._execute_plain
+
+    @property
+    def profile_hook(self) -> ProfileHook | None:
+        """Opt-in execution profiler (see :class:`ProfileHook`).
+
+        Attach / detach via :class:`repro.obs.profile.SimulatorProfiler`.
+        Assignment precomputes the execute dispatch used by :meth:`step`
+        and :meth:`run`, so the unprofiled hot path carries no hook test.
+        """
+        return self._profile_hook
+
+    @profile_hook.setter
+    def profile_hook(self, hook: ProfileHook | None) -> None:
+        self._profile_hook = hook
+        self._execute = self._execute_plain if hook is None else self._execute_profiled
+
+    def _execute_plain(self, event: Event) -> None:
+        event.action()
+
+    def _execute_profiled(self, event: Event) -> None:
+        hook = self._profile_hook
+        assert hook is not None
+        hook.before_event(event)
+        event.action()
+        hook.after_event(event, self.queue.heap_size)
 
     @property
     def now(self) -> float:
@@ -93,13 +132,7 @@ class Simulator:
         event = self.queue.pop()
         self.clock.advance_to(event.time)
         self._events_executed += 1
-        hook = self.profile_hook
-        if hook is None:
-            event.action()
-        else:
-            hook.before_event(event)
-            event.action()
-            hook.after_event(event, self.queue.heap_size)
+        self._execute(event)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
@@ -110,20 +143,49 @@ class Simulator:
         ``until`` (so periodic drivers observe a consistent end time).
         ``max_events`` bounds the number of events executed in this call and
         guards against runaway model bugs in tests.
+
+        This is the engine's inner loop: it works on the raw heap of
+        ``(time, sequence, event)`` entries with bound locals and is
+        semantically identical to ``while self.step()`` (same event order,
+        same clock movement, bit-identical traces).  The direct clock write
+        is safe by construction: scheduling validates ``time >= now`` and
+        the heap pops in non-decreasing time order, so monotonicity holds
+        without re-checking ``advance_to``'s backwards guard per event.
         """
+        heap = self.queue._heap
+        heappop = heapq.heappop
+        clock = self.clock
+        if until is None and max_events is None:
+            # Quiescence without a budget: the tightest loop (no deadline
+            # or budget tests, pop-then-check instead of peek-then-pop).
+            while heap:
+                entry = heappop(heap)
+                event = entry[2]
+                if event.cancelled:
+                    continue
+                clock._now = entry[0]
+                self._events_executed += 1
+                self._execute(event)
+            return
         executed = 0
         while True:
             if max_events is not None and executed >= max_events:
                 return
-            next_time = self.queue.next_time
-            if next_time is None:
+            # Find the earliest live event (lazy cancellation discard).
+            while heap and heap[0][2].cancelled:
+                heappop(heap)
+            if not heap:
                 if until is not None:
-                    self.clock.advance_to(until)
+                    clock.advance_to(until)
                 return
-            if until is not None and next_time > until:
-                self.clock.advance_to(until)
+            entry = heap[0]
+            if until is not None and entry[0] > until:
+                clock.advance_to(until)
                 return
-            self.step()
+            heappop(heap)
+            clock._now = entry[0]
+            self._events_executed += 1
+            self._execute(entry[2])
             executed += 1
 
     def run_to_quiescence(self, max_events: int = 1_000_000) -> None:

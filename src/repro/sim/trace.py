@@ -5,17 +5,27 @@ action (request sent, edge blackened, probe received, deadlock declared, ...)
 is recorded as a :class:`TraceEvent` with the virtual time and a payload
 dict.  Tests replay traces to check temporal claims such as QRP2's "on a
 black cycle *at the time the probe is received*".
+
+Fan-out is category-indexed: subscribers may register for specific
+categories, and :meth:`Tracer.record` dispatches only to the wildcard list
+plus the matching category's list.  When recording is disabled and a
+category has no subscriber, ``record`` returns after one set lookup without
+building a :class:`TraceEvent` -- untraced categories cost (almost) zero,
+which is what lets big sweeps run with ``trace=False`` while on-line
+observers still watch the handful of categories they care about.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
+Subscriber = Callable[["TraceEvent"], None]
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One recorded occurrence.
 
@@ -35,48 +45,97 @@ class Tracer:
     """Append-only trace log with category filtering.
 
     Recording can be disabled (``enabled=False``) for large benchmark runs
-    where only metrics matter; ``record`` then becomes a cheap no-op.
-    Subscribers registered with :meth:`subscribe` are invoked synchronously
-    on every recorded event and are how the on-line invariant checkers hook
-    into a running simulation.
+    where only metrics matter; ``record`` then becomes a cheap no-op for
+    every category nobody subscribed to.  Subscribers registered with
+    :meth:`subscribe` are invoked synchronously on every matching recorded
+    event and are how the on-line invariant checkers hook into a running
+    simulation.
     """
+
+    __slots__ = ("_by_category", "_events", "_subscribers", "enabled")
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._events: list[TraceEvent] = []
-        self._subscribers: list[Callable[[TraceEvent], None]] = []
+        #: wildcard subscribers: see every recorded event.
+        self._subscribers: list[Subscriber] = []
+        #: category-scoped subscribers: see only their categories' events.
+        self._by_category: dict[str, list[Subscriber]] = {}
+
+    def wants(self, category: str) -> bool:
+        """True when recording ``category`` now would reach anyone.
+
+        Call sites with expensive payloads (the network builds a kwargs
+        dict per message) use this to skip the :meth:`record` call
+        entirely on untraced categories.
+        """
+        return bool(self.enabled or self._subscribers or category in self._by_category)
 
     def record(self, time: float, category: str, **details: Any) -> None:
-        """Record one event (no-op when disabled and nobody subscribes)."""
-        if not self.enabled and not self._subscribers:
+        """Record one event (no-op when disabled and nobody subscribed)."""
+        targeted = self._by_category.get(category)
+        if not self.enabled and not self._subscribers and targeted is None:
             return
         event = TraceEvent(time=time, category=category, details=details)
         if self.enabled:
             self._events.append(event)
         for subscriber in self._subscribers:
             subscriber(event)
+        if targeted is not None:
+            for subscriber in targeted:
+                subscriber(event)
 
-    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
-        """Invoke ``callback`` synchronously for every future event."""
-        self._subscribers.append(callback)
+    def subscribe(
+        self, callback: Subscriber, categories: Iterable[str] | None = None
+    ) -> None:
+        """Invoke ``callback`` synchronously for every future matching event.
 
-    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        With ``categories=None`` (the default) the callback sees every
+        event.  Passing an iterable of category names scopes the callback
+        to exactly those categories; all *other* categories then stay on
+        the zero-cost path when recording is disabled.
+        """
+        if categories is None:
+            self._subscribers.append(callback)
+            return
+        names = tuple(categories)
+        if not names:
+            raise ValueError("categories must be None (wildcard) or non-empty")
+        for name in names:
+            self._by_category.setdefault(name, []).append(callback)
+
+    def unsubscribe(self, callback: Subscriber) -> None:
         """Detach a subscriber registered with :meth:`subscribe`.
 
-        Raises :class:`ValueError` if ``callback`` is not currently
-        subscribed -- a silent no-op here would hide double-detach bugs in
-        invariant checkers.  If the same callback was subscribed more than
-        once, one registration is removed per call.
+        Removes one wildcard registration if present; otherwise removes the
+        callback from every category list it appears in (one occurrence
+        each), i.e. one ``subscribe(cb, categories=...)`` call is undone by
+        one ``unsubscribe(cb)``.  Raises :class:`ValueError` if ``callback``
+        is not currently subscribed -- a silent no-op here would hide
+        double-detach bugs in invariant checkers.
         """
         try:
             self._subscribers.remove(callback)
+            return
         except ValueError:
-            raise ValueError(
-                f"callback {callback!r} is not subscribed to this tracer"
-            ) from None
+            pass
+        removed = False
+        for name in list(self._by_category):
+            listeners = self._by_category[name]
+            try:
+                listeners.remove(callback)
+                removed = True
+            except ValueError:
+                continue
+            if not listeners:
+                del self._by_category[name]
+        if not removed:
+            raise ValueError(f"callback {callback!r} is not subscribed to this tracer")
 
     @contextmanager
-    def subscribed(self, callback: Callable[[TraceEvent], None]) -> Iterator[None]:
+    def subscribed(
+        self, callback: Subscriber, categories: Iterable[str] | None = None
+    ) -> Iterator[None]:
         """Context manager: subscribe ``callback`` for the ``with`` body only.
 
         Span builders and invariant checkers use this to observe one bounded
@@ -85,7 +144,7 @@ class Tracer:
             with tracer.subscribed(collector.on_event):
                 system.run_to_quiescence()
         """
-        self.subscribe(callback)
+        self.subscribe(callback, categories=categories)
         try:
             yield
         finally:

@@ -1,0 +1,38 @@
+"""Parallel experiment sweeps over the paper's parameter grids.
+
+This package is the *driver* tier of the repo: it sits above both the
+protocol packages (``basic``/``ddb``/``ormodel``/``sim``) and the harness
+packages (``experiments``/``workloads``/``obs``/...), fanning a declarative
+grid of simulation cells out across worker processes and merging the
+results into one canonical JSON document.
+
+Layering (enforced by lint rule RPX004): ``repro.sweep`` may import any
+protocol or harness package; nothing outside this package may import
+``repro.sweep``.
+
+Determinism contract: each :class:`~repro.sweep.grid.SweepCell` runs in its
+own :class:`~repro.sim.simulator.Simulator` seeded from the cell, so a
+cell's result is a pure function of the cell.  The merged document sorts
+cells by id and excludes wall-clock fields, so identical grids produce
+**byte-identical** output regardless of worker count or scheduling order
+(``tests/sweep/test_determinism.py`` proves it).  Wall time and events/sec
+go to a separate ``*.timing.json`` sidecar that carries no such guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.sweep.grid import SweepCell, SweepGrid
+from repro.sweep.grids import GRIDS, build_grid
+from repro.sweep.merge import canonical_json, merge_results
+from repro.sweep.runner import run_cell, run_sweep
+
+__all__ = [
+    "GRIDS",
+    "SweepCell",
+    "SweepGrid",
+    "build_grid",
+    "canonical_json",
+    "merge_results",
+    "run_cell",
+    "run_sweep",
+]

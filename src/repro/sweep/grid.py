@@ -1,0 +1,114 @@
+"""Declarative sweep cells.
+
+A :class:`SweepCell` names one simulation: a scenario family, a topology
+size, a seed, a delay model, and the paper's tunables (the initiation
+delay ``T`` of section 4.3, a workload duration, plus scenario-specific
+extras).  Cells are frozen, slotted, hashable, and picklable, so they can
+cross a ``ProcessPoolExecutor`` boundary and key result dictionaries.
+
+The delay model is encoded as a compact string (``"exp:1.0"``,
+``"uniform:0.1:3.0"``, ``"fixed:1.0"``, ``"none"``) rather than an object:
+strings survive pickling trivially, read well in cell ids, and keep the
+cell a pure value.  :func:`delay_model_from_spec` materialises the object
+inside the worker that runs the cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.sim.network import DelayModel, ExponentialDelay, FixedDelay, UniformDelay
+
+#: Extra scenario parameters as a sorted tuple of (name, value) pairs --
+#: tuples (unlike dicts) are hashable and order-canonical after sorting.
+Params = tuple[tuple[str, float], ...]
+
+
+def make_params(**values: float) -> Params:
+    """Canonical (sorted) params tuple from keyword arguments."""
+    return tuple(sorted(values.items()))
+
+
+def delay_model_from_spec(spec: str) -> DelayModel | None:
+    """Materialise the delay model named by a cell's ``delay`` spec."""
+    if spec == "none":
+        return None
+    kind, _, rest = spec.partition(":")
+    try:
+        if kind == "exp":
+            return ExponentialDelay(mean=float(rest))
+        if kind == "fixed":
+            return FixedDelay(float(rest))
+        if kind == "uniform":
+            low, _, high = rest.partition(":")
+            return UniformDelay(float(low), float(high))
+    except ValueError as error:
+        raise ConfigurationError(f"malformed delay spec {spec!r}: {error}") from error
+    raise ConfigurationError(f"unknown delay spec {spec!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class SweepCell:
+    """One point of a sweep grid; a pure, picklable value.
+
+    ``timeout_t`` is the section 4.3 initiation delay: ``None`` selects the
+    batch-level immediate rule, any float selects ``DelayedInitiation(T)``
+    (``0.0`` is the per-edge left end of the T sweep, not the same rule as
+    ``None`` -- see E5).
+    """
+
+    grid: str
+    scenario: str
+    n: int
+    seed: int
+    delay: str = "none"
+    timeout_t: float | None = None
+    duration: float = 0.0
+    params: Params = ()
+
+    @property
+    def cell_id(self) -> str:
+        """Deterministic, human-readable identity used for sorting/merging."""
+        timeout = "immediate" if self.timeout_t is None else f"{self.timeout_t:g}"
+        parts = [
+            self.grid,
+            self.scenario,
+            f"n={self.n}",
+            f"seed={self.seed}",
+            f"delay={self.delay}",
+            f"T={timeout}",
+        ]
+        if self.duration:
+            parts.append(f"dur={self.duration:g}")
+        parts.extend(f"{name}={value:g}" for name, value in self.params)
+        return "/".join(parts)
+
+    def param(self, name: str, default: float | None = None) -> float:
+        """Look up one extra parameter; raise if absent and no default."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        if default is None:
+            raise ConfigurationError(f"cell {self.cell_id} lacks parameter {name!r}")
+        return default
+
+    def param_list(self, name: str) -> list[float]:
+        """All values recorded under ``name`` (e.g. repeated ``tail``)."""
+        return [value for key, value in self.params if key == name]
+
+    def with_seed(self, seed: int) -> SweepCell:
+        """A copy of this cell under another seed (grids sweep seeds this way)."""
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True, slots=True)
+class SweepGrid:
+    """A named, ordered collection of cells (one experiment's sweep)."""
+
+    name: str
+    description: str
+    cells: tuple[SweepCell, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.cells)

@@ -1,0 +1,200 @@
+"""The shipped sweep grids: E1-E8 re-expressed declaratively.
+
+Each grid enumerates the same parameter axes its experiment module sweeps
+imperatively -- sizes, seeds, delay models, the section 4.3 initiation
+delay ``T`` -- imported from that module's constants so the numbers live
+in exactly one place.  The mapping of grid axes onto the paper's
+parameters (initiation rule, probe tag ``(i, n)``, delay ``T``) is
+documented in DESIGN.md.
+
+Layering note: this module imports ``repro.experiments`` (driver -> harness
+is the allowed direction under RPX004); the experiment modules never import
+``repro.sweep``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    e1_completeness,
+    e2_soundness,
+    e3_messages,
+    e4_state,
+    e5_t_tradeoff,
+    e6_wfgd,
+    e7_q_optimization,
+    e8_baselines,
+)
+from repro.sweep.grid import Params, SweepCell, SweepGrid, make_params
+
+
+def _e1(quick: bool) -> Iterable[SweepCell]:
+    sizes = e1_completeness.QUICK_CYCLE_SIZES if quick else e1_completeness.CYCLE_SIZES
+    seeds = e1_completeness.QUICK_CYCLE_SEEDS if quick else e1_completeness.CYCLE_SEEDS
+    for k in sizes:
+        for seed in seeds:
+            yield SweepCell("e1", "cycle", n=k, seed=seed, delay="exp:1.0")
+    random_seeds = (
+        e1_completeness.QUICK_RANDOM_SEEDS if quick else e1_completeness.RANDOM_SEEDS
+    )
+    for seed in random_seeds:
+        yield SweepCell(
+            "e1",
+            "random",
+            n=e1_completeness.RANDOM_N_VERTICES,
+            seed=seed,
+            delay="exp:1.0",
+            duration=e1_completeness.RANDOM_DURATION,
+            params=make_params(service_delay=0.5, mean_think=2.0, max_targets=2),
+        )
+
+
+def _e2(quick: bool) -> Iterable[SweepCell]:
+    seeds = e2_soundness.QUICK_SEEDS if quick else e2_soundness.SEEDS
+    for seed in seeds:
+        yield SweepCell(
+            "e2",
+            "random",
+            n=e2_soundness.CHURN_N_VERTICES,
+            seed=seed,
+            delay="uniform:0.1:3.0",
+            duration=e2_soundness.CHURN_DURATION,
+            params=make_params(
+                service_delay=0.2, mean_think=1.0, max_targets=1, lenient=1
+            ),
+        )
+        yield SweepCell(
+            "e2",
+            "random",
+            n=e2_soundness.MIXED_N_VERTICES,
+            seed=seed,
+            delay="exp:1.5",
+            duration=e2_soundness.MIXED_DURATION,
+            params=make_params(
+                service_delay=0.5, mean_think=1.5, max_targets=3, lenient=1
+            ),
+        )
+        yield SweepCell(
+            "e2",
+            "chain-waves",
+            n=e2_soundness.NEAR_CYCLE_N_VERTICES,
+            seed=seed,
+            delay="uniform:0.5:2.0",
+            params=make_params(
+                service_delay=0.3,
+                waves=e2_soundness.NEAR_CYCLE_WAVES,
+                period=e2_soundness.NEAR_CYCLE_PERIOD,
+                lenient=1,
+            ),
+        )
+
+
+def _e3(quick: bool) -> Iterable[SweepCell]:
+    sizes = e3_messages.QUICK_CYCLE_SIZES if quick else e3_messages.CYCLE_SIZES
+    for k in sizes:
+        yield SweepCell("e3", "cycle", n=k, seed=0)
+    dense = e3_messages.QUICK_DENSE_CONFIGS if quick else e3_messages.DENSE_CONFIGS
+    for n, fan_out in dense:
+        yield SweepCell("e3", "dense", n=n, seed=0, params=make_params(fan_out=fan_out))
+
+
+def _e4(quick: bool) -> Iterable[SweepCell]:
+    configs = e4_state.QUICK_CONFIGS if quick else e4_state.CONFIGS
+    for n, rounds in configs:
+        yield SweepCell("e4", "cycle", n=n, seed=0, params=make_params(rounds=rounds))
+
+
+def _e5(quick: bool) -> Iterable[SweepCell]:
+    sweep = e5_t_tradeoff.QUICK_T_SWEEP if quick else e5_t_tradeoff.T_SWEEP
+    seeds = e5_t_tradeoff.QUICK_SEEDS if quick else e5_t_tradeoff.SEEDS
+    for timeout in sweep:
+        for seed in seeds:
+            yield SweepCell(
+                "e5",
+                "random",
+                n=e5_t_tradeoff.N_VERTICES,
+                seed=seed,
+                delay="exp:1.0",
+                timeout_t=timeout,
+                duration=e5_t_tradeoff.DURATION,
+                params=make_params(service_delay=0.5, mean_think=2.0, max_targets=2),
+            )
+
+
+def _e6(quick: bool) -> Iterable[SweepCell]:
+    configs = e6_wfgd.QUICK_CONFIGS if quick else e6_wfgd.CONFIGS
+    for cycle_size, tails in configs:
+        params: Params = tuple(
+            sorted([("cycle", float(cycle_size)), ("wfgd", 1.0)]
+                   + [("tail", float(length)) for length in tails])
+        )
+        yield SweepCell(
+            "e6",
+            "cycle-with-tails",
+            n=cycle_size + sum(tails),
+            seed=0,
+            params=params,
+        )
+
+
+def _e7(quick: bool) -> Iterable[SweepCell]:
+    configs = e7_q_optimization.QUICK_CONFIGS if quick else e7_q_optimization.CONFIGS
+    for n_sites, extra_local in configs:
+        for optimized in (0, 1):
+            yield SweepCell(
+                "e7",
+                "ddb-ring",
+                n=n_sites,
+                seed=0,
+                params=make_params(extra_local=extra_local, optimized=optimized),
+            )
+
+
+def _e8(quick: bool) -> Iterable[SweepCell]:
+    seeds = e8_baselines.QUICK_SEEDS if quick else e8_baselines.SEEDS
+    for detector in range(5):  # cmh + the four 1980-era baselines
+        for seed in seeds:
+            yield SweepCell(
+                "e8",
+                "baseline-random",
+                n=e8_baselines.RANDOM_N_VERTICES,
+                seed=seed,
+                delay="exp:1.0",
+                duration=e8_baselines.RANDOM_DURATION,
+                params=make_params(detector=detector, lenient=1),
+            )
+            yield SweepCell(
+                "e8",
+                "baseline-ping-pong",
+                n=e8_baselines.PING_PONG_N_VERTICES,
+                seed=seed,
+                params=make_params(detector=detector, lenient=1),
+            )
+
+
+_BUILDERS: dict[str, tuple[str, Callable[[bool], Iterable[SweepCell]]]] = {
+    "e1": ("Theorem 1 completeness: cycles x seeds + random dynamics", _e1),
+    "e2": ("Theorem 2 soundness: churn / mixed / near-cycle families", _e2),
+    "e3": ("section 4.3 message bound: cycles + dense graphs", _e3),
+    "e4": ("section 4.3 state bound: repeated initiation rounds", _e4),
+    "e5": ("section 4.3 T tradeoff: (T x seed) random workloads", _e5),
+    "e6": ("section 5 WFGD: cycles with attached tails", _e6),
+    "e7": ("section 6.7 Q-initiation vs naive, DDB rings", _e7),
+    "e8": ("probe computation vs 1980-era baselines", _e8),
+}
+
+#: Grid names accepted by ``repro sweep --grid`` (plus ``all``).
+GRIDS: tuple[str, ...] = tuple(_BUILDERS)
+
+
+def build_grid(name: str, quick: bool = False) -> SweepGrid:
+    """Materialise one named grid (``e1`` .. ``e8``)."""
+    try:
+        description, builder = _BUILDERS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown grid {name!r}; choose from {', '.join(GRIDS)}"
+        ) from None
+    return SweepGrid(name=name.lower(), description=description, cells=tuple(builder(quick)))

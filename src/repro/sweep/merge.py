@@ -1,0 +1,78 @@
+"""Merge cell results into one canonical document (plus a timing sidecar).
+
+The canonical document is the determinism contract of the sweep engine:
+
+* cells sorted by ``cell_id`` (results arrive in completion order under
+  multiprocessing; the sort erases that),
+* wall-clock fields stripped (they vary run to run by construction),
+* serialised with ``sort_keys`` and a fixed indent, trailing newline.
+
+Identical grids therefore produce **byte-identical** ``BENCH_*.json``
+bytes no matter how many workers ran them -- which is what lets CI diff
+the file and lets the benchmark baseline hash it.  Everything that *does*
+depend on the machine (per-cell wall seconds, events/sec) goes to the
+``*.timing.json`` sidecar, which makes no such promise.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.sweep.runner import CellResult
+
+#: Schema identifier embedded in every merged document.
+SCHEMA = "repro.sweep/1"
+
+
+def canonical_json(document: Any) -> str:
+    """The one serialisation used for every sweep artefact."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def merge_results(grid_name: str, results: list[CellResult]) -> dict[str, Any]:
+    """Fold per-cell results into the canonical, order-independent document."""
+    cells = []
+    for result in sorted(results, key=lambda r: str(r["cell_id"])):
+        cells.append({key: value for key, value in result.items() if key != "wall_seconds"})
+    statuses = [cell["status"] for cell in cells]
+    return {
+        "schema": SCHEMA,
+        "grid": grid_name,
+        "cells": cells,
+        "summary": {
+            "cells": len(cells),
+            "ok": statuses.count("ok"),
+            "errors": statuses.count("error"),
+            "deadlocks": sum(1 for cell in cells if cell.get("outcome") == "deadlock"),
+            "events": sum(cell.get("events", 0) for cell in cells),
+            "probes": sum(cell.get("probes", 0) for cell in cells),
+            "unsound": sum(cell.get("unsound", 0) for cell in cells),
+        },
+    }
+
+
+def timing_sidecar(grid_name: str, results: list[CellResult]) -> dict[str, Any]:
+    """Wall-clock view of the same results; excluded from determinism."""
+    per_cell = {}
+    total_wall = 0.0
+    total_events = 0
+    for result in results:
+        wall = float(result.get("wall_seconds", 0.0))
+        events = int(result.get("events", 0))
+        total_wall += wall
+        total_events += events
+        per_cell[str(result["cell_id"])] = {
+            "wall_seconds": wall,
+            "events_per_sec": events / wall if wall > 0 else None,
+        }
+    return {
+        "schema": SCHEMA + "+timing",
+        "grid": grid_name,
+        "cells": per_cell,
+        "total": {
+            "wall_seconds": total_wall,
+            "events": total_events,
+            "events_per_sec": total_events / total_wall if total_wall > 0 else None,
+        },
+    }

@@ -1,0 +1,319 @@
+"""Execute sweep cells, serially or across worker processes.
+
+Each cell builds its *own* system in its *own* simulator (seeded from the
+cell), runs it to quiescence, and reduces the run to a small dict of
+deterministic, virtual-time-derived measurements.  Because a cell's result
+is a pure function of the cell, the fan-out strategy -- inline loop or
+``ProcessPoolExecutor`` -- cannot affect the merged document.
+
+Failures are data, not crashes: any exception raised while running a cell
+is caught *inside the worker* and returned as a ``status: "error"`` cell,
+so one bad configuration never aborts the rest of the sweep.
+
+Wall time is measured here with ``time.perf_counter`` (``repro.sweep`` is
+a driver package, outside lint rule RPX002's virtual-time scope) but is
+reported separately from the deterministic fields -- see
+:mod:`repro.sweep.merge`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any
+
+from repro._ids import VertexId
+from repro.analysis.stats import mean
+from repro.basic.initiation import DelayedInitiation, ImmediateInitiation, ManualInitiation
+from repro.basic.system import BasicSystem
+from repro.errors import ConfigurationError
+from repro.sweep.grid import SweepCell, delay_model_from_spec
+from repro.workloads import scenarios
+from repro.workloads.basic_random import RandomRequestWorkload
+
+#: Event budget for every cell; generous for all shipped grids.
+MAX_EVENTS = 2_000_000
+
+CellResult = dict[str, Any]
+
+
+def _initiation(cell: SweepCell) -> ImmediateInitiation | DelayedInitiation:
+    if cell.timeout_t is None:
+        return ImmediateInitiation()
+    return DelayedInitiation(cell.timeout_t)
+
+
+def _basic_system(cell: SweepCell, **overrides: Any) -> BasicSystem:
+    kwargs: dict[str, Any] = {
+        "n_vertices": cell.n,
+        "seed": cell.seed,
+        "delay_model": delay_model_from_spec(cell.delay),
+        "service_delay": cell.param("service_delay", 1.0),
+        "initiation": _initiation(cell),
+        "strict": not cell.param("lenient", 0.0),
+    }
+    kwargs.update(overrides)
+    return BasicSystem(**kwargs)
+
+
+def _start_random_workload(cell: SweepCell, system: BasicSystem) -> None:
+    RandomRequestWorkload(
+        system,
+        mean_think=cell.param("mean_think", 2.0),
+        max_targets=int(cell.param("max_targets", 2)),
+        duration=cell.duration,
+    ).start()
+
+
+def _build_cycle(cell: SweepCell, system: BasicSystem) -> None:
+    scenarios.schedule_cycle(system, list(range(cell.n)))
+
+
+def _build_chain_waves(cell: SweepCell, system: BasicSystem) -> None:
+    period = cell.param("period", 15.0)
+    for wave in range(int(cell.param("waves", 1))):
+        scenarios.schedule_chain(system, list(range(cell.n)), start=wave * period, gap=0.2)
+
+
+def _build_dense(cell: SweepCell, system: BasicSystem) -> None:
+    fan_out = int(cell.param("fan_out"))
+    for i in range(cell.n):
+        targets = sorted({(i + d) % cell.n for d in range(1, fan_out + 1)} - {i})
+        system.schedule_request(0.1 * i, i, targets)
+
+
+def _build_tails(cell: SweepCell, system: BasicSystem) -> None:
+    cycle_size = int(cell.param("cycle"))
+    offset = cycle_size
+    tail_ids: list[list[int]] = []
+    for length in (int(v) for v in cell.param_list("tail")):
+        tail_ids.append(list(range(offset, offset + length)))
+        offset += length
+    scenarios.schedule_cycle_with_tails(system, list(range(cycle_size)), tail_ids)
+
+
+def _collect_basic(cell: SweepCell, system: BasicSystem) -> CellResult:
+    histogram = system.metrics.histograms.get("basic.detection.latency")
+    latencies = list(histogram.values) if histogram is not None else []
+    return {
+        "cell_id": cell.cell_id,
+        "status": "ok",
+        "outcome": "deadlock" if system.declarations else "clean",
+        "events": system.simulator.events_executed,
+        "quiesced_at": system.simulator.now,
+        "declarations": len(system.declarations),
+        "unsound": len(system.soundness_violations),
+        "probes": system.metrics.counter_value("basic.probes.sent"),
+        "computations": system.metrics.counter_value("basic.computations.initiated"),
+        "max_probes_per_computation": max(
+            system.probes_per_computation.values(), default=0
+        ),
+        "detection_latency_mean": mean(latencies) if latencies else None,
+        "extra": {},
+    }
+
+
+def _run_structured(cell: SweepCell) -> CellResult:
+    build = {
+        "cycle": _build_cycle,
+        "chain-waves": _build_chain_waves,
+        "dense": _build_dense,
+        "cycle-with-tails": _build_tails,
+    }[cell.scenario]
+    wants_wfgd = bool(cell.param("wfgd", 0.0))
+    manual = cell.scenario == "dense" or bool(cell.param("rounds", 0.0))
+    system = _basic_system(
+        cell,
+        wfgd_on_declare=wants_wfgd,
+        **({"initiation": ManualInitiation()} if manual else {}),
+    )
+    build(cell, system)
+    system.run_to_quiescence(max_events=MAX_EVENTS)
+    rounds = int(cell.param("rounds", 0.0))
+    if cell.scenario == "dense":
+        system.simulator.schedule(1.0, system.vertex(0).initiate_probe_computation)
+        system.run_to_quiescence(max_events=MAX_EVENTS)
+    elif rounds:
+        for round_index in range(rounds):
+            for i in range(cell.n):
+                system.simulator.schedule(
+                    10.0 * (round_index + 1) + 0.01 * i,
+                    system.vertex(i).initiate_probe_computation,
+                )
+        system.run_to_quiescence(max_events=MAX_EVENTS)
+    result = _collect_basic(cell, system)
+    if rounds:
+        result["extra"]["max_tracked_records"] = max(
+            vertex.engine.tracked_computations for vertex in system.vertices.values()
+        )
+    if wants_wfgd:
+        result["extra"].update(_wfgd_extra(system, cell.n))
+    return result
+
+
+def _wfgd_extra(system: BasicSystem, n: int) -> dict[str, int]:
+    blocked = [
+        v for v in range(n) if system.oracle.permanent_black_edges_from(VertexId(v))
+    ]
+    informed = exact = 0
+    for v in blocked:
+        vertex = system.vertex(v)
+        informed += vertex.deadlocked
+        expected = system.oracle.permanent_black_edges_from(VertexId(v))
+        exact += vertex.wfgd.paths == expected
+    return {
+        "deadlocked_vertices": len(blocked),
+        "informed_vertices": informed,
+        "exact_path_sets": exact,
+        "wfgd_messages": system.metrics.counter_value("basic.wfgd.sent"),
+    }
+
+
+def _run_random(cell: SweepCell) -> CellResult:
+    system = _basic_system(cell)
+    _start_random_workload(cell, system)
+    system.run_to_quiescence(max_events=MAX_EVENTS)
+    result = _collect_basic(cell, system)
+    result["extra"]["avoided"] = system.metrics.counter_value(
+        "basic.computations.avoided"
+    )
+    return result
+
+
+def _run_ddb_ring(cell: SweepCell) -> CellResult:
+    from repro.experiments.e7_q_optimization import ring_system
+
+    system = ring_system(
+        n_sites=cell.n,
+        extra_local=int(cell.param("extra_local")),
+        optimized=bool(cell.param("optimized")),
+        seed=cell.seed,
+    )
+    system.run_to_quiescence(max_events=MAX_EVENTS)
+    complete, _ = system.completeness_report()
+    return {
+        "cell_id": cell.cell_id,
+        "status": "ok",
+        "outcome": "deadlock" if system.declarations else "clean",
+        "events": system.simulator.events_executed,
+        "quiesced_at": system.simulator.now,
+        "declarations": len(system.declarations),
+        "unsound": 0,
+        "probes": system.metrics.counter_value("ddb.probes.sent"),
+        "computations": system.metrics.counter_value("ddb.computations.initiated"),
+        "max_probes_per_computation": 0,
+        "detection_latency_mean": None,
+        "extra": {
+            "scans": system.metrics.counter_value("ddb.scans"),
+            "complete": int(complete),
+        },
+    }
+
+
+def _run_baseline(cell: SweepCell) -> CellResult:
+    from repro.experiments import e8_baselines
+
+    detector_label = {0: "cmh", 1: "centralized", 2: "pathpush", 3: "timeout", 4: "snapshot"}[
+        int(cell.param("detector"))
+    ]
+    family = cell.scenario.removeprefix("baseline-")
+    factory = (
+        e8_baselines.random_system if family == "random" else e8_baselines.ping_pong_system
+    )
+    if detector_label == "cmh":
+        system = factory(cell.seed, True)
+        system.run_to_quiescence(max_events=MAX_EVENTS)
+        result = _collect_basic(cell, system)
+        result["extra"]["detector"] = detector_label
+        result["extra"]["true_detections"] = result["declarations"] - result["unsound"]
+        result["extra"]["false_detections"] = result["unsound"]
+        return result
+    system = factory(cell.seed, False)
+    suite = dict(e8_baselines.detector_suite())
+    make = {
+        "centralized": suite["centralized collection"],
+        "pathpush": suite["path pushing (Obermarck-style)"],
+        "timeout": suite["timeout (W=15)"],
+        "snapshot": suite["snapshots (Chandy-Lamport '85)"],
+    }[detector_label]
+    detector = make(system)
+    detector.start()
+    system.run_to_quiescence(max_events=MAX_EVENTS)
+    result = _collect_basic(cell, system)
+    report = detector.report
+    result["extra"]["detector"] = detector_label
+    result["extra"]["true_detections"] = len(report.true_detections)
+    result["extra"]["false_detections"] = len(report.false_detections)
+    result["extra"]["detector_messages"] = report.messages
+    return result
+
+
+_SCENARIO_RUNNERS = {
+    "cycle": _run_structured,
+    "chain-waves": _run_structured,
+    "dense": _run_structured,
+    "cycle-with-tails": _run_structured,
+    "random": _run_random,
+    "ddb-ring": _run_ddb_ring,
+    "baseline-random": _run_baseline,
+    "baseline-ping-pong": _run_baseline,
+}
+
+
+def run_cell(cell: SweepCell) -> CellResult:
+    """Run one cell; never raises -- failures become ``status: "error"``.
+
+    This function is the unit shipped to worker processes, so it must stay
+    a module-level callable (picklable) and fully self-describing.
+    """
+    started = time.perf_counter()
+    try:
+        runner = _SCENARIO_RUNNERS.get(cell.scenario)
+        if runner is None:
+            raise ConfigurationError(f"unknown sweep scenario {cell.scenario!r}")
+        result = runner(cell)
+    except Exception as error:  # noqa: BLE001 - error cells are the contract
+        result = {
+            "cell_id": cell.cell_id,
+            "status": "error",
+            "error": f"{type(error).__name__}: {error}",
+        }
+    result["wall_seconds"] = time.perf_counter() - started
+    return result
+
+
+def run_sweep(
+    cells: tuple[SweepCell, ...] | list[SweepCell], workers: int = 1
+) -> list[CellResult]:
+    """Run every cell and return results in *completion-independent* order.
+
+    ``workers=1`` runs inline (no subprocesses -- simplest to debug and to
+    profile); ``workers>1`` shards cells across a ``ProcessPoolExecutor``
+    and collects results as they finish.  Either way the returned list is
+    sorted by ``cell_id``, which is what makes the merged document
+    independent of scheduling.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        results = [run_cell(cell) for cell in cells]
+    else:
+        results = []
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            pending = {executor.submit(run_cell, cell): cell for cell in cells}
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    cell = pending.pop(future)
+                    try:
+                        results.append(future.result())
+                    except Exception as error:  # worker died (e.g. OOM/kill)
+                        results.append(
+                            {
+                                "cell_id": cell.cell_id,
+                                "status": "error",
+                                "error": f"worker failure: {type(error).__name__}: {error}",
+                                "wall_seconds": 0.0,
+                            }
+                        )
+    return sorted(results, key=lambda result: str(result["cell_id"]))

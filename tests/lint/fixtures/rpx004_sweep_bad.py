@@ -1,0 +1,19 @@
+# lint-as: src/repro/experiments/fixture.py
+"""RPX004 failing fixture: harness code reaching up into the driver tier.
+
+An experiment importing ``repro.sweep`` would make single experiments
+depend on the multiprocessing machinery that runs them -- the tier stack
+is protocol < harness < driver, and imports must point strictly downward.
+"""
+
+from __future__ import annotations
+
+import repro.sweep.runner  # expect: RPX004
+from repro import sweep  # expect: RPX004
+from repro.sweep.grids import build_grid  # expect: RPX004
+
+
+def fan_out(grid: str) -> object:
+    from repro.sweep.merge import merge_results  # expect: RPX004
+
+    return merge_results, build_grid, sweep, repro.sweep.runner

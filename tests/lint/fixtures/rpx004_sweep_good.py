@@ -1,0 +1,22 @@
+# lint-as: src/repro/sweep/fixture.py
+"""RPX004 passing fixture: the driver tier may import harness + protocol.
+
+``sweep`` sits on top of the stack, so pulling in experiments, obs,
+workloads, and the protocol packages is exactly the allowed direction.
+"""
+
+from __future__ import annotations
+
+from repro.basic.system import BasicSystem
+from repro.experiments import e1_completeness
+from repro.obs.profile import SimulatorProfiler
+from repro.sim.simulator import Simulator
+from repro.workloads import scenarios
+
+__all__ = [
+    "BasicSystem",
+    "Simulator",
+    "SimulatorProfiler",
+    "e1_completeness",
+    "scenarios",
+]

@@ -86,6 +86,41 @@ class TestWallClockAllowlist:
         assert [d.rule for d in diagnostics] == ["RPX002"]
 
 
+class TestDriverTierLayering:
+    """RPX004's third tier: sweep is a driver above the harness."""
+
+    def test_sweep_may_import_harness_and_protocol(self) -> None:
+        source, logical = load_fixture("rpx004_sweep_good.py")
+        assert logical == "src/repro/sweep/fixture.py"
+        diagnostics = lint_source(source, logical)
+        assert diagnostics == [], [d.format_text() for d in diagnostics]
+
+    def test_harness_importing_sweep_is_flagged(self) -> None:
+        source, logical = load_fixture("rpx004_sweep_bad.py")
+        assert logical == "src/repro/experiments/fixture.py"
+        expected = expected_findings(source)
+        assert expected and {rule for rule, _ in expected} == {"RPX004"}
+        diagnostics = lint_source(source, logical)
+        assert {(d.rule, d.line) for d in diagnostics} == expected
+
+    def test_protocol_importing_sweep_is_flagged(self) -> None:
+        source = "from repro.sweep import run_sweep\n"
+        (diagnostic,) = lint_source(source, "src/repro/sim/fixture.py")
+        assert diagnostic.rule == "RPX004"
+        assert "repro.sweep" in diagnostic.message
+
+    def test_tier_sets_are_disjoint_and_complete(self) -> None:
+        from repro.lint.rules.layering import (
+            DRIVER_PACKAGES,
+            HARNESS_PACKAGES,
+            PROTOCOL_PACKAGES,
+        )
+
+        assert PROTOCOL_PACKAGES & HARNESS_PACKAGES == frozenset()
+        assert (PROTOCOL_PACKAGES | HARNESS_PACKAGES) & DRIVER_PACKAGES == frozenset()
+        assert DRIVER_PACKAGES == frozenset({"sweep"})
+
+
 class TestCorruptingRealSources:
     """Deliberate corruption of real repo files is caught precisely."""
 
@@ -95,9 +130,9 @@ class TestCorruptingRealSources:
     def test_unfreezing_a_message_dataclass_is_caught(self) -> None:
         path = self.repo_root() / "src" / "repro" / "basic" / "messages.py"
         source = path.read_text()
-        assert "@dataclass(frozen=True)\nclass Probe:" in source
+        assert "@dataclass(frozen=True, slots=True)\nclass Probe:" in source
         corrupted = source.replace(
-            "@dataclass(frozen=True)\nclass Probe:", "@dataclass\nclass Probe:"
+            "@dataclass(frozen=True, slots=True)\nclass Probe:", "@dataclass\nclass Probe:"
         )
         class_line = corrupted.splitlines().index("class Probe:") + 1
         diagnostics = lint_source(corrupted, "src/repro/basic/messages.py")

@@ -1,0 +1,139 @@
+"""The hot-path optimisations change no observable behaviour.
+
+The engine has three execution paths (the tight quiescence loop, the
+generic budget/deadline loop, and ``step()``), plus a profiled variant via
+the precomputed dispatch.  Every path must execute the same events in the
+same ``(time, sequence)`` order and produce **byte-identical** structured
+traces -- that equivalence is what licenses optimising any of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.basic.system import BasicSystem
+from repro.obs.export import events_to_jsonl
+from repro.obs.profile import profiling
+from repro.sim.simulator import Simulator
+from repro.workloads.scenarios import schedule_cycle, schedule_figure_eight
+
+
+def _cycle_system(n: int = 6) -> BasicSystem:
+    system = BasicSystem(n_vertices=n, seed=7)
+    schedule_cycle(system, list(range(n)), gap=0.3)
+    return system
+
+
+def _trace_bytes(system: BasicSystem) -> bytes:
+    return events_to_jsonl(system.simulator.tracer).encode("utf-8")
+
+
+class TestBitIdenticalTraces:
+    def test_tight_loop_matches_budgeted_loop(self) -> None:
+        tight = _cycle_system()
+        tight.simulator.run()  # until=None, max_events=None: tight loop
+        budgeted = _cycle_system()
+        budgeted.run_to_quiescence(max_events=100_000)  # generic loop
+        assert _trace_bytes(tight) == _trace_bytes(budgeted)
+        assert tight.simulator.events_executed == budgeted.simulator.events_executed
+
+    def test_step_loop_matches_run(self) -> None:
+        stepped = _cycle_system()
+        while stepped.simulator.step():
+            pass
+        ran = _cycle_system()
+        ran.run_to_quiescence()
+        assert _trace_bytes(stepped) == _trace_bytes(ran)
+
+    def test_profiled_run_matches_unprofiled(self) -> None:
+        # A sample period beyond the event count keeps the profiler from
+        # adding profile.queue.sampled events; everything else about a
+        # profiled run must be bit-identical to an unprofiled one.
+        plain = _cycle_system()
+        plain.run_to_quiescence()
+        profiled = _cycle_system()
+        with profiling(profiled.simulator, sample_every=10_000_000):
+            profiled.run_to_quiescence()
+        assert _trace_bytes(plain) == _trace_bytes(profiled)
+
+    def test_deadline_clamp_unchanged(self) -> None:
+        deadline = _cycle_system()
+        deadline.run(until=2.0)
+        assert deadline.simulator.now == 2.0
+        reference = _cycle_system()
+        while True:
+            next_time = reference.simulator.queue.next_time
+            if next_time is None or next_time > 2.0:
+                break
+            reference.simulator.step()
+        events = deadline.simulator.tracer.events()
+        assert [e.category for e in events] == [
+            e.category for e in reference.simulator.tracer.events()
+        ]
+
+    def test_figure_eight_traces_identical_across_paths(self) -> None:
+        def build() -> BasicSystem:
+            system = BasicSystem(n_vertices=7, seed=3)
+            schedule_figure_eight(system, shared=0, left=[1, 2, 3], right=[4, 5, 6])
+            return system
+
+        first = build()
+        first.run_to_quiescence()
+        second = build()
+        second.simulator.run()
+        assert _trace_bytes(first) == _trace_bytes(second)
+
+
+class TestLoopSemantics:
+    def test_max_events_budget_is_exact(self) -> None:
+        simulator = Simulator(seed=0)
+        fired: list[int] = []
+        for i in range(10):
+            simulator.schedule(float(i), lambda i=i: fired.append(i))
+        simulator.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+        simulator.run(max_events=0)
+        assert fired == [0, 1, 2, 3]
+        simulator.run()
+        assert fired == list(range(10))
+
+    def test_cancelled_events_skipped_in_tight_loop(self) -> None:
+        simulator = Simulator(seed=0)
+        fired: list[str] = []
+        keep = simulator.schedule(1.0, lambda: fired.append("keep"))
+        drop = simulator.schedule(0.5, lambda: fired.append("drop"))
+        drop.cancel()
+        simulator.run()
+        assert fired == ["keep"]
+        assert not keep.cancelled
+        assert simulator.events_executed == 1
+
+    def test_until_with_empty_queue_advances_clock(self) -> None:
+        simulator = Simulator(seed=0)
+        simulator.run(until=5.0)
+        assert simulator.now == 5.0
+
+    def test_mid_run_profiler_attach_is_honoured(self) -> None:
+        # The dispatch is precomputed on assignment; re-assignment from
+        # inside an event must swap it for the remainder of the run.
+        from repro.obs.profile import SimulatorProfiler
+
+        simulator = Simulator(seed=0)
+        profiler = SimulatorProfiler(simulator, sample_every=1_000_000)
+        simulator.schedule(1.0, profiler.attach)
+        simulator.schedule(2.0, lambda: None)
+        simulator.schedule(3.0, lambda: None)
+        simulator.run()
+        report = profiler.report()
+        assert report.events == 2  # the two events after the attach
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_events_executed_deterministic(seed: int) -> None:
+    runs = []
+    for _ in range(2):
+        system = BasicSystem(n_vertices=5, seed=seed)
+        schedule_cycle(system, list(range(5)))
+        system.run_to_quiescence()
+        runs.append((system.simulator.events_executed, _trace_bytes(system)))
+    assert runs[0] == runs[1]

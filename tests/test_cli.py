@@ -106,3 +106,75 @@ class TestCommands:
         assert document["experiment"] == "E4"
         assert document["results"]
         assert "json written" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_writes_canonical_document_and_sidecar(self, tmp_path, capsys) -> None:
+        import json
+
+        assert main(
+            ["sweep", "--grid", "e3", "--quick", "--workers", "2", "--out", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+        document = json.loads((tmp_path / "BENCH_e3.json").read_text())
+        assert document["schema"] == "repro.sweep/1"
+        assert document["summary"]["errors"] == 0
+        timing = json.loads((tmp_path / "BENCH_e3.timing.json").read_text())
+        assert timing["total"]["wall_seconds"] > 0
+
+    def test_sweep_stdout_when_no_out_dir(self, capsys) -> None:
+        import json
+
+        assert main(["sweep", "--grid", "e4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{") :]
+        assert json.loads(payload)["grid"] == "e4"
+
+    def test_sweep_unknown_grid_is_an_error(self, capsys) -> None:
+        assert main(["sweep", "--grid", "e99"]) == 2
+        assert "unknown grid" in capsys.readouterr().out
+
+    def test_sweep_workers_1_vs_2_byte_identical(self, tmp_path) -> None:
+        one = tmp_path / "one"
+        two = tmp_path / "two"
+        assert main(["sweep", "--grid", "e6", "--quick", "--out", str(one)]) == 0
+        assert main(
+            ["sweep", "--grid", "e6", "--quick", "--workers", "2", "--out", str(two)]
+        ) == 0
+        assert (one / "BENCH_e6.json").read_bytes() == (two / "BENCH_e6.json").read_bytes()
+
+
+class TestBenchCommand:
+    def test_record_then_check(self, tmp_path, capsys, monkeypatch) -> None:
+        from repro.sweep import baseline
+
+        monkeypatch.setattr(
+            baseline, "MICRO_BENCHMARKS", {"fake.engine": lambda: (100, 0.001)}
+        )
+        monkeypatch.setattr(
+            baseline, "measure_shapes", lambda grids=("g1",): dict.fromkeys(grids, "abc")
+        )
+        path = tmp_path / "BENCH_baseline.json"
+        assert main(["bench", "record", "--baseline", str(path), "--repeats", "1"]) == 0
+        assert "baseline written" in capsys.readouterr().out
+        assert main(["bench", "check", "--baseline", str(path), "--repeats", "1"]) == 0
+        assert "bench check ok" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, tmp_path, capsys, monkeypatch) -> None:
+        from repro.sweep import baseline
+
+        monkeypatch.setattr(
+            baseline, "MICRO_BENCHMARKS", {"fake.engine": lambda: (100, 0.001)}
+        )
+        monkeypatch.setattr(
+            baseline, "measure_shapes", lambda grids=("g1",): dict.fromkeys(grids, "abc")
+        )
+        path = tmp_path / "BENCH_baseline.json"
+        assert main(["bench", "record", "--baseline", str(path), "--repeats", "1"]) == 0
+        capsys.readouterr()
+        monkeypatch.setattr(
+            baseline, "MICRO_BENCHMARKS", {"fake.engine": lambda: (100, 0.1)}
+        )
+        assert main(["bench", "check", "--baseline", str(path), "--repeats", "1"]) == 1
+        assert "BENCH CHECK FAILED" in capsys.readouterr().out

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Summarise a coverage.xml file as a per-package Markdown table.
+
+Used by the CI ``coverage`` job: the table goes to the job summary, and
+soft floors on the trusted packages emit ``::warning`` annotations (on
+stderr, so they do not corrupt the Markdown on stdout) without failing
+the build.
+
+Usage: python tools/coverage_summary.py coverage.xml
+"""
+
+from __future__ import annotations
+
+import sys
+import xml.etree.ElementTree as ET
+from collections import defaultdict
+
+# Soft floors: packages whose correctness arguments lean on tests.
+# repro.sim carries the deterministic substrate every result depends on;
+# repro.sweep carries the byte-identical merge contract.
+FLOORS = {"repro.sim": 85.0, "repro.sweep": 85.0}
+
+
+def top_level_package(filename: str) -> str:
+    """Map 'repro/sweep/runner.py' -> 'repro.sweep', 'repro/cli.py' -> 'repro'."""
+    parts = filename.replace("\\", "/").split("/")
+    if len(parts) >= 3:
+        return f"{parts[0]}.{parts[1]}"
+    return parts[0]
+
+
+def collect(path: str) -> dict[str, tuple[int, int]]:
+    """Return {package: (lines_covered, lines_valid)} from a Cobertura XML."""
+    totals: dict[str, list[int]] = defaultdict(lambda: [0, 0])
+    root = ET.parse(path).getroot()
+    for cls in root.iter("class"):
+        package = top_level_package(cls.get("filename", ""))
+        for line in cls.iter("line"):
+            totals[package][1] += 1
+            if int(line.get("hits", "0")) > 0:
+                totals[package][0] += 1
+    return {name: (covered, valid) for name, (covered, valid) in totals.items()}
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    totals = collect(sys.argv[1])
+    if not totals:
+        print("::warning::coverage.xml contained no class entries", file=sys.stderr)
+        return 0
+
+    print("## Coverage by package")
+    print()
+    print("| Package | Lines | Covered | % | Floor |")
+    print("|---|---:|---:|---:|---|")
+    grand_covered = grand_valid = 0
+    for name in sorted(totals):
+        covered, valid = totals[name]
+        grand_covered += covered
+        grand_valid += valid
+        pct = 100.0 * covered / valid if valid else 100.0
+        floor = FLOORS.get(name)
+        if floor is None:
+            note = ""
+        elif pct >= floor:
+            note = f"&ge;{floor:.0f}% ok"
+        else:
+            note = f"**below {floor:.0f}% floor**"
+            print(
+                f"::warning::{name} line coverage {pct:.1f}% is below the "
+                f"soft floor of {floor:.0f}%",
+                file=sys.stderr,
+            )
+        print(f"| `{name}` | {valid} | {covered} | {pct:.1f}% | {note} |")
+    grand_pct = 100.0 * grand_covered / grand_valid if grand_valid else 100.0
+    print(f"| **total** | {grand_valid} | {grand_covered} | {grand_pct:.1f}% | |")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
