@@ -15,24 +15,35 @@ subscribers that verify the paper's two theorems while the simulation runs:
   connected component of the dark subgraph that contains a cycle also
   contains at least one vertex that declared.
 
-It also keeps the per-computation probe counts that experiment E3 reads.
+The verification bookkeeping itself (declaration log, completeness check,
+probe accounting) lives in :mod:`repro.core.engine`, shared with the other
+detector variants; this wrapper contributes the basic-model oracle queries
+and message wiring.  It also keeps the per-computation probe counts that
+experiment E3 reads.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro._algo import cyclic_sccs
 from repro._ids import ProbeTag, VertexId
 from repro.basic.graph import EdgeColor, WaitForGraph
 from repro.basic.initiation import ImmediateInitiation, InitiationPolicy
 from repro.basic.vertex import VertexProcess
-from repro.errors import ConfigurationError
+from repro.core.assembly import build_runtime, require_fleet
+from repro.core.engine import (
+    CompletenessReport,
+    DeclarationLog,
+    ProbeAccounting,
+    completeness_report,
+    dark_components,
+)
 from repro.sim import categories
-from repro.sim.network import DelayModel, Network
-from repro.sim.simulator import Simulator
+from repro.sim.network import DelayModel
 from repro.sim.trace import TraceEvent
+
+__all__ = ["BasicSystem", "CompletenessReport", "Declaration"]
 
 
 @dataclass(frozen=True)
@@ -43,19 +54,6 @@ class Declaration:
     vertex: VertexId
     tag: ProbeTag
     on_black_cycle: bool
-
-
-@dataclass
-class CompletenessReport:
-    """Result of the quiescence-time completeness check."""
-
-    deadlocked_vertices: set[VertexId]
-    declared_vertices: set[VertexId]
-    undetected_components: list[set[VertexId]] = field(default_factory=list)
-
-    @property
-    def complete(self) -> bool:
-        return not self.undetected_components
 
 
 class BasicSystem:
@@ -100,20 +98,24 @@ class BasicSystem:
         trace: bool = True,
         fifo: bool = True,
     ) -> None:
-        if n_vertices < 1:
-            raise ConfigurationError(f"need at least one vertex, got {n_vertices}")
-        self.simulator = Simulator(seed=seed, trace=trace)
-        self.network = Network(self.simulator, delay_model=delay_model, fifo=fifo)
+        require_fleet(n_vertices, "vertex")
+        runtime = build_runtime(
+            seed=seed, delay_model=delay_model, trace=trace, fifo=fifo
+        )
+        self.simulator = runtime.simulator
+        self.network = runtime.network
         self.oracle = WaitForGraph()
         self.initiation = initiation if initiation is not None else ImmediateInitiation()
         self.wfgd_on_declare = wfgd_on_declare
-        self.strict = strict
-        self.declarations: list[Declaration] = []
-        self.soundness_violations: list[Declaration] = []
+        self._log: DeclarationLog[Declaration] = DeclarationLog(strict=strict)
+        #: every declaration, sound or not (alias into the shared log).
+        self.declarations = self._log.declarations
+        self.soundness_violations = self._log.violations
         #: Virtual time at which each vertex first joined a dark cycle.
         self.deadlock_formed_at: dict[VertexId, float] = {}
+        self._probes = ProbeAccounting()
         #: Probes sent per computation tag (experiment E3).
-        self.probes_per_computation: dict[ProbeTag, int] = {}
+        self.probes_per_computation = self._probes.per_computation
 
         self.vertices: dict[VertexId, VertexProcess] = {}
         for i in range(n_vertices):
@@ -154,6 +156,14 @@ class BasicSystem:
     def metrics(self):
         return self.simulator.metrics
 
+    @property
+    def strict(self) -> bool:
+        return self._log.strict
+
+    @strict.setter
+    def strict(self, value: bool) -> None:
+        self._log.strict = value
+
     # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
@@ -190,14 +200,14 @@ class BasicSystem:
             tag=tag,
             on_black_cycle=on_black,
         )
-        self.declarations.append(declaration)
-        if not on_black:
-            self.soundness_violations.append(declaration)
-            if self.strict:
-                raise AssertionError(
-                    f"QRP2 violated: vertex {vertex.vertex_id} declared deadlock at "
-                    f"t={self.simulator.now} but is not on a black cycle"
-                )
+        self._log.record(
+            declaration,
+            sound=on_black,
+            complaint=(
+                f"QRP2 violated: vertex {vertex.vertex_id} declared deadlock at "
+                f"t={self.simulator.now} but is not on a black cycle"
+            ),
+        )
         formed = self.deadlock_formed_at.get(vertex.vertex_id)
         if formed is not None:
             self.simulator.metrics.histogram("basic.detection.latency").record(
@@ -214,37 +224,35 @@ class BasicSystem:
                 for member in cycle:
                     self.deadlock_formed_at.setdefault(member, event.time)
         elif event.category == categories.BASIC_PROBE_SENT:
-            tag = event["tag"]
-            self.probes_per_computation[tag] = self.probes_per_computation.get(tag, 0) + 1
+            self._probes.count(event["tag"])
 
     # ------------------------------------------------------------------
     # Quiescence-time checks
     # ------------------------------------------------------------------
 
+    def _dark_edges(self) -> list[tuple[VertexId, VertexId]]:
+        return [
+            edge
+            for edge, color in self.oracle.edges()
+            if color is not EdgeColor.WHITE
+        ]
+
     def _dark_sccs(self) -> list[set[VertexId]]:
         """Strongly connected components of the dark subgraph that contain a
         cycle (size > 1; the graph has no self-loops)."""
-        dark_out: dict[VertexId, list[VertexId]] = {}
-        for (source, target), color in self.oracle.edges():
-            if color is not EdgeColor.WHITE:
-                dark_out.setdefault(source, []).append(target)
-        return cyclic_sccs(dark_out)
+        return dark_components(self._dark_edges())
 
-    def completeness_report(self) -> CompletenessReport:
+    def completeness_report(self) -> CompletenessReport[VertexId]:
         """Check Theorem 1 + the section 4.2 initiation rule at quiescence.
 
         Every cyclic SCC of the dark subgraph must contain at least one
         vertex that declared deadlock.
         """
-        declared = {d.vertex for d in self.declarations}
-        deadlocked = self.oracle.vertices_on_dark_cycles()
-        report = CompletenessReport(
-            deadlocked_vertices=deadlocked, declared_vertices=declared
+        return completeness_report(
+            self._dark_edges(),
+            declared={d.vertex for d in self.declarations},
+            deadlocked=self.oracle.vertices_on_dark_cycles(),
         )
-        for component in self._dark_sccs():
-            if not component & declared:
-                report.undetected_components.append(component)
-        return report
 
     def assert_completeness(self) -> None:
         report = self.completeness_report()
@@ -255,10 +263,7 @@ class BasicSystem:
             )
 
     def assert_soundness(self) -> None:
-        if self.soundness_violations:
-            raise AssertionError(
-                f"QRP2 violated by declarations: {self.soundness_violations}"
-            )
+        self._log.assert_sound("QRP2 violated by declarations: ")
 
     def __repr__(self) -> str:
         return (

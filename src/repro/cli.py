@@ -4,6 +4,7 @@ Usage::
 
     repro quickstart                 # 3-cycle demo on the basic model
     repro ddb-demo                   # cross-site DDB deadlock + resolution
+    repro variants                   # list the registered detector variants
     repro experiment E3              # regenerate one experiment table
     repro experiment all --quick     # regenerate everything, fast settings
     repro verify                     # exhaustive small-scope model checking
@@ -30,97 +31,27 @@ from collections.abc import Sequence
 from repro.experiments import ALL_EXPERIMENTS
 
 
-def _cmd_quickstart(_: argparse.Namespace) -> int:
-    from repro.basic.system import BasicSystem
-    from repro.workloads.scenarios import schedule_cycle
+def _cmd_variants(_: argparse.Namespace) -> int:
+    from repro.core import all_variants
 
-    system = BasicSystem(n_vertices=3, wfgd_on_declare=True)
-    schedule_cycle(system, [0, 1, 2])
-    system.run_to_quiescence()
-    print("basic model, 3-cycle deadlock")
-    for declaration in system.declarations:
-        print(
-            f"  t={declaration.time:.3f}  vertex {declaration.vertex} declared "
-            f"deadlock (tag {declaration.tag}, sound={declaration.on_black_cycle})"
-        )
-    system.assert_soundness()
-    system.assert_completeness()
-    print("  soundness + completeness verified against the oracle")
-    return 0
-
-
-def _cmd_ddb_demo(_: argparse.Namespace) -> int:
-    from repro._ids import ResourceId, SiteId, TransactionId
-    from repro.ddb.locks import LockMode
-    from repro.ddb.resolution import AbortAboutTransaction
-    from repro.ddb.system import DdbSystem
-    from repro.ddb.transaction import Think, TransactionSpec, acquire
-
-    resources = {ResourceId("r0"): SiteId(0), ResourceId("r1"): SiteId(1)}
-    system = DdbSystem(n_sites=2, resources=resources, resolution=AbortAboutTransaction())
-
-    def restart(execution, aborted):
-        if aborted:
-            system.restart(execution.spec.tid, delay=3.0 + 4.0 * int(execution.spec.tid))
-
-    system.finished_callback = restart
-    X = LockMode.EXCLUSIVE
-    system.begin(
-        TransactionSpec(
-            tid=TransactionId(1),
-            home=SiteId(0),
-            operations=(acquire(("r0", X)), Think(1.0), acquire(("r1", X))),
-        ),
-        at=0.0,
-    )
-    system.begin(
-        TransactionSpec(
-            tid=TransactionId(2),
-            home=SiteId(1),
-            operations=(acquire(("r1", X)), Think(1.0), acquire(("r0", X))),
-        ),
-        at=0.1,
-    )
-    system.run_to_quiescence(max_events=100_000)
-    print("DDB model, cross-site deadlock with victim resolution")
-    for declaration in system.declarations:
-        print(
-            f"  t={declaration.time:.3f}  C{declaration.site} declared "
-            f"{declaration.process} deadlocked"
-        )
-    for tid, record in sorted(system.transactions.items()):
-        print(f"  T{tid}: commits={record.commits} aborts={record.aborts}")
-    system.assert_no_deadlock_remains()
-    print("  no deadlock remains; all transactions committed")
-    return 0
-
-
-def _cmd_or_demo(_: argparse.Namespace) -> int:
-    from repro.ormodel import OrSystem
-
-    system = OrSystem(n_vertices=3)
-    system.schedule_request(0.0, 1, [0])
-    system.schedule_request(0.3, 2, [0])
-    system.schedule_request(0.6, 0, [1, 2])
-    system.run_to_quiescence()
-    print("OR/communication model, knot: p0 waits any{p1,p2}, both wait any{p0}")
-    for declaration in system.declarations:
-        print(
-            f"  t={declaration.time:.3f}  vertex {declaration.vertex} declared "
-            f"OR-deadlock (tag {declaration.tag})"
-        )
-    system.assert_soundness()
-    system.assert_completeness()
-    print("  soundness + completeness verified against the OR oracle")
+    for variant in all_variants():
+        capabilities = variant.capabilities
+        print(f"{variant.name}: {variant.title}")
+        print(f"  kind: {capabilities.kind} (model: {capabilities.model})")
+        print(f"  oracle criterion: {capabilities.oracle_criterion}")
+        scenarios = ", ".join(capabilities.scenarios) or "(none)"
+        print(f"  sweep scenarios: {scenarios}")
+        if variant.demo is not None:
+            print(f"  demo: repro {variant.demo.command}")
     return 0
 
 
 def _cmd_timeline(_: argparse.Namespace) -> int:
     from repro.analysis.timeline import render_timeline
-    from repro.basic.system import BasicSystem
+    from repro.core import get_variant
     from repro.workloads.scenarios import schedule_cycle
 
-    system = BasicSystem(n_vertices=3)
+    system = get_variant("basic").build(n_vertices=3)
     schedule_cycle(system, [0, 1, 2])
     system.run_to_quiescence()
     print(render_timeline(system.simulator.tracer))
@@ -133,32 +64,33 @@ OBS_SCENARIOS = ("quickstart", "cycle", "chain", "figure-eight", "ping-pong")
 
 def _build_obs_scenario(args: argparse.Namespace):
     """Build a BasicSystem with the requested canned workload scheduled."""
-    from repro.basic.system import BasicSystem
+    from repro.core import get_variant
     from repro.workloads import scenarios
 
+    build = get_variant("basic").build
     name = args.scenario
     seed = args.seed
     if name == "quickstart":
-        system = BasicSystem(n_vertices=3, seed=seed)
+        system = build(n_vertices=3, seed=seed)
         scenarios.schedule_cycle(system, [0, 1, 2])
     elif name == "cycle":
         n = args.n or 8
-        system = BasicSystem(n_vertices=n, seed=seed)
+        system = build(n_vertices=n, seed=seed)
         scenarios.schedule_cycle(system, list(range(n)))
     elif name == "chain":
         n = args.n or 8
-        system = BasicSystem(n_vertices=n, seed=seed)
+        system = build(n_vertices=n, seed=seed)
         scenarios.schedule_chain(system, list(range(n)))
     elif name == "figure-eight":
         n = max(args.n or 5, 5)
         half = (n - 1) // 2
-        system = BasicSystem(n_vertices=n, seed=seed)
+        system = build(n_vertices=n, seed=seed)
         scenarios.schedule_figure_eight(
             system, shared=0, left=list(range(1, 1 + half)), right=list(range(1 + half, n))
         )
     elif name == "ping-pong":
         n = max(args.n or 4, 2)
-        system = BasicSystem(n_vertices=n, seed=seed)
+        system = build(n_vertices=n, seed=seed)
         pairs = [(i, i + 1) for i in range(0, n - 1, 2)]
         scenarios.schedule_ping_pong(system, pairs, repetitions=4)
     else:  # pragma: no cover - argparse choices guard this
@@ -411,16 +343,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    quickstart = subparsers.add_parser("quickstart", help="3-cycle basic-model demo")
-    quickstart.set_defaults(handler=_cmd_quickstart)
+    # Demo subcommands come straight from the variant registry: a variant
+    # that ships a DemoSpec gets a subcommand without any edit here.
+    from repro.core import all_variants
 
-    ddb = subparsers.add_parser("ddb-demo", help="cross-site DDB deadlock demo")
-    ddb.set_defaults(handler=_cmd_ddb_demo)
+    for variant in all_variants():
+        if variant.demo is None:
+            continue
+        demo = subparsers.add_parser(variant.demo.command, help=variant.demo.help)
+        demo.set_defaults(handler=lambda args, _run=variant.demo.run: _run())
 
-    or_demo = subparsers.add_parser(
-        "or-demo", help="OR/communication-model knot demo (section 7 extension)"
+    variants = subparsers.add_parser(
+        "variants", help="list the registered detector variants"
     )
-    or_demo.set_defaults(handler=_cmd_or_demo)
+    variants.set_defaults(handler=_cmd_variants)
 
     timeline = subparsers.add_parser(
         "timeline", help="render a protocol timeline of the 3-cycle demo"

@@ -1,0 +1,51 @@
+"""The cross-variant conformance contract.
+
+Every registered detector variant must be able to run two standard
+scenarios and summarise the outcome in one model-independent record:
+
+* ``"deadlock"`` -- a small genuine deadlock.  The variant must declare
+  (non-empty declarations), stay sound (zero violations), and -- where it
+  reports completeness -- cover every dark component.
+* ``"clean"`` -- a workload whose waits all resolve.  The variant must
+  stay silent and sound.
+
+The scenarios are intentionally tiny (a handful of processes, default
+delays) so the conformance suite stays in the tier-1 test budget while
+still exercising assembly, declaration recording, oracle checks, and the
+quiescence-time report of each variant end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NoReturn
+
+from repro.errors import ConfigurationError
+
+#: Scenario names every variant's ``conformance`` callable must accept.
+CONFORMANCE_SCENARIOS: tuple[str, ...] = ("deadlock", "clean")
+
+
+@dataclass(frozen=True)
+class ConformanceOutcome:
+    """Model-independent summary of one conformance run."""
+
+    variant: str
+    scenario: str
+    #: declarations (protocol variants) or detections (overlay variants).
+    declarations: int
+    #: declarations that failed the variant's oracle criterion when made.
+    soundness_violations: int
+    #: quiescence-time completeness verdict; ``None`` when the variant's
+    #: capabilities say it has no completeness report.
+    complete: bool | None
+    #: dark components (or deadlocked closures) left without a declarer.
+    undetected_components: int = 0
+
+
+def unknown_scenario(variant: str, scenario: str) -> NoReturn:
+    """Shared error for conformance callables handed a bad scenario."""
+    raise ConfigurationError(
+        f"variant {variant!r} has no conformance scenario {scenario!r}; "
+        f"choose from {', '.join(CONFORMANCE_SCENARIOS)}"
+    )

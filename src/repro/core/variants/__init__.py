@@ -1,0 +1,42 @@
+"""Registration modules for the built-in detector variants.
+
+Importing this package registers every built-in variant, in a fixed
+order that downstream consumers rely on (sweep's e8 grid indexes the
+overlay variants by position):
+
+1. ``basic`` -- the paper's probe computation (sections 2-4),
+2. ``ormodel`` -- the OR/communication-model detector (section 7),
+3. ``ddb`` -- the Menasce-Muntz controller detector (section 6),
+4. the four baseline overlays -- ``centralized``, ``pathpush``,
+   ``timeout``, ``snapshot`` (experiment E8).
+
+Do not import this package from core infrastructure modules; it is
+loaded lazily by :func:`repro.core.registry.ensure_builtin_variants` so
+protocol packages can import :mod:`repro.core.engine` without recursion.
+
+Adding a new variant: implement it in its own package, then add one
+``register(DetectorVariant(...))`` call -- either in a module imported
+here (for built-ins) or anywhere in your own import path (for external
+variants).  Nothing in ``sweep``/``obs``/``cli`` needs editing; the
+conformance suite picks the variant up automatically.
+"""
+
+from repro.core.variants.basic import BASIC_VARIANT
+from repro.core.variants.ormodel import OR_VARIANT
+from repro.core.variants.ddb import DDB_VARIANT
+from repro.core.variants.baselines import (
+    CENTRALIZED_VARIANT,
+    PATHPUSH_VARIANT,
+    SNAPSHOT_VARIANT,
+    TIMEOUT_VARIANT,
+)
+
+__all__ = [
+    "BASIC_VARIANT",
+    "CENTRALIZED_VARIANT",
+    "DDB_VARIANT",
+    "OR_VARIANT",
+    "PATHPUSH_VARIANT",
+    "SNAPSHOT_VARIANT",
+    "TIMEOUT_VARIANT",
+]

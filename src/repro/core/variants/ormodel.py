@@ -1,0 +1,87 @@
+"""Registration of the ``ormodel`` variant: the section 7 OR extension.
+
+In the OR/communication model a blocked process is deadlocked iff no
+active process is reachable along dependency edges, so the completeness
+obligation is per-closure rather than per-SCC and the variant reports no
+probe taxonomy (its query/reply computations are not section 4 probe
+computations).  The system wrapper is
+:class:`~repro.ormodel.system.OrSystem`.
+"""
+
+from __future__ import annotations
+
+from repro.core.conformance import ConformanceOutcome, unknown_scenario
+from repro.core.registry import (
+    DemoSpec,
+    DetectorVariant,
+    VariantCapabilities,
+    register,
+)
+from repro.ormodel.system import OrSystem
+
+
+def _conformance(scenario: str, seed: int) -> ConformanceOutcome:
+    system = OrSystem(n_vertices=3, seed=seed, strict=False)
+    if scenario == "deadlock":
+        # The knot from the demo: p0 waits any{p1, p2}, both wait any{p0}.
+        system.schedule_request(0.0, 1, [0])
+        system.schedule_request(0.3, 2, [0])
+        system.schedule_request(0.6, 0, [1, 2])
+    elif scenario == "clean":
+        # One OR-request against an active vertex: granted, no deadlock.
+        system.schedule_request(0.0, 1, [0])
+    else:
+        unknown_scenario("ormodel", scenario)
+    system.run_to_quiescence()
+    report = system.completeness_report()
+    return ConformanceOutcome(
+        variant="ormodel",
+        scenario=scenario,
+        declarations=len(system.declarations),
+        soundness_violations=len(system.soundness_violations),
+        complete=report.complete,
+        undetected_components=len(report.undetected_components),
+    )
+
+
+def _demo() -> int:
+    system = OrSystem(n_vertices=3)
+    system.schedule_request(0.0, 1, [0])
+    system.schedule_request(0.3, 2, [0])
+    system.schedule_request(0.6, 0, [1, 2])
+    system.run_to_quiescence()
+    print("OR/communication model, knot: p0 waits any{p1,p2}, both wait any{p0}")
+    for declaration in system.declarations:
+        print(
+            f"  t={declaration.time:.3f}  vertex {declaration.vertex} declared "
+            f"OR-deadlock (tag {declaration.tag})"
+        )
+    system.assert_soundness()
+    system.assert_completeness()
+    print("  soundness + completeness verified against the OR oracle")
+    return 0
+
+
+OR_VARIANT = register(
+    DetectorVariant(
+        name="ormodel",
+        title="OR/communication-model query computation (section 7)",
+        capabilities=VariantCapabilities(
+            model="ormodel",
+            kind="protocol",
+            oracle_criterion=(
+                "no active vertex reachable from the declarer's closure, "
+                "net of in-flight grants"
+            ),
+            scenarios=(),
+            taxonomy=None,
+        ),
+        build=OrSystem,
+        conformance=_conformance,
+        demo=DemoSpec(
+            command="or-demo",
+            help="OR/communication-model knot demo (section 7 extension)",
+            run=_demo,
+        ),
+    )
+)

@@ -13,19 +13,28 @@ and a victim policy -- and verifies the paper's claims while running:
   liveness claim is that no dark cycle survives (victims break them), and
   the workload's commit counters show progress.
 
-Transaction admission and restart are exposed at this level; workloads
-drive :meth:`begin` / :meth:`restart` and observe completion through the
-``finished_callback``.
+Both checks run through the shared machinery in :mod:`repro.core.engine`;
+this wrapper adds the DDB-specific stale-declaration carve-out (a victim
+abort can break a genuinely detected cycle while the final probe is in
+flight).  Transaction admission and restart are exposed at this level;
+workloads drive :meth:`begin` / :meth:`restart` and observe completion
+through the ``finished_callback``.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro._algo import cyclic_sccs
 from repro._ids import ProbeTag, ProcessId, ResourceId, SiteId, TransactionId
 from repro.basic.graph import EdgeColor
+from repro.core.assembly import build_runtime, require_fleet
+from repro.core.engine import (
+    DeclarationLog,
+    ProbeAccounting,
+    completeness_report,
+    dark_components,
+)
 from repro.ddb.controller import Controller
 from repro.ddb.graph import DdbWaitForGraph
 from repro.ddb.initiation import DdbImmediateInitiation, DdbInitiationPolicy
@@ -33,8 +42,7 @@ from repro.ddb.resolution import NoResolution, VictimPolicy
 from repro.ddb.transaction import TransactionExecution, TransactionSpec
 from repro.errors import ConfigurationError, ProtocolError
 from repro.sim import categories
-from repro.sim.network import DelayModel, Network
-from repro.sim.simulator import Simulator
+from repro.sim.network import DelayModel
 from repro.sim.trace import TraceEvent
 
 
@@ -105,8 +113,7 @@ class DdbSystem:
         wfgd_on_declare: bool = False,
         prevention=None,
     ) -> None:
-        if n_sites < 1:
-            raise ConfigurationError(f"need at least one site, got {n_sites}")
+        require_fleet(n_sites, "site")
         if isinstance(resources, int):
             resources = uniform_resources(resources, n_sites)
         for resource, site in resources.items():
@@ -114,13 +121,15 @@ class DdbSystem:
                 raise ConfigurationError(
                     f"resource {resource!r} homed at invalid site {site}"
                 )
-        self.simulator = Simulator(seed=seed, trace=trace)
-        self.network = Network(self.simulator, delay_model=delay_model, fifo=fifo)
+        runtime = build_runtime(
+            seed=seed, delay_model=delay_model, trace=trace, fifo=fifo
+        )
+        self.simulator = runtime.simulator
+        self.network = runtime.network
         self.oracle = DdbWaitForGraph()
         self.resource_home: dict[ResourceId, SiteId] = dict(resources)
         self.initiation = initiation if initiation is not None else DdbImmediateInitiation()
         self.resolution = resolution if resolution is not None else NoResolution()
-        self.strict = strict
         #: run the lifted section 5 WFGD computation after declarations
         #: (detection-only analysis; see repro.ddb.wfgd)
         self.wfgd_on_declare = wfgd_on_declare
@@ -140,12 +149,14 @@ class DdbSystem:
             self.initiation.setup(controller)
 
         self.transactions: dict[TransactionId, TransactionRecord] = {}
-        self.declarations: list[DdbDeclaration] = []
-        self.soundness_violations: list[DdbDeclaration] = []
+        self._log: DeclarationLog[DdbDeclaration] = DeclarationLog(strict=strict)
+        self.declarations = self._log.declarations
+        self.soundness_violations = self._log.violations
         #: Virtual time each process first joined a dark cycle.
         self.deadlock_formed_at: dict[ProcessId, float] = {}
+        self._probes = ProbeAccounting()
         #: Probes sent per computation tag.
-        self.probes_per_computation: dict[ProbeTag, int] = {}
+        self.probes_per_computation = self._probes.per_computation
         #: Workload hook: called as ``callback(execution, aborted)``.
         self.finished_callback: Callable[[TransactionExecution, bool], None] | None = None
         #: Times at which any transaction aborted (stale-declaration check).
@@ -170,6 +181,14 @@ class DdbSystem:
     @property
     def metrics(self):
         return self.simulator.metrics
+
+    @property
+    def strict(self) -> bool:
+        return self._log.strict
+
+    @strict.setter
+    def strict(self, value: bool) -> None:
+        self._log.strict = value
 
     def transaction_home(self, tid: TransactionId) -> SiteId:
         return self.transactions[tid].spec.home
@@ -256,29 +275,31 @@ class DdbSystem:
             tag=tag,
             on_black_cycle=on_black,
         )
-        self.declarations.append(declaration)
-        if not on_black:
-            # In the paper's (abort-free) model this would be a QRP2
-            # violation outright.  With victim aborts enabled, a concurrent
-            # abort may break a *genuinely detected* cycle while the final
-            # probe is in flight; the declaration is then stale, not
-            # phantom.  Stale requires (a) the process really was on a dark
-            # cycle earlier, and (b) an abort occurred between that moment
-            # and now.  Everything else is a true soundness violation.
-            formed = self.deadlock_formed_at.get(process)
-            stale = formed is not None and any(
+        # In the paper's (abort-free) model a negative oracle verdict would
+        # be a QRP2 violation outright.  With victim aborts enabled, a
+        # concurrent abort may break a *genuinely detected* cycle while the
+        # final probe is in flight; the declaration is then stale, not
+        # phantom.  Stale requires (a) the process really was on a dark
+        # cycle earlier, and (b) an abort occurred between that moment and
+        # now.  Everything else is a true soundness violation.
+        formed = self.deadlock_formed_at.get(process)
+        stale = (
+            not on_black
+            and formed is not None
+            and any(
                 formed <= abort_time <= self.now for abort_time in self._abort_times
             )
-            if stale:
-                self.metrics.counter("ddb.declarations.stale").increment()
-            else:
-                self.soundness_violations.append(declaration)
-                if self.strict:
-                    raise AssertionError(
-                        f"DDB soundness violated: {process} declared deadlocked at "
-                        f"t={self.now} but is not on a black cycle"
-                    )
-        formed = self.deadlock_formed_at.get(process)
+        )
+        if stale:
+            self.metrics.counter("ddb.declarations.stale").increment()
+        self._log.record(
+            declaration,
+            sound=on_black or stale,
+            complaint=(
+                f"DDB soundness violated: {process} declared deadlocked at "
+                f"t={self.now} but is not on a black cycle"
+            ),
+        )
         if formed is not None:
             self.metrics.histogram("ddb.detection.latency").record(self.now - formed)
         self.resolution.on_declaration(controller, process, tag)
@@ -290,16 +311,18 @@ class DdbSystem:
                 for member in self._dark_cycle_members(source):
                     self.deadlock_formed_at.setdefault(member, event.time)
         elif event.category == categories.DDB_PROBE_SENT:
-            tag = event["tag"]
-            self.probes_per_computation[tag] = self.probes_per_computation.get(tag, 0) + 1
+            self._probes.count(event["tag"])
+
+    def _dark_edges(self) -> list[tuple[ProcessId, ProcessId]]:
+        return [
+            edge
+            for edge, color in self.oracle.edges()
+            if color is not EdgeColor.WHITE
+        ]
 
     def _dark_cycle_members(self, start: ProcessId) -> set[ProcessId]:
         """Processes on dark cycles in the SCC of ``start``."""
-        dark_out: dict[ProcessId, list[ProcessId]] = {}
-        for (a, b), color in self.oracle.edges():
-            if color is not EdgeColor.WHITE:
-                dark_out.setdefault(a, []).append(b)
-        for component in cyclic_sccs(dark_out):
+        for component in dark_components(self._dark_edges()):
             if start in component:
                 return component
         return {start}
@@ -309,18 +332,18 @@ class DdbSystem:
     # ------------------------------------------------------------------
 
     def completeness_report(self) -> tuple[bool, list[set[ProcessId]]]:
-        """Detection-only check: every cyclic dark SCC has a declaration."""
-        declared = {d.process for d in self.declarations}
-        dark_out: dict[ProcessId, list[ProcessId]] = {}
-        for (a, b), color in self.oracle.edges():
-            if color is not EdgeColor.WHITE:
-                dark_out.setdefault(a, []).append(b)
-        undetected = [
-            component
-            for component in cyclic_sccs(dark_out)
-            if not component & declared
-        ]
-        return (not undetected, undetected)
+        """Detection-only check: every cyclic dark SCC has a declaration.
+
+        Returns the historical ``(complete, undetected)`` tuple shape the
+        DDB experiments consume; the check itself is the shared
+        :func:`repro.core.engine.completeness_report`.
+        """
+        report = completeness_report(
+            self._dark_edges(),
+            declared={d.process for d in self.declarations},
+            deadlocked=self.oracle.processes_on_dark_cycles(),
+        )
+        return (report.complete, report.undetected_components)
 
     def assert_completeness(self) -> None:
         complete, undetected = self.completeness_report()
@@ -331,10 +354,7 @@ class DdbSystem:
             )
 
     def assert_soundness(self) -> None:
-        if self.soundness_violations:
-            raise AssertionError(
-                f"DDB soundness violated by: {self.soundness_violations}"
-            )
+        self._log.assert_sound("DDB soundness violated by: ")
 
     def assert_no_deadlock_remains(self) -> None:
         """Liveness check for resolution mode: no dark cycle survives."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import Table
-from repro.basic.system import BasicSystem
+from repro.core.registry import get_variant
 from repro.sim.network import ExponentialDelay
 from repro.workloads.basic_random import RandomRequestWorkload
 from repro.workloads.scenarios import schedule_cycle
@@ -53,7 +53,7 @@ def run_cycles(
     for k in sizes:
         formed = detected = 0
         for seed in seeds:
-            system = BasicSystem(
+            system = get_variant("basic").build(
                 n_vertices=k, seed=seed, delay_model=ExponentialDelay(mean=1.0)
             )
             schedule_cycle(system, list(range(k)))
@@ -78,7 +78,7 @@ def run_random(
 ) -> list[E1Result]:
     formed = detected = 0
     for seed in seeds:
-        system = BasicSystem(
+        system = get_variant("basic").build(
             n_vertices=n_vertices,
             seed=seed,
             delay_model=ExponentialDelay(mean=1.0),

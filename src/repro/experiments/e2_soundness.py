@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import Table
-from repro.basic.system import BasicSystem
+from repro.core.registry import get_variant
 from repro.sim.network import ExponentialDelay, UniformDelay
 from repro.workloads.basic_random import RandomRequestWorkload
 from repro.workloads.scenarios import schedule_chain
@@ -44,7 +44,7 @@ class E2Result:
 def run_churn(seeds: tuple[int, ...]) -> E2Result:
     declarations = unsound = 0
     for seed in seeds:
-        system = BasicSystem(
+        system = get_variant("basic").build(
             n_vertices=CHURN_N_VERTICES,
             seed=seed,
             delay_model=UniformDelay(0.1, 3.0),
@@ -64,7 +64,7 @@ def run_churn(seeds: tuple[int, ...]) -> E2Result:
 def run_mixed(seeds: tuple[int, ...]) -> E2Result:
     declarations = unsound = 0
     for seed in seeds:
-        system = BasicSystem(
+        system = get_variant("basic").build(
             n_vertices=MIXED_N_VERTICES,
             seed=seed,
             delay_model=ExponentialDelay(mean=1.5),
@@ -84,7 +84,7 @@ def run_mixed(seeds: tuple[int, ...]) -> E2Result:
 def run_near_cycles(seeds: tuple[int, ...]) -> E2Result:
     declarations = unsound = 0
     for seed in seeds:
-        system = BasicSystem(
+        system = get_variant("basic").build(
             n_vertices=NEAR_CYCLE_N_VERTICES,
             seed=seed,
             delay_model=UniformDelay(0.5, 2.0),

@@ -16,12 +16,16 @@ the per-edge maximum (always 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.tables import Table
 from repro.basic.initiation import ManualInitiation
-from repro.basic.system import BasicSystem
+from repro.core.registry import get_variant
 from repro.sim import categories
 from repro.workloads.scenarios import schedule_cycle
+
+if TYPE_CHECKING:
+    from repro.basic.system import BasicSystem
 
 #: Sweep axes (shared with the declarative grid in ``repro.sweep.grids``).
 CYCLE_SIZES = (4, 8, 16, 32, 64, 128)
@@ -54,7 +58,7 @@ def _per_edge_max(system: BasicSystem) -> int:
 
 
 def run_cycle(k: int, seed: int = 0) -> E3Result:
-    system = BasicSystem(n_vertices=k, seed=seed)
+    system = get_variant("basic").build(n_vertices=k, seed=seed)
     schedule_cycle(system, list(range(k)))
     system.run_to_quiescence()
     max_probes = max(system.probes_per_computation.values(), default=0)
@@ -69,7 +73,7 @@ def run_cycle(k: int, seed: int = 0) -> E3Result:
 def run_dense(n: int, fan_out: int, seed: int = 0) -> E3Result:
     """A dense blocked graph: every vertex AND-waits on ``fan_out`` others
     arranged so a giant cycle exists; one manual computation probes it."""
-    system = BasicSystem(n_vertices=n, seed=seed, initiation=ManualInitiation())
+    system = get_variant("basic").build(n_vertices=n, seed=seed, initiation=ManualInitiation())
     edge_count = 0
     for i in range(n):
         targets = sorted({(i + d) % n for d in range(1, fan_out + 1)} - {i})

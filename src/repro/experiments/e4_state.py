@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from repro.analysis.tables import Table
 from repro.basic.initiation import ManualInitiation
-from repro.basic.system import BasicSystem
+from repro.core.registry import get_variant
 from repro.workloads.scenarios import schedule_cycle
 
 #: Sweep axes (shared with the declarative grid in ``repro.sweep.grids``).
@@ -37,7 +37,7 @@ class E4Result:
 
 
 def run_config(n: int, rounds: int, seed: int = 0) -> E4Result:
-    system = BasicSystem(n_vertices=n, seed=seed, initiation=ManualInitiation())
+    system = get_variant("basic").build(n_vertices=n, seed=seed, initiation=ManualInitiation())
     schedule_cycle(system, list(range(n)))
     system.run_to_quiescence()
     for round_index in range(rounds):

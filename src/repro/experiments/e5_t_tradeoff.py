@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from repro.analysis.stats import mean
 from repro.analysis.tables import Table
 from repro.basic.initiation import DelayedInitiation, ImmediateInitiation
-from repro.basic.system import BasicSystem
+from repro.core.registry import get_variant
 from repro.sim.network import ExponentialDelay
 from repro.workloads.basic_random import RandomRequestWorkload
 
@@ -68,7 +68,7 @@ def run_config(
         initiation = (
             ImmediateInitiation() if timeout is None else DelayedInitiation(timeout)
         )
-        system = BasicSystem(
+        system = get_variant("basic").build(
             n_vertices=n_vertices,
             seed=seed,
             delay_model=ExponentialDelay(mean=1.0),

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro._ids import VertexId
 from repro.analysis.tables import Table
-from repro.basic.system import BasicSystem
+from repro.core.registry import get_variant
 from repro.workloads.scenarios import schedule_cycle_with_tails
 
 #: Sweep axes (shared with the declarative grid in ``repro.sweep.grids``).
@@ -61,7 +61,7 @@ def run_config(cycle_size: int, tails: tuple[int, ...], seed: int = 0) -> E6Resu
     for length in tails:
         tail_ids.append(list(range(offset, offset + length)))
         offset += length
-    system = BasicSystem(n_vertices=n, seed=seed, wfgd_on_declare=True)
+    system = get_variant("basic").build(n_vertices=n, seed=seed, wfgd_on_declare=True)
     schedule_cycle_with_tails(system, cycle, tail_ids)
     system.run_to_quiescence()
     system.assert_soundness()

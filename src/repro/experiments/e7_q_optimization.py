@@ -16,14 +16,18 @@ computations.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro._ids import ResourceId, SiteId
 from repro.analysis.tables import Table
+from repro.core.registry import get_variant
 from repro.ddb.initiation import DdbPeriodicInitiation
-from repro.ddb.system import DdbSystem
 from repro.ddb.transaction import Think, TransactionSpec, acquire
 from repro.ddb.locks import LockMode
 from repro._ids import TransactionId
+
+if TYPE_CHECKING:
+    from repro.ddb.system import DdbSystem
 
 #: Sweep axes (shared with the declarative grid in ``repro.sweep.grids``).
 #: Each config is ``(n_sites, extra_local)``.
@@ -48,7 +52,7 @@ def ring_system(n_sites: int, extra_local: int, optimized: bool, seed: int) -> D
     for i in range(n_sites):
         resources[ResourceId(f"ring{i}")] = SiteId(i)
         resources[ResourceId(f"hot{i}")] = SiteId(i)
-    system = DdbSystem(
+    system = get_variant("ddb").build(
         n_sites=n_sites,
         resources=resources,
         seed=seed,

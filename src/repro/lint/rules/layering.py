@@ -1,4 +1,4 @@
-"""RPX004: one-way layering between protocol, harness, and driver tiers."""
+"""RPX004: one-way layering between protocol, core, harness, and driver tiers."""
 
 from __future__ import annotations
 
@@ -10,15 +10,33 @@ from repro.lint.rules.base import Rule
 
 #: packages implementing the paper's models + the simulation substrate
 PROTOCOL_PACKAGES = frozenset({"basic", "ddb", "ormodel", "sim"})
-#: harness layers that may depend on protocol code, never the reverse.
-#: ``obs`` belongs here: it folds traces into spans and profiles the
-#: engine from outside; the simulator exposes only a structural
+#: the protocol-engine layer: shared system assembly, declaration/oracle
+#: bookkeeping, and the detector-variant registry (``core``), plus the
+#: 1980-era comparison detectors that overlay a host system
+#: (``baselines``).  Core may import protocol code; protocol logic
+#: (vertices, controllers, probes) must never import core back, or the
+#: proofs would no longer be about a standalone protocol.
+CORE_PACKAGES = frozenset({"core", "baselines"})
+#: protocol-package modules that belong to the *core* tier: the system
+#: assemblers.  They wire vertices/controllers to the shared runtime and
+#: record declarations through :mod:`repro.core.engine`, so they sit one
+#: tier above the protocol logic that surrounds them on disk.
+CORE_TIER_MODULES = frozenset(
+    {
+        ("repro", "basic", "system.py"),
+        ("repro", "ddb", "system.py"),
+        ("repro", "ormodel", "system.py"),
+    }
+)
+#: harness layers that may depend on protocol and core code, never the
+#: reverse.  ``obs`` belongs here: it folds traces into spans and profiles
+#: the engine from outside; the simulator exposes only a structural
 #: ProfileHook protocol so it never needs to import obs.
 HARNESS_PACKAGES = frozenset(
     {"experiments", "analysis", "verification", "workloads", "obs"}
 )
 #: the driver tier sits on top of everything: ``sweep`` fans experiment
-#: grids out across processes and may import both protocol and harness
+#: grids out across processes and may import protocol, core, and harness
 #: packages -- but nothing below it may import the driver back, or the
 #: experiments would no longer be runnable (or reasoned about) standalone.
 DRIVER_PACKAGES = frozenset({"sweep"})
@@ -27,35 +45,61 @@ DRIVER_PACKAGES = frozenset({"sweep"})
 class LayeringRule(Rule):
     """RPX004: imports must point strictly down the tier stack.
 
-    protocol (basic/ddb/ormodel/sim) < harness (experiments/analysis/
+    protocol (basic/ddb/ormodel/sim) < core (core/baselines + the
+    ``system.py`` assemblers) < harness (experiments/analysis/
     verification/workloads/obs) < driver (sweep).  A file in a tier may
     import same-tier and lower-tier packages only.
     """
 
     rule_id = "RPX004"
-    title = "layer tiers import strictly downward (protocol < harness < driver)"
+    title = (
+        "layer tiers import strictly downward (protocol < core < harness < driver)"
+    )
     explanation = (
         "The protocol packages (basic/, ddb/, ormodel/) and the simulation\n"
-        "substrate (sim/) are the trusted core the paper's proofs map onto;\n"
-        "experiments/, analysis/, verification/, workloads/ and obs/ observe\n"
-        "that core from outside (black-box monitoring, like the oracle layer),\n"
-        "and sweep/ is the driver tier that fans the harness out across worker\n"
-        "processes.  A protocol->harness import would let verification state\n"
-        "leak into protocol decisions — exactly the shared-knowledge cheating\n"
-        "axiom P3 forbids — and a harness->driver import would make single\n"
-        "experiments depend on the multiprocessing machinery that runs them,\n"
-        "so neither tier could be refactored (sharding, multi-process\n"
-        "backends, remote workers) without touching the tiers below.  The\n"
-        "simulator's profiling hook is a structural Protocol for this reason:\n"
-        "obs implements it without sim ever importing obs."
+        "substrate (sim/) are the trusted base the paper's proofs map onto;\n"
+        "core/ and baselines/ form the protocol-engine tier above them (system\n"
+        "assembly, declaration recording, the detector-variant registry --\n"
+        "the system.py assemblers inside the protocol packages belong to this\n"
+        "tier too); experiments/, analysis/, verification/, workloads/ and\n"
+        "obs/ observe those tiers from outside (black-box monitoring, like\n"
+        "the oracle layer), and sweep/ is the driver tier that fans the\n"
+        "harness out across worker processes.  A protocol->core import would\n"
+        "let harness bookkeeping leak into protocol decisions -- exactly the\n"
+        "shared-knowledge cheating axiom P3 forbids -- and a harness->driver\n"
+        "import would make single experiments depend on the multiprocessing\n"
+        "machinery that runs them, so neither tier could be refactored\n"
+        "(sharding, multi-process backends, remote workers) without touching\n"
+        "the tiers below.  The simulator's profiling hook is a structural\n"
+        "Protocol for this reason: obs implements it without sim ever\n"
+        "importing obs."
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
-        return ctx.in_packages(*PROTOCOL_PACKAGES, *HARNESS_PACKAGES)
+        return ctx.in_packages(
+            *PROTOCOL_PACKAGES, *CORE_PACKAGES, *HARNESS_PACKAGES
+        )
+
+    def _tier(self, ctx: FileContext) -> str:
+        """The tier the current *file* belongs to (module overrides win)."""
+        if ctx.parts in CORE_TIER_MODULES or ctx.in_packages(*CORE_PACKAGES):
+            return "core"
+        if ctx.in_packages(*PROTOCOL_PACKAGES):
+            return "protocol"
+        return "harness"
 
     def _forbidden(self, ctx: FileContext) -> frozenset[str]:
-        """Packages the current file's tier must not import."""
-        if ctx.in_packages(*PROTOCOL_PACKAGES):
+        """Packages the current file's tier must not import.
+
+        Import *targets* are judged at package granularity: importing
+        ``repro.basic.system`` counts as an import of the protocol
+        package ``basic`` even though that module is itself core-tier,
+        so re-exports from a package ``__init__`` stay legal.
+        """
+        tier = self._tier(ctx)
+        if tier == "protocol":
+            return CORE_PACKAGES | HARNESS_PACKAGES | DRIVER_PACKAGES
+        if tier == "core":
             return HARNESS_PACKAGES | DRIVER_PACKAGES
         return DRIVER_PACKAGES
 
@@ -94,11 +138,10 @@ class LayeringRule(Rule):
         return diagnostics
 
     def _violation(self, ctx: FileContext, node: ast.AST, module: str) -> Diagnostic:
-        tier = "protocol" if ctx.in_packages(*PROTOCOL_PACKAGES) else "harness"
         return self.diagnostic(
             ctx,
             node,
-            f"{tier} package '{'.'.join(ctx.package)}' imports higher-tier "
-            f"module '{module}' (one-way layering: protocol < harness < "
-            "driver; imports must point strictly downward)",
+            f"{self._tier(ctx)} module '{'.'.join(ctx.package)}' imports "
+            f"higher-tier module '{module}' (one-way layering: protocol < "
+            "core < harness < driver; imports must point strictly downward)",
         )

@@ -31,6 +31,7 @@ from enum import Enum
 from typing import Any
 
 from repro._ids import ProbeTag
+from repro.core.registry import MessageTaxonomy, all_variants
 from repro.errors import BoundViolation
 from repro.sim import categories
 from repro.sim.trace import TraceEvent, Tracer
@@ -75,31 +76,58 @@ class SpanSchema:
     declared_by: Callable[[TraceEvent], object]
 
 
-BASIC_SPAN_SCHEMA = SpanSchema(
-    model="basic",
-    initiated=categories.BASIC_COMPUTATION_INITIATED,
-    probe_sent=categories.BASIC_PROBE_SENT,
-    probe_received=categories.BASIC_PROBE_RECEIVED,
-    declared=categories.BASIC_DEADLOCK_DECLARED,
-    sent_endpoints=lambda e: (e["source"], e["target"]),
-    edge_of=lambda e: (e["source"], e["target"]),
-    declared_by=lambda e: e["vertex"],
-)
+def schema_from_taxonomy(model: str, taxonomy: MessageTaxonomy) -> SpanSchema:
+    """Derive a fold schema from a registered variant's message taxonomy.
 
-DDB_SPAN_SCHEMA = SpanSchema(
-    model="ddb",
-    initiated=categories.DDB_COMPUTATION_INITIATED,
-    probe_sent=categories.DDB_PROBE_SENT,
-    probe_received=categories.DDB_PROBE_RECEIVED,
-    declared=categories.DDB_DEADLOCK_DECLARED,
-    sent_endpoints=lambda e: (e["site"], e["destination"]),
-    edge_of=lambda e: e["edge"],
-    declared_by=lambda e: e["process"],
-)
+    The taxonomy names the lifecycle categories and the detail keys; this
+    turns the keys into the extractor callables the fold runs.  A single
+    edge key reads that detail verbatim (the DDB model records a canonical
+    ``edge`` label); several keys form a tuple label (the basic model's
+    ``(source, target)``).
+    """
+    sender_key, destination_key = taxonomy.endpoint_keys
+    edge_keys = taxonomy.edge_keys
+    declared_by_key = taxonomy.declared_by_key
+    if len(edge_keys) == 1:
+        single_key = edge_keys[0]
+        edge_of: Callable[[TraceEvent], Hashable] = lambda e: e[single_key]  # noqa: E731
+    else:
+        edge_of = lambda e: tuple(e[key] for key in edge_keys)  # noqa: E731
+    return SpanSchema(
+        model=model,
+        initiated=taxonomy.initiated,
+        probe_sent=taxonomy.probe_sent,
+        probe_received=taxonomy.probe_received,
+        declared=taxonomy.declared,
+        sent_endpoints=lambda e: (e[sender_key], e[destination_key]),
+        edge_of=edge_of,
+        declared_by=lambda e: e[declared_by_key],
+    )
 
-SCHEMAS_BY_MODEL: dict[str, SpanSchema] = {
-    schema.model: schema for schema in (BASIC_SPAN_SCHEMA, DDB_SPAN_SCHEMA)
-}
+
+def _registered_schemas() -> dict[str, SpanSchema]:
+    """One schema per registered variant model that declares a taxonomy.
+
+    Built exactly once at import: ``SpanSchema`` equality falls back to
+    the identity of its extractor lambdas, so every consumer must share
+    these instances rather than re-deriving their own.
+    """
+    schemas: dict[str, SpanSchema] = {}
+    for variant in all_variants():
+        taxonomy = variant.capabilities.taxonomy
+        if taxonomy is None or variant.capabilities.model in schemas:
+            continue
+        schemas[variant.capabilities.model] = schema_from_taxonomy(
+            variant.capabilities.model, taxonomy
+        )
+    return schemas
+
+
+SCHEMAS_BY_MODEL: dict[str, SpanSchema] = _registered_schemas()
+
+BASIC_SPAN_SCHEMA = SCHEMAS_BY_MODEL["basic"]
+
+DDB_SPAN_SCHEMA = SCHEMAS_BY_MODEL["ddb"]
 
 
 @dataclass

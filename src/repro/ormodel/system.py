@@ -9,12 +9,16 @@ reply always travels behind any earlier grant on the same channel, so the
 grant wipes the initiator's computation first).  The dedicated ablation
 test breaks FIFO to demonstrate the dependence.
 
-Verification mirrors :class:`~repro.basic.system.BasicSystem`:
+Verification mirrors :class:`~repro.basic.system.BasicSystem` and shares
+its machinery (:mod:`repro.core.engine`):
 
 * every declaration is checked against the oracle criterion at the
   instant it is made;
 * at quiescence, every deadlocked vertex must have a declarer inside its
   dependency closure (the "last blocker" argument in the package docs).
+  The closure-based check replaces the SCC walk of the AND models, but it
+  reports through the same :class:`~repro.core.engine.CompletenessReport`
+  shape, so cross-variant harnesses read all three models uniformly.
 """
 
 from __future__ import annotations
@@ -23,11 +27,11 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro._ids import ProbeTag, VertexId
-from repro.errors import ConfigurationError
+from repro.core.assembly import build_runtime, require_fleet
+from repro.core.engine import CompletenessReport, DeclarationLog
 from repro.ormodel.vertex import OrVertexProcess
 from repro.sim import categories
-from repro.sim.network import DelayModel, Network
-from repro.sim.simulator import Simulator
+from repro.sim.network import DelayModel
 
 
 class OrWaitGraph:
@@ -104,15 +108,17 @@ class OrSystem:
         trace: bool = True,
         fifo: bool = True,
     ) -> None:
-        if n_vertices < 1:
-            raise ConfigurationError(f"need at least one vertex, got {n_vertices}")
-        self.simulator = Simulator(seed=seed, trace=trace)
-        self.network = Network(self.simulator, delay_model=delay_model, fifo=fifo)
+        require_fleet(n_vertices, "vertex")
+        runtime = build_runtime(
+            seed=seed, delay_model=delay_model, trace=trace, fifo=fifo
+        )
+        self.simulator = runtime.simulator
+        self.network = runtime.network
         self.oracle = OrWaitGraph()
         self.auto_initiate = auto_initiate
-        self.strict = strict
-        self.declarations: list[OrDeclaration] = []
-        self.soundness_violations: list[OrDeclaration] = []
+        self._log: DeclarationLog[OrDeclaration] = DeclarationLog(strict=strict)
+        self.declarations = self._log.declarations
+        self.soundness_violations = self._log.violations
         #: grants currently in flight, as (granter, grantee) multiset --
         #: needed because the state-only criterion is not stable while a
         #: grant is travelling (its receiver is about to unblock).
@@ -147,6 +153,14 @@ class OrSystem:
     @property
     def metrics(self):
         return self.simulator.metrics
+
+    @property
+    def strict(self) -> bool:
+        return self._log.strict
+
+    @strict.setter
+    def strict(self, value: bool) -> None:
+        self._log.strict = value
 
     def request_any(self, source: int, targets: Iterable[int]) -> None:
         vertex = self.vertex(source)
@@ -199,20 +213,36 @@ class OrSystem:
         declaration = OrDeclaration(
             time=self.now, vertex=vertex.vertex_id, tag=tag, deadlocked=deadlocked
         )
-        self.declarations.append(declaration)
-        if not deadlocked:
-            self.soundness_violations.append(declaration)
-            if self.strict:
-                raise AssertionError(
-                    f"OR soundness violated: vertex {vertex.vertex_id} declared at "
-                    f"t={self.now} but an active vertex is reachable"
-                )
+        self._log.record(
+            declaration,
+            sound=deadlocked,
+            complaint=(
+                f"OR soundness violated: vertex {vertex.vertex_id} declared at "
+                f"t={self.now} but an active vertex is reachable"
+            ),
+        )
 
     def assert_soundness(self) -> None:
-        if self.soundness_violations:
-            raise AssertionError(
-                f"OR soundness violated by: {self.soundness_violations}"
-            )
+        self._log.assert_sound("OR soundness violated by: ")
+
+    def completeness_report(self) -> CompletenessReport[VertexId]:
+        """Quiescence-time check under the OR criterion.
+
+        A deadlocked vertex's "component" is its dependency closure (plus
+        itself); the closure must contain a declarer.  Closures that share
+        a declarer are reported once each -- the per-vertex obligation is
+        what the "last blocker" argument guarantees.
+        """
+        declared = {d.vertex for d in self.declarations}
+        deadlocked = self.oracle.deadlocked_vertices()
+        report: CompletenessReport[VertexId] = CompletenessReport(
+            deadlocked_vertices=deadlocked, declared_vertices=declared
+        )
+        for vertex in sorted(deadlocked):
+            closure = self.oracle.closure(vertex) | {vertex}
+            if not closure & declared:
+                report.undetected_components.append(closure)
+        return report
 
     def assert_completeness(self) -> None:
         """Every deadlocked vertex has a declarer in its closure (or is

@@ -74,10 +74,10 @@ def _bench_network() -> tuple[int, float]:
 
 def _bench_cycle64() -> tuple[int, float]:
     """Detect a 64-cycle deadlock end to end (tracing disabled)."""
-    from repro.basic.system import BasicSystem
+    from repro.core.registry import get_variant
     from repro.workloads.scenarios import schedule_cycle
 
-    system = BasicSystem(n_vertices=64, seed=0, trace=False)
+    system = get_variant("basic").build(n_vertices=64, seed=0, trace=False)
     schedule_cycle(system, list(range(64)), gap=0.1)
     started = time.perf_counter()
     system.run_to_quiescence()

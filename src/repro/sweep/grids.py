@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable
 
+from repro.core.registry import overlay_variants, variants_for_scenario
 from repro.errors import ConfigurationError
 from repro.experiments import (
     e1_completeness,
@@ -154,7 +155,9 @@ def _e7(quick: bool) -> Iterable[SweepCell]:
 
 def _e8(quick: bool) -> Iterable[SweepCell]:
     seeds = e8_baselines.QUICK_SEEDS if quick else e8_baselines.SEEDS
-    for detector in range(5):  # cmh + the four 1980-era baselines
+    # Detector 0 is the probe computation; 1.. index the registered
+    # overlay variants in registration order (see overlay_variants()).
+    for detector in range(1 + len(overlay_variants())):
         for seed in seeds:
             yield SweepCell(
                 "e8",
@@ -197,4 +200,12 @@ def build_grid(name: str, quick: bool = False) -> SweepGrid:
         raise ConfigurationError(
             f"unknown grid {name!r}; choose from {', '.join(GRIDS)}"
         ) from None
-    return SweepGrid(name=name.lower(), description=description, cells=tuple(builder(quick)))
+    cells = tuple(builder(quick))
+    for cell in cells:
+        if not variants_for_scenario(cell.scenario):
+            raise ConfigurationError(
+                f"grid {name!r} cell {cell.cell_id} uses scenario "
+                f"{cell.scenario!r}, which no registered detector variant "
+                f"supports"
+            )
+    return SweepGrid(name=name.lower(), description=description, cells=cells)

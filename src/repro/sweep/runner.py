@@ -20,16 +20,19 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro._ids import VertexId
 from repro.analysis.stats import mean
 from repro.basic.initiation import DelayedInitiation, ImmediateInitiation, ManualInitiation
-from repro.basic.system import BasicSystem
+from repro.core.registry import get_variant, overlay_variants
 from repro.errors import ConfigurationError
 from repro.sweep.grid import SweepCell, delay_model_from_spec
 from repro.workloads import scenarios
 from repro.workloads.basic_random import RandomRequestWorkload
+
+if TYPE_CHECKING:
+    from repro.basic.system import BasicSystem
 
 #: Event budget for every cell; generous for all shipped grids.
 MAX_EVENTS = 2_000_000
@@ -53,7 +56,8 @@ def _basic_system(cell: SweepCell, **overrides: Any) -> BasicSystem:
         "strict": not cell.param("lenient", 0.0),
     }
     kwargs.update(overrides)
-    return BasicSystem(**kwargs)
+    system: BasicSystem = get_variant("basic").build(**kwargs)
+    return system
 
 
 def _start_random_workload(cell: SweepCell, system: BasicSystem) -> None:
@@ -213,35 +217,30 @@ def _run_ddb_ring(cell: SweepCell) -> CellResult:
 def _run_baseline(cell: SweepCell) -> CellResult:
     from repro.experiments import e8_baselines
 
-    detector_label = {0: "cmh", 1: "centralized", 2: "pathpush", 3: "timeout", 4: "snapshot"}[
-        int(cell.param("detector"))
-    ]
+    # Detector index 0 is the paper's probe computation; i >= 1 resolves
+    # overlay_variants()[i - 1] (the registry's e8 position contract).
+    index = int(cell.param("detector"))
     family = cell.scenario.removeprefix("baseline-")
     factory = (
         e8_baselines.random_system if family == "random" else e8_baselines.ping_pong_system
     )
-    if detector_label == "cmh":
+    if index == 0:
         system = factory(cell.seed, True)
         system.run_to_quiescence(max_events=MAX_EVENTS)
         result = _collect_basic(cell, system)
-        result["extra"]["detector"] = detector_label
+        result["extra"]["detector"] = "cmh"
         result["extra"]["true_detections"] = result["declarations"] - result["unsound"]
         result["extra"]["false_detections"] = result["unsound"]
         return result
+    variant = overlay_variants()[index - 1]
+    _, settings = e8_baselines.OVERLAY_SETTINGS[variant.name]
     system = factory(cell.seed, False)
-    suite = dict(e8_baselines.detector_suite())
-    make = {
-        "centralized": suite["centralized collection"],
-        "pathpush": suite["path pushing (Obermarck-style)"],
-        "timeout": suite["timeout (W=15)"],
-        "snapshot": suite["snapshots (Chandy-Lamport '85)"],
-    }[detector_label]
-    detector = make(system)
+    detector = variant.build(system, **settings)
     detector.start()
     system.run_to_quiescence(max_events=MAX_EVENTS)
     result = _collect_basic(cell, system)
     report = detector.report
-    result["extra"]["detector"] = detector_label
+    result["extra"]["detector"] = variant.name
     result["extra"]["true_detections"] = len(report.true_detections)
     result["extra"]["false_detections"] = len(report.false_detections)
     result["extra"]["detector_messages"] = report.messages

@@ -1,0 +1,120 @@
+"""The detector-variant registry: lookup, ordering, and extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConformanceOutcome,
+    DetectorVariant,
+    VariantCapabilities,
+    all_variants,
+    get_variant,
+    overlay_variants,
+    register,
+    variant_names,
+    variants_for_scenario,
+)
+from repro.core import registry
+from repro.errors import ConfigurationError
+
+#: every built-in, in the registration order the sweep contract fixes.
+BUILTIN_NAMES = (
+    "basic",
+    "ormodel",
+    "ddb",
+    "centralized",
+    "pathpush",
+    "timeout",
+    "snapshot",
+)
+
+
+class TestLookup:
+    def test_builtins_register_in_contract_order(self) -> None:
+        assert variant_names() == BUILTIN_NAMES
+
+    def test_get_variant_returns_the_registered_record(self) -> None:
+        basic = get_variant("basic")
+        assert basic.name == "basic"
+        assert basic is get_variant("basic")
+        assert basic in all_variants()
+
+    def test_unknown_name_lists_the_registry(self) -> None:
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_variant("nope")
+        message = str(excinfo.value)
+        assert "unknown detector variant 'nope'" in message
+        for name in BUILTIN_NAMES:
+            assert name in message
+
+    def test_overlay_order_is_the_e8_detector_index_contract(self) -> None:
+        # sweep's e8 grid indexes detectors as 0 = cmh, i >= 1 = this order.
+        assert tuple(v.name for v in overlay_variants()) == (
+            "centralized",
+            "pathpush",
+            "timeout",
+            "snapshot",
+        )
+        assert all(v.capabilities.kind == "overlay" for v in overlay_variants())
+
+    def test_every_variant_has_a_coherent_capability_record(self) -> None:
+        for variant in all_variants():
+            assert variant.capabilities.kind in ("protocol", "overlay")
+            assert variant.capabilities.model in ("basic", "ormodel", "ddb")
+            assert variant.capabilities.oracle_criterion
+            if variant.capabilities.taxonomy is not None:
+                taxonomy = variant.capabilities.taxonomy
+                assert len(taxonomy.endpoint_keys) == 2
+                assert taxonomy.edge_keys
+
+    def test_variants_for_scenario(self) -> None:
+        assert tuple(v.name for v in variants_for_scenario("ddb-ring")) == ("ddb",)
+        assert tuple(v.name for v in variants_for_scenario("cycle")) == ("basic",)
+        names = {v.name for v in variants_for_scenario("baseline-random")}
+        assert names == {"basic", "centralized", "pathpush", "timeout", "snapshot"}
+        assert variants_for_scenario("no-such-scenario") == ()
+
+
+def _toy_variant(name: str) -> DetectorVariant:
+    return DetectorVariant(
+        name=name,
+        title="toy",
+        capabilities=VariantCapabilities(
+            model="basic",
+            kind="overlay",
+            oracle_criterion="always",
+            scenarios=("toy-scenario",),
+        ),
+        build=lambda **kwargs: None,
+        conformance=lambda scenario, seed: ConformanceOutcome(
+            variant=name,
+            scenario=scenario,
+            declarations=0,
+            soundness_violations=0,
+            complete=True,
+        ),
+    )
+
+
+class TestRegistration:
+    def test_duplicate_name_is_rejected(self) -> None:
+        with pytest.raises(
+            ConfigurationError, match="'basic' is already registered"
+        ):
+            register(_toy_variant("basic"))
+        assert variant_names() == BUILTIN_NAMES
+
+    def test_third_party_registration_is_one_call(self) -> None:
+        # the extension contract: a new variant needs only its own module
+        # plus one register() call -- every consumer then sees it.
+        variant = _toy_variant("toy")
+        try:
+            assert register(variant) is variant
+            assert get_variant("toy") is variant
+            assert variant_names() == BUILTIN_NAMES + ("toy",)
+            assert overlay_variants()[-1] is variant
+            assert variants_for_scenario("toy-scenario") == (variant,)
+        finally:
+            registry._REGISTRY.pop("toy", None)
+        assert variant_names() == BUILTIN_NAMES

@@ -1,0 +1,20 @@
+# lint-as: src/repro/core/fixture.py
+"""RPX004 failing fixture: core tier reaching up into harness/driver.
+
+The protocol-engine tier must stay runnable without the harness that
+observes it: a core module importing experiments, workloads, obs, or the
+sweep driver would invert the tier stack (protocol < core < harness <
+driver).
+"""
+
+from __future__ import annotations
+
+import repro.sweep.runner  # expect: RPX004
+from repro import workloads  # expect: RPX004
+from repro.experiments.e1_completeness import run  # expect: RPX004
+
+
+def fold(system) -> object:
+    from repro.obs.spans import build_spans  # expect: RPX004
+
+    return build_spans, run, workloads, repro.sweep.runner

@@ -1,0 +1,17 @@
+# lint-as: src/repro/core/fixture.py
+"""RPX004 passing fixture: the core tier may import protocol + core.
+
+``core`` (and ``baselines``) assemble protocol pieces into runnable
+systems, so importing the protocol packages, the simulation substrate,
+and sibling core modules is exactly the allowed direction.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineDetector
+from repro.basic.messages import Probe
+from repro.core.engine import DeclarationLog
+from repro.ddb.locks import LockMode
+from repro.sim.simulator import Simulator
+
+__all__ = ["BaselineDetector", "Probe", "DeclarationLog", "LockMode", "Simulator"]

@@ -111,14 +111,66 @@ class TestDriverTierLayering:
 
     def test_tier_sets_are_disjoint_and_complete(self) -> None:
         from repro.lint.rules.layering import (
+            CORE_PACKAGES,
             DRIVER_PACKAGES,
             HARNESS_PACKAGES,
             PROTOCOL_PACKAGES,
         )
 
-        assert PROTOCOL_PACKAGES & HARNESS_PACKAGES == frozenset()
-        assert (PROTOCOL_PACKAGES | HARNESS_PACKAGES) & DRIVER_PACKAGES == frozenset()
+        tiers = (PROTOCOL_PACKAGES, CORE_PACKAGES, HARNESS_PACKAGES, DRIVER_PACKAGES)
+        for i, left in enumerate(tiers):
+            for right in tiers[i + 1 :]:
+                assert left & right == frozenset()
+        assert CORE_PACKAGES == frozenset({"core", "baselines"})
         assert DRIVER_PACKAGES == frozenset({"sweep"})
+
+
+class TestCoreTierLayering:
+    """RPX004's core tier: the protocol engine between protocol and harness."""
+
+    def test_core_may_import_protocol_and_core(self) -> None:
+        source, logical = load_fixture("rpx004_core_good.py")
+        assert logical == "src/repro/core/fixture.py"
+        diagnostics = lint_source(source, logical)
+        assert diagnostics == [], [d.format_text() for d in diagnostics]
+
+    def test_core_importing_harness_or_driver_is_flagged(self) -> None:
+        source, logical = load_fixture("rpx004_core_bad.py")
+        assert logical == "src/repro/core/fixture.py"
+        expected = expected_findings(source)
+        assert expected and {rule for rule, _ in expected} == {"RPX004"}
+        diagnostics = lint_source(source, logical)
+        assert {(d.rule, d.line) for d in diagnostics} == expected
+
+    def test_protocol_importing_core_is_flagged(self) -> None:
+        source = "from repro.core.registry import get_variant\n"
+        (diagnostic,) = lint_source(source, "src/repro/basic/vertex.py")
+        assert diagnostic.rule == "RPX004"
+        assert "repro.core.registry" in diagnostic.message
+        assert "protocol" in diagnostic.message
+
+    def test_system_assemblers_sit_in_the_core_tier(self) -> None:
+        # the system.py modules inside protocol packages are core-tier:
+        # they may import repro.core even though their neighbours may not.
+        source = "from repro.core.engine import DeclarationLog\n"
+        for module in ("basic", "ddb", "ormodel"):
+            assert lint_source(source, f"src/repro/{module}/system.py") == []
+        # ...but still not the harness or the driver.
+        upward = "from repro.workloads import scenarios\n"
+        (diagnostic,) = lint_source(upward, "src/repro/basic/system.py")
+        assert diagnostic.rule == "RPX004"
+        assert "core" in diagnostic.message
+
+    def test_baselines_package_is_core_tier(self) -> None:
+        assert lint_source(
+            "from repro.basic.system import BasicSystem\n",
+            "src/repro/baselines/base.py",
+        ) == []
+        (diagnostic,) = lint_source(
+            "from repro.sweep.grids import build_grid\n",
+            "src/repro/baselines/base.py",
+        )
+        assert diagnostic.rule == "RPX004"
 
 
 class TestCorruptingRealSources:
