@@ -64,7 +64,7 @@ class BaselineDetector:
         self.system = system
         self.report = BaselineReport(name=self.name)
         self._declared: set[VertexId] = set()
-        self._rng = system.simulator.rng.stream(f"baseline.{self.name}")
+        self._rng = system.transport.rng.stream(f"baseline.{self.name}")
 
     def start(self) -> None:
         """Begin operating; subclasses schedule their first round here."""

@@ -61,7 +61,7 @@ class CentralizedDetector(BaselineDetector):
         self.rounds_completed = 0
 
     def start(self) -> None:
-        self.system.simulator.schedule(
+        self.system.transport.schedule(
             self.period, self._begin_round, name="centralized round"
         )
 
@@ -87,19 +87,19 @@ class CentralizedDetector(BaselineDetector):
                 if len(round_state) == expected:
                     self._evaluate(round_state)
 
-            self.system.simulator.schedule(
+            self.system.transport.schedule(
                 self._delay(), deliver_report, name="centralized report"
             )
 
         for vertex_id in vertices:
-            self.system.simulator.schedule(
+            self.system.transport.schedule(
                 self._delay(),
                 lambda vertex_id=vertex_id: snapshot(vertex_id),
                 name="centralized poll",
             )
 
         if self.system.now + self.period <= self.horizon:
-            self.system.simulator.schedule(
+            self.system.transport.schedule(
                 self.period, self._begin_round, name="centralized round"
             )
 

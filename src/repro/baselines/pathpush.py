@@ -65,7 +65,7 @@ class PathPushingDetector(BaselineDetector):
         self._sent: set[tuple[VertexId, Path, VertexId]] = set()
 
     def start(self) -> None:
-        self.system.simulator.schedule(self.period, self._round, name="pathpush round")
+        self.system.transport.schedule(self.period, self._round, name="pathpush round")
 
     # ------------------------------------------------------------------
 
@@ -88,13 +88,13 @@ class PathPushingDetector(BaselineDetector):
                     self._sent.add(key)
                     self._charge_messages(1)
                     extended = path + (successor,)
-                    self.system.simulator.schedule(
+                    self.system.transport.schedule(
                         self._rng.uniform(self.min_delay, self.max_delay),
                         lambda succ=successor, ext=extended: self._receive(succ, ext),
                         name="pathpush message",
                     )
         if self.system.now + self.period <= self.horizon:
-            self.system.simulator.schedule(
+            self.system.transport.schedule(
                 self.period, self._round, name="pathpush round"
             )
 

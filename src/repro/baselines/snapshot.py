@@ -96,10 +96,10 @@ class SnapshotDetector(BaselineDetector):
         self.rounds_completed = 0
         for vertex in system.vertices.values():
             vertex.foreign_handler = self._make_handler(vertex.vertex_id)
-        system.simulator.tracer.subscribe(self._observe_delivery)
+        system.transport.tracer.subscribe(self._observe_delivery)
 
     def start(self) -> None:
-        self.system.simulator.schedule(self.period, self._begin_round, name="snapshot")
+        self.system.transport.schedule(self.period, self._begin_round, name="snapshot")
 
     # ------------------------------------------------------------------
     # Round orchestration
@@ -116,7 +116,7 @@ class SnapshotDetector(BaselineDetector):
             self._record_state(self.initiator)
             self._emit_markers(self.initiator)
         if self.system.now + self.period <= self.horizon:
-            self.system.simulator.schedule(
+            self.system.transport.schedule(
                 self.period, self._begin_round, name="snapshot"
             )
 

@@ -33,7 +33,7 @@ class TimeoutDetector(BaselineDetector):
         self._blocked_since: dict[VertexId, float] = {}
 
     def start(self) -> None:
-        self.system.simulator.tracer.subscribe(self._observe)
+        self.system.transport.tracer.subscribe(self._observe)
 
     # ------------------------------------------------------------------
 
@@ -43,7 +43,7 @@ class TimeoutDetector(BaselineDetector):
             if vertex_id not in self._blocked_since:
                 self._blocked_since[vertex_id] = event.time
                 episode = self._episode[vertex_id]
-                self.system.simulator.schedule(
+                self.system.transport.schedule(
                     self.window,
                     lambda v=vertex_id, e=episode: self._check(v, e),
                     name=f"timeout check v{vertex_id}",

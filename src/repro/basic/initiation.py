@@ -22,10 +22,10 @@ from typing import TYPE_CHECKING
 
 from repro._ids import VertexId
 from repro.errors import ConfigurationError
-from repro.sim.events import EventHandle
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.basic.vertex import VertexProcess
+    from repro.core.transport import TimerHandle
 
 
 class InitiationPolicy:
@@ -80,7 +80,7 @@ class DelayedInitiation(InitiationPolicy):
         if timeout < 0:
             raise ConfigurationError(f"T must be non-negative, got {timeout}")
         self.timeout = timeout
-        self._timers: dict[tuple[VertexId, VertexId], EventHandle] = {}
+        self._timers: dict[tuple[VertexId, VertexId], "TimerHandle"] = {}
 
     def on_edges_added(self, vertex: "VertexProcess", targets: Iterable[VertexId]) -> None:
         for target in targets:
@@ -96,7 +96,7 @@ class DelayedInitiation(InitiationPolicy):
                 if key[1] in vertex.pending_out:
                     vertex.initiate_probe_computation()
 
-            self._timers[key] = vertex.simulator.schedule(
+            self._timers[key] = vertex.ctx.set_timer(
                 self.timeout, fire, name=f"T-timer {key}"
             )
 
@@ -104,4 +104,4 @@ class DelayedInitiation(InitiationPolicy):
         handle = self._timers.pop((vertex.vertex_id, target), None)
         if handle is not None:
             handle.cancel()
-            vertex.simulator.metrics.counter("basic.computations.avoided").increment()
+            vertex.ctx.counter("basic.computations.avoided").increment()

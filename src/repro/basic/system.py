@@ -32,6 +32,7 @@ from repro.basic.graph import EdgeColor, WaitForGraph
 from repro.basic.initiation import ImmediateInitiation, InitiationPolicy
 from repro.basic.vertex import VertexProcess
 from repro.core.assembly import build_runtime, require_fleet
+from repro.core.transport import Transport, TransportFactory
 from repro.core.engine import (
     CompletenessReport,
     DeclarationLog,
@@ -83,6 +84,9 @@ class BasicSystem:
         Record the full structured trace (disable for big sweeps).
     fifo:
         Channel FIFO guarantee; disable only in ablation tests.
+    transport:
+        Runtime backend (instance or factory); ``None`` selects the
+        deterministic simulator.  See :func:`repro.core.assembly.build_runtime`.
     """
 
     def __init__(
@@ -97,11 +101,14 @@ class BasicSystem:
         strict: bool = True,
         trace: bool = True,
         fifo: bool = True,
+        transport: Transport | TransportFactory | None = None,
     ) -> None:
         require_fleet(n_vertices, "vertex")
         runtime = build_runtime(
-            seed=seed, delay_model=delay_model, trace=trace, fifo=fifo
+            seed=seed, delay_model=delay_model, trace=trace, fifo=fifo,
+            transport=transport,
         )
+        self.transport = runtime.transport
         self.simulator = runtime.simulator
         self.network = runtime.network
         self.oracle = WaitForGraph()
@@ -122,21 +129,20 @@ class BasicSystem:
             vid = VertexId(i)
             vertex = VertexProcess(
                 vertex_id=vid,
-                simulator=self.simulator,
                 oracle=self.oracle,
                 service_delay=service_delay,
                 auto_reply=auto_reply,
                 on_declare=self._handle_declare,
             )
             vertex.initiation = self.initiation
-            self.network.register(vertex)
+            self.transport.register(vertex)
             self.vertices[vid] = vertex
 
         # Category-scoped subscription: with trace=False every *other*
         # category then skips TraceEvent construction entirely (the
         # tracer's zero-cost path), which is most of the win of running
         # big sweeps untraced.
-        self.simulator.tracer.subscribe(
+        self.transport.tracer.subscribe(
             self._observe,
             categories=(categories.BASIC_REQUEST_SENT, categories.BASIC_PROBE_SENT),
         )
@@ -150,11 +156,11 @@ class BasicSystem:
 
     @property
     def now(self) -> float:
-        return self.simulator.now
+        return self.transport.now
 
     @property
     def metrics(self):
-        return self.simulator.metrics
+        return self.transport.metrics
 
     @property
     def strict(self) -> bool:
@@ -176,17 +182,17 @@ class BasicSystem:
     def schedule_request(self, time: float, source: int, targets: Sequence[int]) -> None:
         """Schedule a request batch at absolute virtual ``time``."""
         frozen = [VertexId(t) for t in targets]
-        self.simulator.schedule_at(
+        self.transport.schedule_at(
             time,
             lambda: self.vertex(source).request(frozen),
             name=f"request v{source}->{list(targets)}",
         )
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
-        self.simulator.run(until=until, max_events=max_events)
+        self.transport.run(until=until, max_events=max_events)
 
     def run_to_quiescence(self, max_events: int = 1_000_000) -> None:
-        self.simulator.run_to_quiescence(max_events=max_events)
+        self.transport.run_to_quiescence(max_events=max_events)
 
     # ------------------------------------------------------------------
     # On-line verification
@@ -195,7 +201,7 @@ class BasicSystem:
     def _handle_declare(self, vertex: VertexProcess, tag: ProbeTag) -> None:
         on_black = self.oracle.is_on_black_cycle(vertex.vertex_id)
         declaration = Declaration(
-            time=self.simulator.now,
+            time=self.transport.now,
             vertex=vertex.vertex_id,
             tag=tag,
             on_black_cycle=on_black,
@@ -205,13 +211,13 @@ class BasicSystem:
             sound=on_black,
             complaint=(
                 f"QRP2 violated: vertex {vertex.vertex_id} declared deadlock at "
-                f"t={self.simulator.now} but is not on a black cycle"
+                f"t={self.transport.now} but is not on a black cycle"
             ),
         )
         formed = self.deadlock_formed_at.get(vertex.vertex_id)
         if formed is not None:
-            self.simulator.metrics.histogram("basic.detection.latency").record(
-                self.simulator.now - formed
+            self.transport.metrics.histogram("basic.detection.latency").record(
+                self.transport.now - formed
             )
         if self.wfgd_on_declare:
             vertex.wfgd.start_as_initiator()

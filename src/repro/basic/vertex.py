@@ -30,7 +30,6 @@ from repro.basic.wfgd import WfgdParticipant
 from repro.errors import ProtocolError
 from repro.sim import categories
 from repro.sim.process import Process
-from repro.sim.simulator import Simulator
 
 
 class VertexProcess(Process):
@@ -40,8 +39,6 @@ class VertexProcess(Process):
     ----------
     vertex_id:
         This vertex's id.
-    simulator:
-        The owning simulator.
     oracle:
         The global coloured graph, updated (and axiom-checked) on every
         transition.  Used for verification only.
@@ -63,14 +60,13 @@ class VertexProcess(Process):
     def __init__(
         self,
         vertex_id: VertexId,
-        simulator: Simulator,
         oracle: WaitForGraph,
         service_delay: float = 1.0,
         auto_reply: bool = True,
         on_declare: Callable[["VertexProcess", ProbeTag], None] | None = None,
         on_unblocked: Callable[["VertexProcess"], None] | None = None,
     ) -> None:
-        super().__init__(vertex_id, simulator)
+        super().__init__(vertex_id)
         self.vertex_id = vertex_id
         self.oracle = oracle
         self.service_delay = service_delay
@@ -145,7 +141,7 @@ class VertexProcess(Process):
         for target in batch:
             self.oracle.create_edge(self.vertex_id, target)
             self.pending_out.add(target)
-            self.simulator.trace_now(
+            self.ctx.trace(
                 categories.BASIC_REQUEST_SENT, source=self.vertex_id, target=target
             )
             self.send(target, Request(requester=self.vertex_id))
@@ -172,8 +168,8 @@ class VertexProcess(Process):
 
     def initiate_probe_computation(self) -> ProbeTag:
         """Step A0: begin a new probe computation from this vertex."""
-        self.simulator.metrics.counter("basic.computations.initiated").increment()
-        self.simulator.trace_now(
+        self.ctx.counter("basic.computations.initiated").increment()
+        self.ctx.trace(
             categories.BASIC_COMPUTATION_INITIATED,
             vertex=self.vertex_id,
             tag=self.engine.next_tag(),
@@ -192,7 +188,7 @@ class VertexProcess(Process):
         elif isinstance(message, Probe):
             self._on_probe(VertexId(int(sender)), message)  # type: ignore[arg-type]
         elif isinstance(message, WfgdMessage):
-            self.simulator.metrics.counter("basic.wfgd.received").increment()
+            self.ctx.counter("basic.wfgd.received").increment()
             self.wfgd.on_message(message)
         else:
             if self.foreign_handler is not None and self.foreign_handler(
@@ -211,7 +207,7 @@ class VertexProcess(Process):
             )
         self.pending_in.add(requester)
         self.oracle.blacken(requester, self.vertex_id)
-        self.simulator.trace_now(
+        self.ctx.trace(
             categories.BASIC_REQUEST_RECEIVED, source=requester, target=self.vertex_id
         )
         # Section 5 persistent-send rule: if this vertex already knows it
@@ -229,20 +225,20 @@ class VertexProcess(Process):
             )
         self.pending_out.discard(replier)
         self.oracle.delete_edge(self.vertex_id, replier)
-        self.simulator.trace_now(
+        self.ctx.trace(
             categories.BASIC_REPLY_RECEIVED, source=replier, target=self.vertex_id
         )
         self.initiation.on_edge_removed(self, replier)
         if self.active:
-            self.simulator.trace_now(categories.BASIC_UNBLOCKED, vertex=self.vertex_id)
+            self.ctx.trace(categories.BASIC_UNBLOCKED, vertex=self.vertex_id)
             if self.auto_reply:
                 self._schedule_service()
             if self.unblocked_callback is not None:
                 self.unblocked_callback(self)
 
     def _on_probe(self, sender: VertexId, probe: Probe) -> None:
-        self.simulator.metrics.counter("basic.probes.received").increment()
-        self.simulator.trace_now(
+        self.ctx.counter("basic.probes.received").increment()
+        self.ctx.trace(
             categories.BASIC_PROBE_RECEIVED,
             source=sender,
             target=self.vertex_id,
@@ -264,7 +260,7 @@ class VertexProcess(Process):
         if self._service_scheduled or not self.pending_in or self.blocked:
             return
         self._service_scheduled = True
-        self.simulator.schedule(
+        self.ctx.set_timer(
             self.service_delay, self._service_all, name=f"service v{self.vertex_id}"
         )
 
@@ -280,7 +276,7 @@ class VertexProcess(Process):
     def _emit_reply(self, requester: VertexId) -> None:
         self.pending_in.discard(requester)
         self.oracle.whiten(requester, self.vertex_id)
-        self.simulator.trace_now(
+        self.ctx.trace(
             categories.BASIC_REPLY_SENT, source=self.vertex_id, target=requester
         )
         self.send(requester, Reply(replier=self.vertex_id))
@@ -290,19 +286,19 @@ class VertexProcess(Process):
     # ------------------------------------------------------------------
 
     def _send_probe(self, target: VertexId, probe: Probe) -> None:
-        self.simulator.metrics.counter("basic.probes.sent").increment()
-        self.simulator.trace_now(
+        self.ctx.counter("basic.probes.sent").increment()
+        self.ctx.trace(
             categories.BASIC_PROBE_SENT, source=self.vertex_id, target=target, tag=probe.tag
         )
         self.send(target, probe)
 
     def _send_wfgd(self, target: VertexId, message: WfgdMessage) -> None:
-        self.simulator.metrics.counter("basic.wfgd.sent").increment()
+        self.ctx.counter("basic.wfgd.sent").increment()
         self.send(target, message)
 
     def _declare_deadlock(self, tag: ProbeTag) -> None:
-        self.simulator.metrics.counter("basic.deadlocks.declared").increment()
-        self.simulator.trace_now(
+        self.ctx.counter("basic.deadlocks.declared").increment()
+        self.ctx.trace(
             categories.BASIC_DEADLOCK_DECLARED, vertex=self.vertex_id, tag=tag
         )
         if self._on_declare is not None:

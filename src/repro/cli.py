@@ -8,6 +8,7 @@ Usage::
     repro experiment E3              # regenerate one experiment table
     repro experiment all --quick     # regenerate everything, fast settings
     repro verify                     # exhaustive small-scope model checking
+    repro live basic --seed 0        # deadlock scenario on the asyncio runtime
     repro lint src tests             # project-specific static analysis
     repro lint --explain RPX005      # what a rule enforces, and why
     repro trace --format chrome --out trace.json   # Perfetto-loadable trace
@@ -327,6 +328,52 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_live(args: argparse.Namespace) -> int:
+    from repro.core import get_variant
+    from repro.errors import ConfigurationError, SimulationError
+    from repro.live import run_live
+
+    try:
+        get_variant(args.variant)
+    except ConfigurationError as error:
+        print(str(error))
+        return 2
+    try:
+        report = run_live(
+            args.variant,
+            scenario=args.scenario,
+            seed=args.seed,
+            time_scale=args.time_scale,
+            timeout=args.timeout,
+        )
+    except SimulationError as error:
+        print(f"LIVE RUN FAILED: {error}")
+        return 1
+    outcome = report.outcome
+    print(
+        f"[live {args.variant} scenario={args.scenario} seed={args.seed} "
+        f"time_scale={report.time_scale:g}]"
+    )
+    print(f"  declarations: {outcome.declarations}")
+    print(f"  soundness violations: {outcome.soundness_violations}")
+    print(f"  complete: {outcome.complete}")
+    if report.detection_latency_seconds is not None:
+        print(
+            f"  detection latency: {report.detection_latency_seconds * 1000.0:.1f} ms "
+            f"wall ({outcome.first_declaration_at:g} virtual units)"
+        )
+    else:
+        print("  detection latency: n/a (no declaration)")
+    print(f"  wall time: {report.wall_seconds:.3f} s")
+    if not report.sound:
+        print("FAILED: declaration without a genuine deadlock (QRP2 violated)")
+        return 1
+    if args.scenario == "deadlock" and not report.detected:
+        print("FAILED: genuine deadlock went undetected (QRP1 violated)")
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run
 
@@ -504,11 +551,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.set_defaults(handler=_cmd_verify)
 
+    live = subparsers.add_parser(
+        "live",
+        help="run a variant's conformance scenario on the asyncio runtime",
+        description=(
+            "Runs a registered variant's standard deadlock or clean "
+            "scenario on the wall-clock asyncio transport instead of the "
+            "deterministic simulator, and reports declarations, soundness, "
+            "and detection latency.  Exit 1 on a missed deadlock or a "
+            "soundness violation."
+        ),
+    )
+    live.add_argument("variant", help="variant name (see `repro variants`)")
+    live.add_argument(
+        "--scenario",
+        choices=("deadlock", "clean"),
+        default="deadlock",
+        help="conformance scenario to run (default: deadlock)",
+    )
+    live.add_argument("--seed", type=int, default=0, help="root seed (default: 0)")
+    live.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.005,
+        help="wall seconds per virtual time unit (default: 0.005)",
+    )
+    live.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="wall-clock budget in seconds before the run fails (default: 30)",
+    )
+    live.set_defaults(handler=_cmd_live)
+
     from repro.lint.cli import add_lint_arguments
 
     lint = subparsers.add_parser(
         "lint",
-        help="project-specific static analysis (rules RPX001-RPX006)",
+        help="project-specific static analysis (rules RPX001-RPX007)",
         description=(
             "AST lint pass enforcing the proof-carrying conventions the "
             "verification layer depends on: seeded randomness, virtual time, "

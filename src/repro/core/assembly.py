@@ -1,29 +1,47 @@
-"""Shared system assembly: the deterministic simulator/network runtime.
+"""Shared system assembly: the pluggable node runtime.
 
-Every variant's system wrapper used to open with the same four lines --
-validate the fleet size, build a :class:`~repro.sim.simulator.Simulator`,
-attach a :class:`~repro.sim.network.Network`, keep both.  The order is
-load-bearing: the network draws its delay stream from the simulator's
-root RNG at construction, so building the simulator first (and exactly
-once) is what makes a run a pure function of its seed.  Centralising the
-sequence here keeps that invariant in one place.
+Every variant's system wrapper opens the same way -- validate the fleet
+size, build a runtime, register its nodes.  :func:`build_runtime`
+centralises the construction and makes the backend pluggable through the
+:class:`~repro.core.transport.Transport` seam:
+
+* by default it assembles the deterministic simulator pair wrapped in a
+  :class:`~repro.sim.transport.SimTransport`.  The order is load-bearing:
+  the network draws its delay streams from the simulator's root RNG, so
+  building the simulator first (and exactly once) is what makes a run a
+  pure function of its seed;
+* given ``transport=``, it accepts either a ready
+  :class:`~repro.core.transport.Transport` instance or a factory
+  (typically a transport class, e.g.
+  ``repro.live.transport.AsyncioTransport``) called with the same
+  ``seed``/``delay_model``/``trace``/``fifo`` knobs.  Factories keep this
+  module free of any driver-tier import: callers hand the backend in,
+  core never reaches up for one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.transport import Transport, TransportFactory
 from repro.errors import ConfigurationError
 from repro.sim.network import DelayModel, Network
 from repro.sim.simulator import Simulator
+from repro.sim.transport import SimTransport
 
 
 @dataclass(frozen=True)
 class Runtime:
-    """The deterministic substrate a system wrapper builds on."""
+    """The substrate a system wrapper builds on.
 
-    simulator: Simulator
-    network: Network
+    ``simulator``/``network`` are populated only for the simulator
+    backend (harness layers -- profiling, ablation hooks -- reach them
+    there); transport-neutral code uses ``transport`` alone.
+    """
+
+    transport: Transport
+    simulator: Simulator | None = None
+    network: Network | None = None
 
 
 def build_runtime(
@@ -32,16 +50,39 @@ def build_runtime(
     delay_model: DelayModel | None = None,
     trace: bool = True,
     fifo: bool = True,
+    transport: Transport | TransportFactory | None = None,
 ) -> Runtime:
-    """Build the simulator-then-network pair every variant shares.
+    """Build the runtime every variant shares.
 
     ``trace=False`` is the big-sweep fast path (the tracer's zero-cost
     category skip); ``fifo=False`` exists only for the ablation tests
     that demonstrate the algorithm's dependence on per-channel FIFO.
+    ``transport`` selects the backend: ``None`` for the deterministic
+    simulator, an instance to adopt as-is, or a factory called with the
+    knobs above.
     """
-    simulator = Simulator(seed=seed, trace=trace)
-    network = Network(simulator, delay_model=delay_model, fifo=fifo)
-    return Runtime(simulator=simulator, network=network)
+    if transport is None:
+        simulator = Simulator(seed=seed, trace=trace)
+        network = Network(simulator, delay_model=delay_model, fifo=fifo)
+        return Runtime(
+            transport=SimTransport(simulator, network),
+            simulator=simulator,
+            network=network,
+        )
+    if isinstance(transport, SimTransport):
+        return Runtime(
+            transport=transport,
+            simulator=transport.simulator,
+            network=transport.network,
+        )
+    if not isinstance(transport, type) and isinstance(transport, Transport):
+        return Runtime(transport=transport)
+    built = transport(seed=seed, delay_model=delay_model, trace=trace, fifo=fifo)
+    if isinstance(built, SimTransport):
+        return Runtime(
+            transport=built, simulator=built.simulator, network=built.network
+        )
+    return Runtime(transport=built)
 
 
 def require_fleet(count: int, noun: str) -> None:

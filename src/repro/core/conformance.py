@@ -41,6 +41,10 @@ class ConformanceOutcome:
     complete: bool | None
     #: dark components (or deadlocked closures) left without a declarer.
     undetected_components: int = 0
+    #: time (virtual units) of the first declaration, ``None`` when the
+    #: run stayed silent.  On the live backend this is elapsed wall time
+    #: rescaled to units -- the detection latency ``repro live`` reports.
+    first_declaration_at: float | None = None
 
 
 def unknown_scenario(variant: str, scenario: str) -> NoReturn:

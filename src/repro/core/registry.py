@@ -91,8 +91,11 @@ class DetectorVariant:
     #: system factory for protocol variants (``build(n_vertices=..., ...)``),
     #: detector factory for overlays (``build(host_system, **settings)``).
     build: Callable[..., Any]
-    #: ``conformance(scenario, seed)`` runs one standard scenario.
-    conformance: Callable[[str, int], ConformanceOutcome]
+    #: ``conformance(scenario, seed, transport=None)`` runs one standard
+    #: scenario; ``transport`` selects the runtime backend (an instance
+    #: or factory forwarded to the system constructor, ``None`` for the
+    #: deterministic simulator).
+    conformance: Callable[..., ConformanceOutcome]
     demo: DemoSpec | None = None
 
 

@@ -46,13 +46,29 @@ _CONFORMANCE_SETTINGS: dict[str, dict[str, float]] = {
     "snapshot": {"period": 5.0, "horizon": 30.0},
 }
 
+#: overrides applied when conformance runs on a non-simulator backend.
+#: Wall-clock scheduling noise (import warm-up, GC, loop wake-up jitter)
+#: shows up as extra virtual time on a live runtime, so the timeout
+#: detector's window needs the head-room a production deployment would
+#: give it; mis-calibrated windows turning into phantoms is exactly the
+#: weakness E8 documents for this baseline, not a conformance artifact.
+_LIVE_SETTINGS: dict[str, dict[str, float]] = {
+    "timeout": {"window": 30.0},
+}
+
 
 def _conformance_for(
     name: str, build: Callable[..., BaselineDetector]
-) -> Callable[[str, int], ConformanceOutcome]:
-    def run(scenario: str, seed: int) -> ConformanceOutcome:
+) -> Callable[..., ConformanceOutcome]:
+    def run(
+        scenario: str, seed: int, transport: object | None = None
+    ) -> ConformanceOutcome:
         host = BasicSystem(
-            n_vertices=4, seed=seed, initiation=ManualInitiation(), strict=False
+            n_vertices=4,
+            seed=seed,
+            initiation=ManualInitiation(),
+            strict=False,
+            transport=transport,
         )
         if scenario == "deadlock":
             # The standard 4-cycle: every vertex requests its successor.
@@ -64,7 +80,10 @@ def _conformance_for(
                 host.schedule_request(0.5 * i, i, [i + 1])
         else:
             unknown_scenario(name, scenario)
-        detector = build(host, **_CONFORMANCE_SETTINGS[name])
+        settings = dict(_CONFORMANCE_SETTINGS[name])
+        if transport is not None and getattr(transport, "name", "") != "sim":
+            settings.update(_LIVE_SETTINGS.get(name, {}))
+        detector = build(host, **settings)
         detector.start()
         host.run_to_quiescence()
         dark_edges = [
@@ -84,6 +103,11 @@ def _conformance_for(
             soundness_violations=len(detector.report.false_detections),
             complete=report.complete,
             undetected_components=len(report.undetected_components),
+            first_declaration_at=(
+                detector.report.detections[0].time
+                if detector.report.detections
+                else None
+            ),
         )
 
     return run

@@ -36,8 +36,10 @@ def _schedule_chain(system: BasicSystem, vertices: list[int]) -> None:
         system.schedule_request(0.5 * i, vertices[i], [vertices[i + 1]])
 
 
-def _conformance(scenario: str, seed: int) -> ConformanceOutcome:
-    system = BasicSystem(n_vertices=4, seed=seed, strict=False)
+def _conformance(
+    scenario: str, seed: int, transport: object | None = None
+) -> ConformanceOutcome:
+    system = BasicSystem(n_vertices=4, seed=seed, strict=False, transport=transport)
     if scenario == "deadlock":
         _schedule_cycle(system, [0, 1, 2, 3])
     elif scenario == "clean":
@@ -53,6 +55,9 @@ def _conformance(scenario: str, seed: int) -> ConformanceOutcome:
         soundness_violations=len(system.soundness_violations),
         complete=report.complete,
         undetected_components=len(report.undetected_components),
+        first_declaration_at=(
+            system.declarations[0].time if system.declarations else None
+        ),
     )
 
 

@@ -22,16 +22,20 @@ from repro.ddb.system import DdbSystem
 from repro.sim import categories
 
 
-def _two_site_system(seed: int) -> DdbSystem:
+def _two_site_system(seed: int, transport: object | None = None) -> DdbSystem:
     resources = {ResourceId("r0"): SiteId(0), ResourceId("r1"): SiteId(1)}
-    return DdbSystem(n_sites=2, resources=resources, seed=seed, strict=False)
+    return DdbSystem(
+        n_sites=2, resources=resources, seed=seed, strict=False, transport=transport
+    )
 
 
-def _conformance(scenario: str, seed: int) -> ConformanceOutcome:
+def _conformance(
+    scenario: str, seed: int, transport: object | None = None
+) -> ConformanceOutcome:
     from repro.ddb.locks import LockMode
     from repro.ddb.transaction import Think, TransactionSpec, acquire
 
-    system = _two_site_system(seed)
+    system = _two_site_system(seed, transport)
     X = LockMode.EXCLUSIVE
     if scenario == "deadlock":
         # T1 holds r0 and wants r1; T2 holds r1 and wants r0.
@@ -65,6 +69,9 @@ def _conformance(scenario: str, seed: int) -> ConformanceOutcome:
         soundness_violations=len(system.soundness_violations),
         complete=complete,
         undetected_components=len(undetected),
+        first_declaration_at=(
+            system.declarations[0].time if system.declarations else None
+        ),
     )
 
 

@@ -20,8 +20,10 @@ from repro.core.registry import (
 from repro.ormodel.system import OrSystem
 
 
-def _conformance(scenario: str, seed: int) -> ConformanceOutcome:
-    system = OrSystem(n_vertices=3, seed=seed, strict=False)
+def _conformance(
+    scenario: str, seed: int, transport: object | None = None
+) -> ConformanceOutcome:
+    system = OrSystem(n_vertices=3, seed=seed, strict=False, transport=transport)
     if scenario == "deadlock":
         # The knot from the demo: p0 waits any{p1, p2}, both wait any{p0}.
         system.schedule_request(0.0, 1, [0])
@@ -41,6 +43,9 @@ def _conformance(scenario: str, seed: int) -> ConformanceOutcome:
         soundness_violations=len(system.soundness_violations),
         complete=report.complete,
         undetected_components=len(report.undetected_components),
+        first_declaration_at=(
+            system.declarations[0].time if system.declarations else None
+        ),
     )
 
 

@@ -50,7 +50,6 @@ from repro.ddb.wfgd import DdbWfgdMessage, DdbWfgdState
 from repro.errors import ProtocolError
 from repro.sim import categories
 from repro.sim.process import Process
-from repro.sim.simulator import Simulator
 
 ProcessEdge = tuple[ProcessId, ProcessId]
 
@@ -58,9 +57,9 @@ ProcessEdge = tuple[ProcessId, ProcessId]
 class Controller(Process):
     """The controller ``C_j`` at site ``S_j``."""
 
-    def __init__(self, site: SiteId, simulator: Simulator, system: "object") -> None:
+    def __init__(self, site: SiteId, system: "object") -> None:
         # ``system`` is a DdbSystem; typed loosely to avoid an import cycle.
-        super().__init__(site, simulator)
+        super().__init__(site)
         self.site = site
         self.system = system
         self.locks: dict[ResourceId, ResourceLock] = {}
@@ -131,7 +130,7 @@ class Controller(Process):
             spec=spec, incarnation=incarnation, started_at=self.now,
             timestamp=timestamp,
         )
-        self.simulator.trace_now(
+        self.ctx.trace(
             categories.DDB_TXN_BEGIN, tid=spec.tid, incarnation=incarnation, site=self.site
         )
         self._advance(spec.tid)
@@ -147,7 +146,7 @@ class Controller(Process):
             execution.pc += 1
             if isinstance(operation, Think):
                 execution.status = TransactionStatus.RUNNING
-                self.simulator.schedule(
+                self.ctx.set_timer(
                     operation.duration,
                     lambda tid=tid: self._advance(tid),
                     name=f"think T{tid}",
@@ -157,7 +156,7 @@ class Controller(Process):
                 self._do_acquire(execution, operation)
                 if execution.blocked:
                     execution.status = TransactionStatus.WAITING
-                    self.simulator.trace_now(
+                    self.ctx.trace(
                         categories.DDB_TXN_BLOCKED, tid=tid, site=self.site
                     )
                     self.system.initiation.on_process_blocked(
@@ -185,7 +184,7 @@ class Controller(Process):
                 # until the already-scheduled abort fires.
                 execution.waiting_local.add(resource)
                 if outcome == "died":
-                    self.simulator.schedule(
+                    self.ctx.set_timer(
                         0.0,
                         lambda tid=execution.spec.tid: self.abort_transaction(tid),
                         name=f"wait-die T{execution.spec.tid}",
@@ -199,7 +198,7 @@ class Controller(Process):
             )
             execution.agent_sites.add(site)
             self.oracle.add_inter_edge(home_pid, agent_pid, serial)
-            self.simulator.trace_now(
+            self.ctx.trace(
                 categories.DDB_EDGE_ADDED, kind="inter", source=home_pid, target=agent_pid
             )
             self.send(
@@ -227,8 +226,8 @@ class Controller(Process):
                 ),
             )
         self.detector.prune(home_pid)
-        self.simulator.metrics.counter("ddb.txn.committed").increment()
-        self.simulator.trace_now(
+        self.ctx.counter("ddb.txn.committed").increment()
+        self.ctx.trace(
             categories.DDB_TXN_COMMITTED, tid=execution.spec.tid, site=self.site
         )
         self.system.on_transaction_finished(execution, aborted=False)
@@ -241,9 +240,9 @@ class Controller(Process):
         lock = self._lock(resource)
         granted = lock.request(pid, mode)
         self._sync_resource_edges(resource)
-        self.simulator.metrics.counter("ddb.lock.requests").increment()
+        self.ctx.counter("ddb.lock.requests").increment()
         if not granted:
-            self.simulator.metrics.counter("ddb.lock.waits").increment()
+            self.ctx.counter("ddb.lock.waits").increment()
         return granted
 
     def _local_release(self, pid: ProcessId, resource: ResourceId) -> None:
@@ -283,10 +282,10 @@ class Controller(Process):
             if blockers:
                 decision, wounded = prevention.on_conflict(pid, timestamp, blockers)
                 for victim in wounded:
-                    self.simulator.metrics.counter("ddb.prevention.wounds").increment()
+                    self.ctx.counter("ddb.prevention.wounds").increment()
                     self._demand_forced_abort(victim)
                 if decision is Decision.DIE:
-                    self.simulator.metrics.counter("ddb.prevention.deaths").increment()
+                    self.ctx.counter("ddb.prevention.deaths").increment()
                     return "died"
         if self._local_request(pid, resource, mode):
             # A new holder appeared: re-consult for the waiters it now
@@ -322,16 +321,16 @@ class Controller(Process):
                 waiter.process, self._local_timestamp(waiter.process), blockers
             )
             for victim in wounded:
-                self.simulator.metrics.counter("ddb.prevention.wounds").increment()
+                self.ctx.counter("ddb.prevention.wounds").increment()
                 self._demand_forced_abort(victim)
             if decision is Decision.DIE:
-                self.simulator.metrics.counter("ddb.prevention.deaths").increment()
+                self.ctx.counter("ddb.prevention.deaths").increment()
                 self._demand_forced_abort(waiter.process.transaction)
 
     def _demand_forced_abort(self, tid: TransactionId) -> None:
         home = self.system.transaction_home(tid)
         if home == self.site:
-            self.simulator.schedule(
+            self.ctx.set_timer(
                 0.0,
                 lambda: self.abort_transaction(tid),
                 name=f"wound T{tid}",
@@ -356,7 +355,7 @@ class Controller(Process):
             self._intra_refs[edge] = count + 1
             if count == 0:
                 self.oracle.add_intra_edge(*edge)
-                self.simulator.trace_now(
+                self.ctx.trace(
                     categories.DDB_EDGE_ADDED, kind="intra", source=edge[0], target=edge[1]
                 )
                 # WFGD persistent-send rule: a new waiter on an informed
@@ -418,14 +417,14 @@ class Controller(Process):
         elif isinstance(message, AbortDemand):
             self._on_abort_demand(message)
         elif isinstance(message, DdbProbe):
-            self.simulator.metrics.counter("ddb.probes.received").increment()
+            self.ctx.counter("ddb.probes.received").increment()
             self.detector.on_probe(message)
         elif isinstance(message, DdbWfgdMessage):
             if message.destination.site != self.site:
                 raise ProtocolError(
                     f"WFGD message for {message.destination} delivered to C{self.site}"
                 )
-            self.simulator.metrics.counter("ddb.wfgd.received").increment()
+            self.ctx.counter("ddb.wfgd.received").increment()
             self.wfgd.absorb(message.destination, message.edges)
         else:
             raise ProtocolError(f"controller C{self.site} got unknown {message!r}")
@@ -433,7 +432,7 @@ class Controller(Process):
     def _stale(self, tid: TransactionId, incarnation: int) -> bool:
         latest = self._latest_incarnation.get(tid)
         if latest is not None and incarnation < latest:
-            self.simulator.metrics.counter("ddb.messages.stale").increment()
+            self.ctx.counter("ddb.messages.stale").increment()
             return True
         self._latest_incarnation[tid] = incarnation
         return False
@@ -485,7 +484,7 @@ class Controller(Process):
         if not inbound.remaining:
             self._complete_inbound(agent)
         else:
-            self.simulator.trace_now(categories.DDB_AGENT_BLOCKED, pid=agent.pid)
+            self.ctx.trace(categories.DDB_AGENT_BLOCKED, pid=agent.pid)
             self.system.initiation.on_process_blocked(self, agent.pid)
 
     def _complete_inbound(self, agent: AgentRuntime) -> None:
@@ -509,7 +508,7 @@ class Controller(Process):
             return
         wait = execution.waiting_remote.get(edge.target.site)
         if wait is None or wait.serial != edge.serial:
-            self.simulator.metrics.counter("ddb.messages.stale").increment()
+            self.ctx.counter("ddb.messages.stale").increment()
             return
         self.oracle.delete_inter_edge(edge.origin, edge.target, edge.serial)
         del execution.waiting_remote[edge.target.site]
@@ -548,7 +547,7 @@ class Controller(Process):
             # transaction has resumed; aborting it now would be wasted work.
             # (Prevention wounds set ``force``: they must preempt running
             # transactions.)
-            self.simulator.metrics.counter("ddb.aborts.skipped").increment()
+            self.ctx.counter("ddb.aborts.skipped").increment()
             return
         self.abort_transaction(message.transaction)
 
@@ -582,8 +581,8 @@ class Controller(Process):
             )
         self.detector.prune(home_pid)
         self.system.initiation.on_process_unblocked(self, home_pid)
-        self.simulator.metrics.counter("ddb.txn.aborted").increment()
-        self.simulator.trace_now(categories.DDB_TXN_ABORTED, tid=tid, site=self.site)
+        self.ctx.counter("ddb.txn.aborted").increment()
+        self.ctx.trace(categories.DDB_TXN_ABORTED, tid=tid, site=self.site)
         self.system.on_transaction_finished(execution, aborted=True)
 
     def _abort_agent(self, tid: TransactionId, incarnation: int) -> None:
@@ -741,16 +740,16 @@ class Controller(Process):
         return self.detector.initiate(process)
 
     def send_probe(self, site: SiteId, probe: DdbProbe) -> None:
-        self.simulator.metrics.counter("ddb.probes.sent").increment()
-        self.simulator.trace_now(
+        self.ctx.counter("ddb.probes.sent").increment()
+        self.ctx.trace(
             categories.DDB_PROBE_SENT, site=self.site, destination=site, tag=probe.tag,
             edge=probe.edge,
         )
         self.send(site, probe)
 
     def declare_deadlock(self, process: ProcessId, tag: ProbeTag) -> None:
-        self.simulator.metrics.counter("ddb.deadlocks.declared").increment()
-        self.simulator.trace_now(
+        self.ctx.counter("ddb.deadlocks.declared").increment()
+        self.ctx.trace(
             categories.DDB_DEADLOCK_DECLARED, site=self.site, process=process, tag=tag
         )
         if getattr(self.system, "wfgd_on_declare", False):

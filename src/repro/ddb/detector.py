@@ -100,8 +100,8 @@ class DdbDetector:
         self._next_sequence += 1
         computation = DdbComputation(tag=tag, about=about)
         self._computations[tag] = computation
-        controller.simulator.metrics.counter("ddb.computations.initiated").increment()
-        controller.simulator.trace_now(
+        controller.ctx.counter("ddb.computations.initiated").increment()
+        controller.ctx.trace(
             categories.DDB_COMPUTATION_INITIATED, site=controller.site, about=about, tag=tag
         )
 
@@ -130,7 +130,7 @@ class DdbDetector:
         """
         controller = self._controller
         meaningful = controller.inter_edge_black(probe.edge)
-        controller.simulator.trace_now(
+        controller.ctx.trace(
             categories.DDB_PROBE_RECEIVED,
             site=controller.site,
             tag=probe.tag,

@@ -73,7 +73,7 @@ class DdbDelayedInitiation(DdbInitiationPolicy):
             if controller.is_process_blocked(process):
                 controller.initiate_for(process)
 
-        self._timers[process] = controller.simulator.schedule(
+        self._timers[process] = controller.ctx.set_timer(
             self.timeout, fire, name=f"ddb T-timer {process}"
         )
 
@@ -81,7 +81,7 @@ class DdbDelayedInitiation(DdbInitiationPolicy):
         handle = self._timers.pop(process, None)
         if handle is not None:
             handle.cancel()
-            controller.simulator.metrics.counter("ddb.computations.avoided").increment()
+            controller.ctx.counter("ddb.computations.avoided").increment()
 
 
 class DdbPeriodicInitiation(DdbInitiationPolicy):
@@ -111,25 +111,24 @@ class DdbPeriodicInitiation(DdbInitiationPolicy):
         self._schedule(controller)
 
     def _schedule(self, controller: "Controller") -> None:
-        next_time = controller.simulator.now + self.period
+        next_time = controller.now + self.period
         if next_time > self.horizon:
             return
-        controller.simulator.schedule(
+        controller.ctx.set_timer(
             self.period,
             lambda: self._scan(controller),
             name=f"ddb scan C{controller.site}",
         )
 
     def _scan(self, controller: "Controller") -> None:
-        metrics = controller.simulator.metrics
-        metrics.counter("ddb.scans").increment()
+        controller.ctx.counter("ddb.scans").increment()
         blocked = controller.blocked_processes()
         if self.optimized:
             # Section 6.7: any constituent process on a local cycle is
             # found by one local check; otherwise every dark cycle through
             # this site enters through an incoming black inter-controller
             # edge, so Q computations (one per such process) suffice.
-            metrics.counter("ddb.scan.naive_candidates").increment(len(blocked))
+            controller.ctx.counter("ddb.scan.naive_candidates").increment(len(blocked))
             local_cycle_member = controller.find_local_cycle_member()
             if local_cycle_member is not None:
                 controller.initiate_for(local_cycle_member)

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from repro._ids import ProbeTag, ProcessId, ResourceId, SiteId, TransactionId
 from repro.basic.graph import EdgeColor
 from repro.core.assembly import build_runtime, require_fleet
+from repro.core.transport import Transport, TransportFactory
 from repro.core.engine import (
     DeclarationLog,
     ProbeAccounting,
@@ -112,6 +113,7 @@ class DdbSystem:
         fifo: bool = True,
         wfgd_on_declare: bool = False,
         prevention=None,
+        transport: Transport | TransportFactory | None = None,
     ) -> None:
         require_fleet(n_sites, "site")
         if isinstance(resources, int):
@@ -122,8 +124,10 @@ class DdbSystem:
                     f"resource {resource!r} homed at invalid site {site}"
                 )
         runtime = build_runtime(
-            seed=seed, delay_model=delay_model, trace=trace, fifo=fifo
+            seed=seed, delay_model=delay_model, trace=trace, fifo=fifo,
+            transport=transport,
         )
+        self.transport = runtime.transport
         self.simulator = runtime.simulator
         self.network = runtime.network
         self.oracle = DdbWaitForGraph()
@@ -142,8 +146,8 @@ class DdbSystem:
         self.controllers: dict[SiteId, Controller] = {}
         for i in range(n_sites):
             site = SiteId(i)
-            controller = Controller(site=site, simulator=self.simulator, system=self)
-            self.network.register(controller)
+            controller = Controller(site=site, system=self)
+            self.transport.register(controller)
             self.controllers[site] = controller
         for controller in self.controllers.values():
             self.initiation.setup(controller)
@@ -162,7 +166,7 @@ class DdbSystem:
         #: Times at which any transaction aborted (stale-declaration check).
         self._abort_times: list[float] = []
 
-        self.simulator.tracer.subscribe(
+        self.transport.tracer.subscribe(
             self._observe,
             categories=(categories.DDB_EDGE_ADDED, categories.DDB_PROBE_SENT),
         )
@@ -176,11 +180,11 @@ class DdbSystem:
 
     @property
     def now(self) -> float:
-        return self.simulator.now
+        return self.transport.now
 
     @property
     def metrics(self):
-        return self.simulator.metrics
+        return self.transport.metrics
 
     @property
     def strict(self) -> bool:
@@ -232,7 +236,7 @@ class DdbSystem:
         if at is None or at <= self.now:
             start()
         else:
-            self.simulator.schedule_at(at, start, name=f"begin T{record.spec.tid}")
+            self.transport.schedule_at(at, start, name=f"begin T{record.spec.tid}")
 
     def on_transaction_finished(self, execution: TransactionExecution, aborted: bool) -> None:
         """Controller callback on commit or abort."""
@@ -255,10 +259,10 @@ class DdbSystem:
     # ------------------------------------------------------------------
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
-        self.simulator.run(until=until, max_events=max_events)
+        self.transport.run(until=until, max_events=max_events)
 
     def run_to_quiescence(self, max_events: int = 1_000_000) -> None:
-        self.simulator.run_to_quiescence(max_events=max_events)
+        self.transport.run_to_quiescence(max_events=max_events)
 
     # ------------------------------------------------------------------
     # Verification hooks

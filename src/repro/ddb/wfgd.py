@@ -109,7 +109,7 @@ class DdbWfgdState:
             return
         history.add(edges)
         controller = self._controller
-        controller.simulator.metrics.counter("ddb.wfgd.sent").increment()
+        controller.ctx.counter("ddb.wfgd.sent").increment()
         if predecessor.site == controller.site:
             # Intra edge: deliver locally (memory-area communication).
             self.absorb(predecessor, edges)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.lint.rules.backend import BackendNeutralityRule
 from repro.lint.rules.base import Rule
 from repro.lint.rules.categories_rule import TraceCategoryRule
 from repro.lint.rules.determinism import UnseededRandomnessRule, WallClockRule
@@ -16,6 +17,7 @@ ALL_RULES: tuple[Rule, ...] = (
     LayeringRule(),
     TraceCategoryRule(),
     ProcessIsolationRule(),
+    BackendNeutralityRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,89 @@
+"""RPX007: protocol code speaks the transport seam, never a backend."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules.base import Rule
+from repro.lint.rules.layering import CORE_TIER_MODULES
+
+#: packages whose node/handler code must stay backend-neutral.  ``sim``
+#: itself is excluded (it *is* the simulator backend) and so are the
+#: ``system.py`` assemblers (core tier: they build the runtime).
+CHECKED_PACKAGES = frozenset({"basic", "ddb", "ormodel", "baselines"})
+#: concrete backend modules protocol code must not name.  The seam
+#: (``repro.core.transport``) is the only runtime surface they may know.
+BACKEND_MODULES = frozenset(
+    {
+        ("repro", "sim", "simulator"),
+        ("repro", "sim", "network"),
+        ("repro", "live", "transport"),
+    }
+)
+
+
+class BackendNeutralityRule(Rule):
+    """RPX007: no direct backend imports from protocol packages.
+
+    Vertices, controllers, initiation policies, and the baseline
+    detectors act only through :class:`~repro.core.transport.NodeContext`
+    / :class:`~repro.core.transport.Transport`; importing
+    ``repro.sim.simulator``, ``repro.sim.network``, or
+    ``repro.live.transport`` pins them to one runtime.
+    """
+
+    rule_id = "RPX007"
+    title = "protocol code must not import a concrete transport backend"
+    explanation = (
+        "The paper's processes know nothing about how messages move: axiom\n"
+        "P4 promises reliable per-channel-FIFO delivery and says nothing\n"
+        "else.  The codebase mirrors that with the transport seam --\n"
+        "repro.core.transport defines the structural NodeContext/Transport\n"
+        "protocols, and the same vertex/controller code runs unchanged on\n"
+        "the deterministic simulator (repro.sim) and the wall-clock asyncio\n"
+        "backend (repro.live).  A protocol module importing\n"
+        "repro.sim.simulator or repro.sim.network (or repro.live.transport)\n"
+        "re-welds that seam shut: the node would compile against one\n"
+        "backend's concrete surface and silently stop being portable, and\n"
+        "the live-vs-sim conformance suite would no longer be testing the\n"
+        "same code.  The system.py assemblers are exempt -- they are\n"
+        "core-tier wiring and legitimately name backend types (DelayModel,\n"
+        "Network) when building the runtime."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_packages(*CHECKED_PACKAGES) and ctx.parts not in CORE_TIER_MODULES
+
+    def _flag(self, ctx: FileContext, node: ast.AST, module: str) -> Diagnostic:
+        return self.diagnostic(
+            ctx,
+            node,
+            f"protocol module '{'.'.join(ctx.package)}' imports concrete "
+            f"backend module '{module}'; speak the seam "
+            "(repro.core.transport NodeContext/Transport) instead",
+        )
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    parts = tuple(alias.name.split("."))
+                    if parts in BACKEND_MODULES:
+                        diagnostics.append(self._flag(ctx, node, alias.name))
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or not node.module:
+                    continue
+                parts = tuple(node.module.split("."))
+                if parts in BACKEND_MODULES:
+                    diagnostics.append(self._flag(ctx, node, node.module))
+                else:
+                    # ``from repro.sim import network``-style module import
+                    for alias in node.names:
+                        if (*parts, alias.name) in BACKEND_MODULES:
+                            diagnostics.append(
+                                self._flag(ctx, node, f"{node.module}.{alias.name}")
+                            )
+        return diagnostics

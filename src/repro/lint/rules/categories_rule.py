@@ -10,7 +10,8 @@ from repro.lint.rules.base import Rule
 from repro.sim import categories as registry
 
 #: methods whose (first) string argument is a trace category
-_PRODUCER_METHODS = frozenset({"trace_now", "events"})
+#: (``trace`` is NodeContext.trace, the seam nodes record through)
+_PRODUCER_METHODS = frozenset({"trace_now", "trace", "events"})
 
 
 class TraceCategoryRule(Rule):

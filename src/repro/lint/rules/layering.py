@@ -36,10 +36,19 @@ HARNESS_PACKAGES = frozenset(
     {"experiments", "analysis", "verification", "workloads", "obs"}
 )
 #: the driver tier sits on top of everything: ``sweep`` fans experiment
-#: grids out across processes and may import protocol, core, and harness
-#: packages -- but nothing below it may import the driver back, or the
-#: experiments would no longer be runnable (or reasoned about) standalone.
-DRIVER_PACKAGES = frozenset({"sweep"})
+#: grids out across processes, ``live`` hosts nodes on the wall-clock
+#: asyncio backend; both may import protocol, core, and harness packages
+#: -- but nothing below may import the drivers back, or the experiments
+#: would no longer be runnable (or reasoned about) standalone.
+DRIVER_PACKAGES = frozenset({"sweep", "live"})
+#: interface-only seam modules that any tier may import.  The transport
+#: seam (``repro.core.transport``) defines the structural NodeContext /
+#: Transport protocols and imports nothing above the protocol tier, so a
+#: protocol module importing it gains no access to core machinery -- the
+#: whole point of the seam is that protocol code names the contract, not
+#: a backend.  Judged at full-module granularity, unlike ordinary
+#: targets.
+SEAM_MODULES = frozenset({("repro", "core", "transport")})
 
 
 class LayeringRule(Rule):
@@ -72,7 +81,11 @@ class LayeringRule(Rule):
         "(sharding, multi-process backends, remote workers) without touching\n"
         "the tiers below.  The simulator's profiling hook is a structural\n"
         "Protocol for this reason: obs implements it without sim ever\n"
-        "importing obs."
+        "importing obs.  One module is exempt as a seam: repro.core.transport\n"
+        "is interface-only (structural NodeContext/Transport protocols, no\n"
+        "runtime imports above the protocol tier), so any tier may name it --\n"
+        "that is how protocol code stays portable across the simulator and\n"
+        "the live asyncio backend without importing either."
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
@@ -113,6 +126,10 @@ class LayeringRule(Rule):
             base.extend(node.module.split("."))
         return base
 
+    @staticmethod
+    def _is_seam(parts: list[str]) -> bool:
+        return tuple(parts) in SEAM_MODULES
+
     def check(self, ctx: FileContext) -> list[Diagnostic]:
         forbidden = self._forbidden(ctx)
         diagnostics: list[Diagnostic] = []
@@ -120,7 +137,12 @@ class LayeringRule(Rule):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     parts = alias.name.split(".")
-                    if len(parts) >= 2 and parts[0] == "repro" and parts[1] in forbidden:
+                    if (
+                        len(parts) >= 2
+                        and parts[0] == "repro"
+                        and parts[1] in forbidden
+                        and not self._is_seam(parts)
+                    ):
                         diagnostics.append(self._violation(ctx, node, alias.name))
             elif isinstance(node, ast.ImportFrom):
                 if node.level:
@@ -128,7 +150,16 @@ class LayeringRule(Rule):
                 else:
                     parts = node.module.split(".") if node.module else []
                 if len(parts) >= 2 and parts[0] == "repro" and parts[1] in forbidden:
-                    diagnostics.append(self._violation(ctx, node, ".".join(parts)))
+                    if self._is_seam(parts):
+                        continue
+                    for alias in node.names:
+                        # ``from repro.core import transport`` names the
+                        # seam module itself; other names stay illegal.
+                        if not self._is_seam([*parts, alias.name]):
+                            diagnostics.append(
+                                self._violation(ctx, node, ".".join(parts))
+                            )
+                            break
                 elif parts == ["repro"]:
                     for alias in node.names:
                         if alias.name in forbidden:

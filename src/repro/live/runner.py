@@ -1,0 +1,73 @@
+"""Run one registered detector variant on the live asyncio runtime.
+
+The driver behind ``repro live``: build an
+:class:`~repro.live.transport.AsyncioTransport`, hand it to the variant's
+conformance callable (which assembles the same system it runs on the
+simulator), and report the outcome with wall-clock detection latency.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.conformance import ConformanceOutcome
+from repro.core.registry import get_variant
+from repro.live.transport import AsyncioTransport
+
+
+@dataclass(frozen=True)
+class LiveReport:
+    """Outcome of one live run, for humans and tests alike."""
+
+    outcome: ConformanceOutcome
+    #: wall seconds from transport start to the end of the run.
+    wall_seconds: float
+    #: wall seconds until the first declaration (``None`` if silent).
+    detection_latency_seconds: float | None
+    time_scale: float
+
+    @property
+    def detected(self) -> bool:
+        return self.outcome.declarations > 0
+
+    @property
+    def sound(self) -> bool:
+        return self.outcome.soundness_violations == 0
+
+
+def run_live(
+    variant_name: str,
+    *,
+    scenario: str = "deadlock",
+    seed: int = 0,
+    time_scale: float = 0.005,
+    timeout: float = 30.0,
+) -> LiveReport:
+    """Run one conformance scenario on the wall clock.
+
+    ``timeout`` bounds the whole run in wall seconds; a live system that
+    neither declares nor quiesces inside it raises
+    :class:`~repro.errors.SimulationError` (via the transport's driver).
+    """
+    variant = get_variant(variant_name)
+    transport = AsyncioTransport(
+        seed=seed, time_scale=time_scale, max_wall_seconds=timeout
+    )
+    started = time.perf_counter()
+    try:
+        outcome = variant.conformance(scenario, seed, transport=transport)
+    finally:
+        transport.close()
+    wall = time.perf_counter() - started
+    latency = (
+        None
+        if outcome.first_declaration_at is None
+        else outcome.first_declaration_at * time_scale
+    )
+    return LiveReport(
+        outcome=outcome,
+        wall_seconds=wall,
+        detection_latency_seconds=latency,
+        time_scale=time_scale,
+    )

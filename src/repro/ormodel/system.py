@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from repro._ids import ProbeTag, VertexId
 from repro.core.assembly import build_runtime, require_fleet
+from repro.core.transport import Transport, TransportFactory
 from repro.core.engine import CompletenessReport, DeclarationLog
 from repro.ormodel.vertex import OrVertexProcess
 from repro.sim import categories
@@ -107,11 +108,14 @@ class OrSystem:
         strict: bool = True,
         trace: bool = True,
         fifo: bool = True,
+        transport: Transport | TransportFactory | None = None,
     ) -> None:
         require_fleet(n_vertices, "vertex")
         runtime = build_runtime(
-            seed=seed, delay_model=delay_model, trace=trace, fifo=fifo
+            seed=seed, delay_model=delay_model, trace=trace, fifo=fifo,
+            transport=transport,
         )
+        self.transport = runtime.transport
         self.simulator = runtime.simulator
         self.network = runtime.network
         self.oracle = OrWaitGraph()
@@ -123,7 +127,7 @@ class OrSystem:
         #: needed because the state-only criterion is not stable while a
         #: grant is travelling (its receiver is about to unblock).
         self._grants_in_flight: dict[tuple[VertexId, VertexId], int] = {}
-        self.simulator.tracer.subscribe(
+        self.transport.tracer.subscribe(
             self._observe,
             categories=(categories.NET_SENT, categories.NET_DELIVERED),
         )
@@ -132,13 +136,12 @@ class OrSystem:
             vid = VertexId(i)
             vertex = OrVertexProcess(
                 vertex_id=vid,
-                simulator=self.simulator,
                 oracle=self.oracle,
                 service_delay=service_delay,
                 auto_grant=auto_grant,
                 on_declare=self._handle_declare,
             )
-            self.network.register(vertex)
+            self.transport.register(vertex)
             self.vertices[vid] = vertex
 
     # ------------------------------------------------------------------
@@ -148,11 +151,11 @@ class OrSystem:
 
     @property
     def now(self) -> float:
-        return self.simulator.now
+        return self.transport.now
 
     @property
     def metrics(self):
-        return self.simulator.metrics
+        return self.transport.metrics
 
     @property
     def strict(self) -> bool:
@@ -170,17 +173,17 @@ class OrSystem:
 
     def schedule_request(self, time: float, source: int, targets: Iterable[int]) -> None:
         frozen = list(targets)
-        self.simulator.schedule_at(
+        self.transport.schedule_at(
             time,
             lambda: self.request_any(source, frozen),
             name=f"or-request v{source}->{frozen}",
         )
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
-        self.simulator.run(until=until, max_events=max_events)
+        self.transport.run(until=until, max_events=max_events)
 
     def run_to_quiescence(self, max_events: int = 1_000_000) -> None:
-        self.simulator.run_to_quiescence(max_events=max_events)
+        self.transport.run_to_quiescence(max_events=max_events)
 
     # ------------------------------------------------------------------
     # Verification

@@ -34,7 +34,6 @@ from repro.errors import ProtocolError
 from repro.ormodel.messages import Grant, OrQuery, OrReply, RequestAny
 from repro.sim import categories
 from repro.sim.process import Process
-from repro.sim.simulator import Simulator
 
 
 @dataclass
@@ -55,13 +54,12 @@ class OrVertexProcess(Process):
     def __init__(
         self,
         vertex_id: VertexId,
-        simulator: Simulator,
         oracle: "object",
         service_delay: float = 1.0,
         auto_grant: bool = True,
         on_declare: Callable[["OrVertexProcess", ProbeTag], None] | None = None,
     ) -> None:
-        super().__init__(vertex_id, simulator)
+        super().__init__(vertex_id)
         self.vertex_id = vertex_id
         self.oracle = oracle
         self.service_delay = service_delay
@@ -109,7 +107,7 @@ class OrVertexProcess(Process):
             raise ProtocolError(f"vertex {self.vertex_id} cannot wait on itself")
         self.dependent_set = set(batch)
         self.oracle.set_dependents(self.vertex_id, set(batch))
-        self.simulator.trace_now(
+        self.ctx.trace(
             categories.OR_REQUEST_SENT, source=self.vertex_id, targets=tuple(batch)
         )
         for target in batch:
@@ -140,7 +138,7 @@ class OrVertexProcess(Process):
         self._computations[tag.initiator] = _OrComputation(
             tag=tag, engaging_sender=None, outstanding=len(self.dependent_set)
         )
-        self.simulator.metrics.counter("or.computations.initiated").increment()
+        self.ctx.counter("or.computations.initiated").increment()
         for target in sorted(self.dependent_set):
             self._send_query(target, OrQuery(tag=tag, sender=self.vertex_id))
         return tag
@@ -171,9 +169,9 @@ class OrVertexProcess(Process):
     def _on_grant(self, message: Grant) -> None:
         if message.granter not in self.dependent_set:
             # A stale grant from a dependent set already satisfied.
-            self.simulator.metrics.counter("or.grants.stale").increment()
+            self.ctx.counter("or.grants.stale").increment()
             return
-        self.simulator.trace_now(
+        self.ctx.trace(
             categories.OR_UNBLOCKED, vertex=self.vertex_id, granter=message.granter
         )
         self.dependent_set.clear()
@@ -189,7 +187,7 @@ class OrVertexProcess(Process):
     # -- detector ---------------------------------------------------------
 
     def _on_query(self, query: OrQuery) -> None:
-        self.simulator.metrics.counter("or.queries.received").increment()
+        self.ctx.counter("or.queries.received").increment()
         if not self.blocked:
             return  # active processes discard detector traffic
         tag = query.tag
@@ -213,7 +211,7 @@ class OrVertexProcess(Process):
         self._send_reply(query.sender, OrReply(tag=tag, sender=self.vertex_id))
 
     def _on_reply(self, reply: OrReply) -> None:
-        self.simulator.metrics.counter("or.replies.received").increment()
+        self.ctx.counter("or.replies.received").increment()
         if not self.blocked:
             return
         tag = reply.tag
@@ -228,8 +226,8 @@ class OrVertexProcess(Process):
             # dependent closure -- everyone out there is blocked.
             if tag not in self.declared:
                 self.declared.append(tag)
-                self.simulator.metrics.counter("or.deadlocks.declared").increment()
-                self.simulator.trace_now(
+                self.ctx.counter("or.deadlocks.declared").increment()
+                self.ctx.trace(
                     categories.OR_DEADLOCK_DECLARED, vertex=self.vertex_id, tag=tag
                 )
                 if self._on_declare is not None:
@@ -245,18 +243,18 @@ class OrVertexProcess(Process):
     # ------------------------------------------------------------------
 
     def _send_query(self, target: VertexId, query: OrQuery) -> None:
-        self.simulator.metrics.counter("or.queries.sent").increment()
+        self.ctx.counter("or.queries.sent").increment()
         self.send(target, query)
 
     def _send_reply(self, target: VertexId, reply: OrReply) -> None:
-        self.simulator.metrics.counter("or.replies.sent").increment()
+        self.ctx.counter("or.replies.sent").increment()
         self.send(target, reply)
 
     def _schedule_grants(self) -> None:
         if self._grant_scheduled or not self.pending_grants or self.blocked:
             return
         self._grant_scheduled = True
-        self.simulator.schedule(
+        self.ctx.set_timer(
             self.service_delay, self._grant_all, name=f"or-grant v{self.vertex_id}"
         )
 
@@ -269,7 +267,7 @@ class OrVertexProcess(Process):
 
     def _emit_grant(self, requester: VertexId) -> None:
         self.pending_grants.discard(requester)
-        self.simulator.trace_now(
+        self.ctx.trace(
             categories.OR_GRANT_SENT, source=self.vertex_id, target=requester
         )
         self.send(requester, Grant(granter=self.vertex_id))

@@ -142,11 +142,20 @@ class Network:
         self._deliver_names: dict[tuple[str, Hashable, Hashable], str] = {}
 
     def register(self, process: Process) -> None:
-        """Add ``process`` to the network; its pid must be unique."""
+        """Add ``process`` to the network; its pid must be unique.
+
+        Registration attaches the process's
+        :class:`~repro.sim.transport.SimNodeContext` -- the capability
+        view protocol code speaks instead of this network directly.
+        """
         if process.pid in self._processes:
             raise SimulationError(f"duplicate process id {process.pid!r}")
+        # Local import: transport.py imports Network for its constructor
+        # signature, so importing it at module scope would be circular.
+        from repro.sim.transport import SimNodeContext
+
         self._processes[process.pid] = process
-        process.attach(self)
+        process.attach_context(SimNodeContext(process.pid, self.simulator, self))
 
     def process(self, pid: Hashable) -> Process:
         """Look up a registered process by id."""

@@ -1,14 +1,20 @@
-"""Actor base class for simulated processes.
+"""Actor base class for protocol processes.
 
 Vertices (basic model) and controllers (DDB model) are :class:`Process`
-subclasses.  A process has an identity, access to the simulator, and a
-single entry point -- :meth:`Process.on_message` -- invoked by the network
-when a message is delivered.
+subclasses.  A process has an identity, a single entry point --
+:meth:`Process.on_message` -- invoked by its transport when a message is
+delivered, and a :class:`~repro.core.transport.NodeContext` attached at
+registration time that carries everything the paper's axioms let a node
+do: send, read the clock, set timers, emit observations.
 
-The paper's atomicity note ("each step A0, A1, A2 of the algorithm, once
-started, must be completed before the process can send or receive other
-messages") is satisfied structurally: the simulator is single-threaded and a
-message handler runs to completion before any other event fires.
+The process knows nothing about which runtime hosts it.  Registered with
+a :class:`~repro.sim.transport.SimTransport` it runs deterministically in
+virtual time; registered with a
+:class:`~repro.live.transport.AsyncioTransport` it runs against the wall
+clock.  The paper's atomicity note ("each step A0, A1, A2 of the
+algorithm, once started, must be completed before the process can send or
+receive other messages") is part of the transport contract: both runtimes
+run a message handler to completion before any other event fires.
 """
 
 from __future__ import annotations
@@ -16,42 +22,55 @@ from __future__ import annotations
 from collections.abc import Hashable
 from typing import TYPE_CHECKING, Any
 
-from repro.sim.simulator import Simulator
+from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from repro.sim.network import Network
+    from repro.core.transport import NodeContext
 
 
 class Process:
-    """A named participant in the simulated message-passing system.
+    """A named participant in a message-passing system.
 
     Subclasses override :meth:`on_message`.  ``pid`` may be any hashable
     (ints for vertices, ``SiteId`` for controllers).
     """
 
-    def __init__(self, pid: Hashable, simulator: Simulator) -> None:
+    def __init__(self, pid: Hashable) -> None:
         self.pid = pid
-        self.simulator = simulator
-        self._network: "Network | None" = None
+        self._ctx: "NodeContext | None" = None
 
     @property
-    def network(self) -> "Network":
-        """The network this process is attached to."""
-        if self._network is None:
-            raise RuntimeError(f"process {self.pid!r} is not attached to a network")
-        return self._network
+    def ctx(self) -> "NodeContext":
+        """The node context attached at registration.
 
-    def attach(self, network: "Network") -> None:
-        """Called by :meth:`Network.register`; not for direct use."""
-        self._network = network
+        Raises a typed :class:`~repro.errors.ConfigurationError` naming
+        the pid when the process acts (sends, reads the clock, sets a
+        timer) before being registered with a transport.
+        """
+        if self._ctx is None:
+            raise ConfigurationError(
+                f"process {self.pid!r} is not registered with a transport; "
+                "register it (Transport.register / Network.register) before "
+                "it sends, schedules, or reads the clock"
+            )
+        return self._ctx
+
+    @property
+    def registered(self) -> bool:
+        """Whether a transport has attached this process's context."""
+        return self._ctx is not None
+
+    def attach_context(self, ctx: "NodeContext") -> None:
+        """Called by the transport at registration; not for direct use."""
+        self._ctx = ctx
 
     @property
     def now(self) -> float:
-        return self.simulator.now
+        return self.ctx.now()
 
     def send(self, destination: Hashable, message: Any) -> None:
         """Send ``message`` to the process named ``destination``."""
-        self.network.send(self.pid, destination, message)
+        self.ctx.send(destination, message)
 
     def on_message(self, sender: Hashable, message: Any) -> None:
         """Handle a delivered message.  Subclasses must override."""

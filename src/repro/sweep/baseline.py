@@ -62,9 +62,9 @@ def _bench_network() -> tuple[int, float]:
 
     simulator = Simulator(seed=0, trace=False)
     network = Network(simulator)
-    source = Sink(0, simulator)
+    source = Sink(0)
     network.register(source)
-    network.register(Sink(1, simulator))
+    network.register(Sink(1))
     for i in range(5_000):
         source.send(1, i)
     started = time.perf_counter()

@@ -55,7 +55,7 @@ class RandomRequestWorkload:
             )
         if not 0 < self.request_probability <= 1:
             raise ConfigurationError("request_probability must be in (0, 1]")
-        self._rng = self.system.simulator.rng.stream("workload.basic_random")
+        self._rng = self.system.transport.rng.stream("workload.basic_random")
         self.requests_issued = 0
 
     def start(self) -> None:
@@ -70,7 +70,7 @@ class RandomRequestWorkload:
         delay = self._rng.expovariate(1.0 / self.mean_think)
         if self.system.now + delay > self.duration:
             return
-        self.system.simulator.schedule(
+        self.system.transport.schedule(
             delay,
             lambda: self._act(vertex),
             name=f"workload wakeup v{vertex.vertex_id}",

@@ -126,7 +126,7 @@ class TransactionWorkload:
         self.params.validate()
         if not system.resource_home:
             raise ConfigurationError("the system has no resources")
-        self._rng = system.simulator.rng.stream("workload.transactions")
+        self._rng = system.transport.rng.stream("workload.transactions")
         self.stats = WorkloadStats()
         self._started_at: dict[TransactionId, float] = {}
         self._by_site: dict[SiteId, list[ResourceId]] = {}

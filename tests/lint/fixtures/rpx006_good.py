@@ -7,8 +7,8 @@ from repro.sim.process import Process
 
 
 class WellBehavedVertex(Process):
-    def __init__(self, pid, simulator) -> None:
-        super().__init__(pid, simulator)
+    def __init__(self, pid) -> None:
+        super().__init__(pid)
         self.pending_in: set[int] = set()
         self._records: dict[int, object] = {}
 

@@ -1,0 +1,12 @@
+# lint-as: src/repro/ormodel/fixture.py
+"""RPX007 failing fixture: protocol code naming concrete backend modules."""
+
+from __future__ import annotations
+
+import repro.sim.simulator  # expect: RPX007
+from repro.sim import simulator  # expect: RPX007
+from repro.sim.network import Network  # expect: RPX007
+
+
+def peek() -> object:
+    return Network, simulator, repro.sim.simulator

@@ -1,0 +1,10 @@
+# lint-as: src/repro/basic/fixture.py
+"""RPX007 passing fixture: protocol code speaks the seam, not a backend."""
+
+from __future__ import annotations
+
+from repro.core.transport import NodeContext, Transport
+from repro.sim import categories
+from repro.sim.process import Process
+
+__all__ = ["NodeContext", "Transport", "categories", "Process"]

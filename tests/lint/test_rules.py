@@ -19,7 +19,7 @@ import pytest
 from repro.lint import lint_source
 
 FIXTURES = Path(__file__).parent / "fixtures"
-RULE_IDS = ("RPX001", "RPX002", "RPX003", "RPX004", "RPX005", "RPX006")
+RULE_IDS = ("RPX001", "RPX002", "RPX003", "RPX004", "RPX005", "RPX006", "RPX007")
 
 _EXPECT = re.compile(r"#\s*expect:\s*([A-Z0-9,\s]+)")
 
@@ -122,7 +122,7 @@ class TestDriverTierLayering:
             for right in tiers[i + 1 :]:
                 assert left & right == frozenset()
         assert CORE_PACKAGES == frozenset({"core", "baselines"})
-        assert DRIVER_PACKAGES == frozenset({"sweep"})
+        assert DRIVER_PACKAGES == frozenset({"sweep", "live"})
 
 
 class TestCoreTierLayering:
@@ -171,6 +171,76 @@ class TestCoreTierLayering:
             "src/repro/baselines/base.py",
         )
         assert diagnostic.rule == "RPX004"
+
+
+class TestTransportSeam:
+    """RPX004's seam exemption: repro.core.transport is importable anywhere."""
+
+    def test_protocol_may_import_the_seam_in_every_form(self) -> None:
+        for source in (
+            "from repro.core.transport import NodeContext\n",
+            "import repro.core.transport\n",
+            "from repro.core import transport\n",
+        ):
+            assert lint_source(source, "src/repro/basic/fixture.py") == [], source
+
+    def test_other_core_modules_stay_flagged(self) -> None:
+        (diagnostic,) = lint_source(
+            "from repro.core.assembly import build_runtime\n",
+            "src/repro/basic/fixture.py",
+        )
+        assert diagnostic.rule == "RPX004"
+        assert "repro.core" in diagnostic.message
+
+    def test_mixed_alias_import_is_still_flagged(self) -> None:
+        # naming the seam alongside a non-seam sibling gives no cover
+        (diagnostic,) = lint_source(
+            "from repro.core import transport, registry\n",
+            "src/repro/basic/fixture.py",
+        )
+        assert diagnostic.rule == "RPX004"
+
+    def test_seam_set_is_exactly_the_transport_module(self) -> None:
+        from repro.lint.rules.layering import SEAM_MODULES
+
+        assert SEAM_MODULES == {("repro", "core", "transport")}
+
+
+class TestBackendNeutrality:
+    """RPX007: protocol packages never name a concrete backend module."""
+
+    def test_system_assemblers_are_exempt(self) -> None:
+        source = "from repro.sim.network import Network\n"
+        for module in ("basic", "ddb", "ormodel"):
+            assert lint_source(source, f"src/repro/{module}/system.py") == []
+
+    def test_live_backend_import_trips_both_rules(self) -> None:
+        # repro.live is also driver-tier, so the layering rule fires too
+        source = "from repro.live.transport import AsyncioTransport\n"
+        diagnostics = lint_source(source, "src/repro/basic/fixture.py")
+        assert {d.rule for d in diagnostics} == {"RPX004", "RPX007"}
+
+    def test_module_alias_form_is_flagged(self) -> None:
+        (diagnostic,) = lint_source(
+            "from repro.sim import network\n", "src/repro/baselines/fixture.py"
+        )
+        assert diagnostic.rule == "RPX007"
+        assert "repro.sim.network" in diagnostic.message
+
+    def test_sim_package_itself_is_not_checked(self) -> None:
+        # sim *is* the simulator backend; it may name its own modules
+        assert lint_source(
+            "from repro.sim.simulator import Simulator\n",
+            "src/repro/sim/fixture.py",
+        ) == []
+
+    def test_process_base_class_stays_importable(self) -> None:
+        # the seam's MessageProcess is realised by sim.process.Process;
+        # subclassing it is how protocol nodes exist at all
+        assert lint_source(
+            "from repro.sim.process import Process\n",
+            "src/repro/basic/fixture.py",
+        ) == []
 
 
 class TestCorruptingRealSources:

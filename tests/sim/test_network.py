@@ -23,8 +23,8 @@ class Ping:
 class Recorder(Process):
     """Test process that records (time, sender, message) for every delivery."""
 
-    def __init__(self, pid, simulator) -> None:
-        super().__init__(pid, simulator)
+    def __init__(self, pid) -> None:
+        super().__init__(pid)
         self.received: list[tuple[float, object, object]] = []
 
     def on_message(self, sender, message) -> None:
@@ -34,7 +34,7 @@ class Recorder(Process):
 def make_world(delay_model=None, fifo: bool = True, seed: int = 0, n: int = 3):
     simulator = Simulator(seed=seed)
     network = Network(simulator, delay_model=delay_model, fifo=fifo)
-    processes = [Recorder(i, simulator) for i in range(n)]
+    processes = [Recorder(i) for i in range(n)]
     for process in processes:
         network.register(process)
     return simulator, network, processes
@@ -55,7 +55,7 @@ class TestDelivery:
     def test_duplicate_registration_raises(self) -> None:
         simulator, network, _ = make_world()
         with pytest.raises(SimulationError):
-            network.register(Recorder(0, simulator))
+            network.register(Recorder(0))
 
     def test_message_counters(self) -> None:
         simulator, _, processes = make_world()

@@ -4,14 +4,15 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.sim.network import Network
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 
 
 class Echo(Process):
-    def __init__(self, pid, simulator):
-        super().__init__(pid, simulator)
+    def __init__(self, pid):
+        super().__init__(pid)
         self.seen: list[object] = []
 
     def on_message(self, sender, message):
@@ -19,37 +20,56 @@ class Echo(Process):
 
 
 class TestProcess:
-    def test_network_property_before_attach_raises(self) -> None:
-        process = Echo("a", Simulator())
-        with pytest.raises(RuntimeError):
-            _ = process.network
+    def test_ctx_before_registration_raises_configuration_error(self) -> None:
+        process = Echo("a")
+        with pytest.raises(ConfigurationError, match=r"process 'a' is not registered"):
+            _ = process.ctx
 
-    def test_send_before_attach_raises(self) -> None:
-        process = Echo("a", Simulator())
-        with pytest.raises(RuntimeError):
+    def test_send_before_registration_raises_configuration_error(self) -> None:
+        process = Echo("a")
+        with pytest.raises(ConfigurationError, match=r"process 'a' is not registered"):
             process.send("b", "hello")
+
+    def test_now_before_registration_raises_configuration_error(self) -> None:
+        process = Echo("a")
+        with pytest.raises(ConfigurationError, match=r"register it"):
+            _ = process.now
+
+    def test_error_names_the_offending_pid(self) -> None:
+        with pytest.raises(ConfigurationError, match=r"process 17"):
+            Echo(17).send("b", "x")
+
+    def test_registered_flag_flips_at_registration(self) -> None:
+        simulator = Simulator()
+        network = Network(simulator)
+        process = Echo("a")
+        assert not process.registered
+        network.register(process)
+        assert process.registered
+        assert process.ctx.node_id == "a"
 
     def test_now_mirrors_simulator_clock(self) -> None:
         simulator = Simulator()
-        process = Echo("a", simulator)
+        network = Network(simulator)
+        process = Echo("a")
+        network.register(process)
         simulator.schedule(4.0, lambda: None)
         simulator.run()
         assert process.now == 4.0
 
     def test_base_on_message_is_abstract(self) -> None:
-        simulator = Simulator()
-        process = Process("a", simulator)
+        process = Process("a")
         with pytest.raises(NotImplementedError):
             process.on_message("b", "x")
 
     def test_repr_includes_pid(self) -> None:
-        assert "'a'" in repr(Echo("a", Simulator()))
+        assert "'a'" in repr(Echo("a"))
 
     def test_string_pids_work(self) -> None:
         simulator = Simulator()
         network = Network(simulator)
-        alpha = Echo("alpha", simulator)
-        beta = Echo("beta", simulator)
+        alpha = Echo("alpha")
+        beta = Echo("beta")
         network.register(alpha)
         network.register(beta)
         alpha.send("beta", 42)
@@ -59,7 +79,7 @@ class TestProcess:
     def test_network_process_lookup(self) -> None:
         simulator = Simulator()
         network = Network(simulator)
-        process = Echo("a", simulator)
+        process = Echo("a")
         network.register(process)
         assert network.process("a") is process
         assert network.process_ids == ["a"]

@@ -1,0 +1,63 @@
+"""Cross-runtime conformance: every variant, both scenarios, live backend.
+
+The mirror of ``tests/core/test_conformance.py`` on the asyncio runtime:
+each registered detector variant runs its standard deadlock and clean
+scenarios against :class:`~repro.live.transport.AsyncioTransport` across
+three seeds.  Live interleavings are nondeterministic, but the paper's
+claims are schedule-free -- QRP2 soundness at the instant of declaration
+and QRP1 completeness must hold on *every* P4-legal delivery order, so
+zero violations here is a hard requirement, not a statistical one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import all_variants
+from repro.live import run_live
+
+#: compressed clock for tests: 1 virtual unit = 2 ms wall.
+TIME_SCALE = 0.002
+#: generous per-run wall budget; a hang is a failure, not a wait.
+TIMEOUT = 20.0
+SEEDS = (0, 1, 2)
+
+
+def _variant_ids() -> list[str]:
+    return [variant.name for variant in all_variants()]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm_up() -> None:
+    """One throwaway live run before any timed assertion.
+
+    The first run of the session pays import and event-loop warm-up
+    costs; on a compressed clock those wall milliseconds masquerade as
+    virtual time and would skew timing-sensitive detectors (timeout).
+    """
+    run_live("basic", scenario="clean", seed=0, time_scale=TIME_SCALE, timeout=TIMEOUT)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", _variant_ids())
+class TestEveryVariantLive:
+    def test_deadlock_scenario_detects_soundly(self, name: str, seed: int) -> None:
+        report = run_live(
+            name, scenario="deadlock", seed=seed, time_scale=TIME_SCALE, timeout=TIMEOUT
+        )
+        assert report.detected, f"{name} missed a genuine deadlock on the live runtime"
+        assert report.sound, (
+            f"{name} violated instant-of-declaration soundness on the live runtime"
+        )
+        assert report.outcome.first_declaration_at is not None
+        assert report.detection_latency_seconds is not None
+        assert report.detection_latency_seconds > 0.0
+
+    def test_clean_scenario_stays_silent(self, name: str, seed: int) -> None:
+        report = run_live(
+            name, scenario="clean", seed=seed, time_scale=TIME_SCALE, timeout=TIMEOUT
+        )
+        assert not report.detected, f"{name} declared on a clean live run"
+        assert report.sound
+        assert report.outcome.first_declaration_at is None
+        assert report.detection_latency_seconds is None
