@@ -588,12 +588,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = subparsers.add_parser(
         "lint",
-        help="project-specific static analysis (rules RPX001-RPX007)",
+        help="project-specific static analysis (rules RPX001-RPX010)",
         description=(
             "AST lint pass enforcing the proof-carrying conventions the "
             "verification layer depends on: seeded randomness, virtual time, "
             "frozen messages, one-way layering, registered trace categories, "
-            "and process isolation."
+            "process isolation, and the cross-file protocol-flow rules "
+            "(taxonomy conformance, message immutability, live-backend "
+            "safety) checked against the registered MessageTaxonomy."
         ),
     )
     add_lint_arguments(lint)

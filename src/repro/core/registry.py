@@ -19,12 +19,30 @@ import direction.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Final
 
 from repro.core.conformance import ConformanceOutcome
 from repro.errors import ConfigurationError
+
+#: Static-introspection hook: capability ``model`` name -> the protocol
+#: package (under ``repro/``) whose handlers speak that model's protocol.
+#: The lint layer (:mod:`repro.lint.project`) uses this to check handler
+#: code against registered taxonomies *without* importing any protocol
+#: module: importing this module is safe (built-in registrations load
+#: lazily, on first variant lookup), so the mapping is available to
+#: build-time tooling that must never execute protocol code.
+MODEL_PACKAGES: Final[Mapping[str, str]] = {
+    "basic": "basic",
+    "ormodel": "ormodel",
+    "ddb": "ddb",
+}
+
+#: Static-introspection hook: where the built-in ``register()`` calls
+#: live, as package-relative path parts.  The lint layer resolves each
+#: variant's :class:`MessageTaxonomy` by parsing these modules' ASTs.
+VARIANT_REGISTRATION_PACKAGE: Final[tuple[str, ...]] = ("repro", "core", "variants")
 
 
 @dataclass(frozen=True)
@@ -49,6 +67,22 @@ class MessageTaxonomy:
     edge_keys: tuple[str, ...]
     #: detail key naming the declarer on the declaration event.
     declared_by_key: str
+
+    def lifecycle_categories(self) -> dict[str, str]:
+        """Field-name -> category for the four probe-lifecycle events.
+
+        Static-introspection hook: the lint layer compares this mapping
+        (resolved from the registration module's AST) against the trace
+        calls actually present in the model's handler code, and the
+        registry round-trip test compares the AST-resolved view against
+        this runtime one.
+        """
+        return {
+            "initiated": self.initiated,
+            "probe_sent": self.probe_sent,
+            "probe_received": self.probe_received,
+            "declared": self.declared,
+        }
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ from repro.ddb.locks import LockMode, LockRequest, ResourceLock, compatible
 from repro.ddb.messages import (
     AbortDemand,
     DdbProbe,
+    DdbWfgdMessage,
     EdgeRef,
     RemoteAbort,
     RemoteAcquireGranted,
@@ -46,7 +47,7 @@ from repro.ddb.transaction import (
     TransactionSpec,
     TransactionStatus,
 )
-from repro.ddb.wfgd import DdbWfgdMessage, DdbWfgdState
+from repro.ddb.wfgd import DdbWfgdState
 from repro.errors import ProtocolError
 from repro.sim import categories
 from repro.sim.process import Process

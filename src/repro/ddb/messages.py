@@ -109,3 +109,16 @@ class DdbProbe:
 
     tag: ProbeTag
     edge: EdgeRef
+
+
+#: a process-level wait-for edge ``(waiter, holder)`` as propagated by
+#: the WFGD computation (section 5 lifted to the DDB model).
+ProcessEdge = tuple[ProcessId, ProcessId]
+
+
+@dataclass(frozen=True, slots=True)
+class DdbWfgdMessage:
+    """WFGD edges for ``destination`` (a process at the receiving site)."""
+
+    destination: ProcessId
+    edges: frozenset[ProcessEdge]

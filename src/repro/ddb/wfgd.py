@@ -28,23 +28,20 @@ invalidate the propagated sets mid-flight).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro._ids import ProcessId
 
+# The wire-format message lives with the rest of the DDB protocol in
+# repro.ddb.messages (RPX008: handlers only send classes declared
+# there); re-exported here because this module is its natural reading
+# context.
+from repro.ddb.messages import DdbWfgdMessage, ProcessEdge
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ddb.controller import Controller
 
-ProcessEdge = tuple[ProcessId, ProcessId]
-
-
-@dataclass(frozen=True)
-class DdbWfgdMessage:
-    """WFGD edges for ``destination`` (a process at the receiving site)."""
-
-    destination: ProcessId
-    edges: frozenset[ProcessEdge]
+__all__ = ["DdbWfgdMessage", "DdbWfgdState", "ProcessEdge"]
 
 
 class DdbWfgdState:

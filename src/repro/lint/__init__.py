@@ -11,26 +11,59 @@ RPX003    message dataclasses in */messages.py must be frozen=True
 RPX004    protocol packages never import the harness layers
 RPX005    trace categories come from repro.sim.categories, not literals
 RPX006    handlers never mutate another process's state
+RPX007    protocol code never binds to a concrete transport backend
+RPX008    handler message flow conforms to the registered taxonomies
+RPX009    frozen message instances are never mutated after construction
+RPX010    no shared module state / wall clock reachable from handlers
 ========  ==========================================================
 
+RPX001-007 check one file at a time; RPX008-010 are *project* rules
+running over a whole-tree analysis (:mod:`repro.lint.project`) that
+resolves each variant's registered ``MessageTaxonomy`` statically —
+no protocol module is imported.
+
 Suppress a finding in place with ``# repro-lint: disable=RPXnnn`` on the
-flagged line.  ``RPX000`` is reserved for files that fail to parse.
+flagged line.  ``RPX000`` is reserved for files that fail to read/parse.
 """
 
 from __future__ import annotations
 
 from repro.lint.diagnostics import Diagnostic
-from repro.lint.engine import iter_python_files, lint_file, lint_paths, lint_source
-from repro.lint.rules import ALL_RULES, RULES_BY_ID, Rule, get_rule
+from repro.lint.engine import (
+    LintRun,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_project_sources,
+    lint_source,
+    run_project,
+)
+from repro.lint.project import ProjectAnalysis
+from repro.lint.rules import (
+    ALL_RULES,
+    PER_FILE_RULES,
+    PROJECT_RULES,
+    RULES_BY_ID,
+    ProjectRule,
+    Rule,
+    get_rule,
+)
 
 __all__ = [
     "ALL_RULES",
+    "PER_FILE_RULES",
+    "PROJECT_RULES",
     "RULES_BY_ID",
     "Diagnostic",
+    "LintRun",
+    "ProjectAnalysis",
+    "ProjectRule",
     "Rule",
     "get_rule",
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "lint_project_sources",
     "lint_source",
+    "run_project",
 ]

@@ -1,0 +1,104 @@
+"""Committed lint baseline: ``repro lint --baseline`` record/check.
+
+Mirrors the ``repro bench`` baseline contract (:mod:`repro.sweep.baseline`):
+``--record`` writes the canonical document, a plain run with ``--baseline``
+compares against it and fails CI on any drift, and the escape hatch for a
+deliberate change is re-recording (or a ``[lint-baseline-reset]`` commit
+message, the CI-side equivalent of ``[bench-reset]``).
+
+The baseline is a *ratchet*, not a suppression mechanism: the repo's own
+baseline stays empty (new findings are fixed, not recorded), but the
+machinery lets a downstream consumer adopt the linter on a dirty tree and
+tighten from there.  Drift in EITHER direction fails the check — a fixed
+finding must be re-recorded too, so the committed file always states the
+exact known debt.
+
+The document is canonical JSON (sorted keys, 2-space indent, trailing
+newline): record/check round-trips are byte-identical, which is what the
+CI job diffs on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.lint.diagnostics import Diagnostic
+
+SCHEMA = "repro.lint-baseline/1"
+
+
+class BaselineError(Exception):
+    """Raised by :func:`check` when the run drifts from the baseline."""
+
+
+def canonical_document(diagnostics: list[Diagnostic]) -> str:
+    """The byte-stable baseline text for one set of findings."""
+    document: dict[str, Any] = {
+        "schema": SCHEMA,
+        "count": len(diagnostics),
+        "findings": [diagnostic.to_json() for diagnostic in sorted(diagnostics)],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def record(path: Path, diagnostics: list[Diagnostic]) -> None:
+    """Write the baseline document for ``diagnostics`` to ``path``."""
+    path.write_text(canonical_document(diagnostics), encoding="utf-8")
+
+
+def _load(path: Path) -> set[tuple[str, int, int, str, str]]:
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if document.get("schema") != SCHEMA:
+        raise BaselineError(f"unrecognised baseline schema in {path}")
+    findings = document.get("findings")
+    if not isinstance(findings, list):
+        raise BaselineError(f"malformed baseline (no findings array) in {path}")
+    known: set[tuple[str, int, int, str, str]] = set()
+    for entry in findings:
+        try:
+            known.add(
+                (
+                    str(entry["path"]),
+                    int(entry["line"]),
+                    int(entry["col"]),
+                    str(entry["rule"]),
+                    str(entry["message"]),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise BaselineError(f"malformed baseline entry in {path}: {entry!r}") from error
+    return known
+
+
+def check(path: Path, diagnostics: list[Diagnostic]) -> list[str]:
+    """Compare ``diagnostics`` against the committed baseline.
+
+    Returns human-readable report lines; raises :class:`BaselineError`
+    (after comparing everything) when findings appeared that the baseline
+    does not record, or recorded findings no longer occur.
+    """
+    known = _load(path)
+    current = {
+        (d.path, d.line, d.col, d.rule, d.message): d for d in diagnostics
+    }
+    lines: list[str] = []
+    new = [d for key, d in sorted(current.items()) if key not in known]
+    fixed = sorted(key for key in known if key not in current)
+    for diagnostic in new:
+        lines.append(f"new finding: {diagnostic.format_text()}")
+    for key in fixed:
+        lines.append(f"fixed finding no longer occurs: {key[0]}:{key[1]}: {key[3]}")
+    lines.append(
+        f"baseline: {len(known)} recorded, {len(current)} current, "
+        f"{len(new)} new, {len(fixed)} fixed"
+    )
+    if new or fixed:
+        raise BaselineError(
+            f"{len(new)} new and {len(fixed)} fixed finding(s) vs baseline "
+            f"{path.name} -- fix the new findings, or re-record with "
+            "'repro lint --baseline ... --record' (CI: push with "
+            "[lint-baseline-reset]); report:\n" + "\n".join(lines)
+        )
+    return lines

@@ -4,13 +4,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 from pathlib import Path
 
-from repro.lint.engine import lint_paths
+from repro.lint import baseline as lint_baseline
+from repro.lint.engine import LintRun, run_project
 from repro.lint.rules import ALL_RULES, get_rule
+from repro.lint.sarif import render_sarif
 
-#: bumped whenever the JSON shape changes; consumers pin on it
-JSON_FORMAT_VERSION = 1
+#: bumped whenever the JSON shape changes; consumers pin on it.
+#: v2: added the ``statistics`` block (files scanned, suppression and
+#: per-rule counts) consumed by the CI job summary.
+JSON_FORMAT_VERSION = 2
 
 
 def default_paths() -> list[str]:
@@ -28,12 +33,66 @@ def explain(rule_id: str) -> tuple[int, str]:
     return 0, f"{rule.rule_id}: {rule.title}\n\n{rule.explanation}"
 
 
+def _git(*args: str) -> str | None:
+    """stdout of a git command, or None when git/repo is unavailable."""
+    try:
+        completed = subprocess.run(
+            ["git", *args], capture_output=True, text=True, check=False
+        )
+    except OSError:
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout
+
+
+def changed_files(merge_base_ref: str) -> set[Path] | None:
+    """Files differing from the merge base, plus untracked files.
+
+    Resolved absolute paths; ``None`` when git (or the ref) is
+    unavailable, in which case ``--changed-only`` falls back to linting
+    everything rather than silently checking nothing.
+    """
+    merge_base = None
+    for ref in (merge_base_ref, "origin/main", "main"):
+        out = _git("merge-base", "HEAD", ref)
+        if out is not None:
+            merge_base = out.strip()
+            break
+    if merge_base is None:
+        return None
+    changed = _git("diff", "--name-only", "-z", merge_base)
+    untracked = _git("ls-files", "--others", "--exclude-standard", "-z")
+    if changed is None or untracked is None:
+        return None
+    names = [n for n in (changed + untracked).split("\0") if n]
+    return {Path(name).resolve() for name in names}
+
+
+def _statistics(run: LintRun) -> dict[str, object]:
+    return {
+        "files_scanned": run.files_scanned,
+        "suppressed": run.suppressed,
+        "project_pass": run.project_pass_ran,
+        "rules": run.per_rule_counts(),
+    }
+
+
 def run(args: argparse.Namespace) -> int:
     """Entry point wired into the main ``repro`` argument parser."""
     if args.explain is not None:
         code, text = explain(args.explain)
         print(text)
         return code
+    if args.record and args.baseline is None:
+        print("error: --record requires --baseline PATH")
+        return 2
+    if args.changed_only and args.baseline is not None:
+        print(
+            "error: --changed-only cannot be combined with --baseline "
+            "(a partial view cannot ratchet the whole-tree baseline)"
+        )
+        return 2
 
     paths = args.paths or default_paths()
     missing = [path for path in paths if not Path(path).exists()]
@@ -41,14 +100,33 @@ def run(args: argparse.Namespace) -> int:
         print(f"error: no such path(s): {', '.join(missing)}")
         return 2
 
-    diagnostics = lint_paths(paths)
+    lint_run = run_project(paths)
+    diagnostics = lint_run.diagnostics
+    if args.changed_only:
+        changed = changed_files(args.merge_base)
+        if changed is not None:
+            diagnostics = [
+                d for d in diagnostics if Path(d.path).resolve() in changed
+            ]
+
+    if args.baseline is not None and args.record:
+        lint_baseline.record(Path(args.baseline), diagnostics)
+        print(
+            f"recorded {len(diagnostics)} finding(s) to {args.baseline} "
+            f"({lint_run.files_scanned} files scanned)"
+        )
+        return 0
+
     if args.format == "json":
         payload = {
             "version": JSON_FORMAT_VERSION,
             "count": len(diagnostics),
             "diagnostics": [diagnostic.to_json() for diagnostic in diagnostics],
+            "statistics": _statistics(lint_run),
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(render_sarif(diagnostics))
     else:
         for diagnostic in diagnostics:
             print(diagnostic.format_text())
@@ -56,6 +134,18 @@ def run(args: argparse.Namespace) -> int:
             print(f"\n{len(diagnostics)} issue(s) found")
         else:
             print("clean: no lint issues found")
+
+    if args.baseline is not None:
+        try:
+            for line in lint_baseline.check(Path(args.baseline), diagnostics):
+                print(line)
+        except lint_baseline.BaselineError as error:
+            print(f"lint baseline check failed: {error}")
+            return 1
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read baseline {args.baseline}: {error}")
+            return 2
+        return 0
     return 1 if diagnostics else 0
 
 
@@ -68,13 +158,39 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text); sarif is SARIF 2.1.0 for "
+        "GitHub code scanning",
     )
     parser.add_argument(
         "--explain",
         metavar="RPXnnn",
         default=None,
         help="print what a rule enforces and which paper assumption it guards",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="compare findings against this committed baseline (exit 1 on "
+        "any drift); with --record, (re)write it instead",
+    )
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="with --baseline: write the current findings as the new baseline",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="report only findings in files differing from the merge base "
+        "(the whole tree is still analyzed, so cross-file rules stay sound)",
+    )
+    parser.add_argument(
+        "--merge-base",
+        metavar="REF",
+        default="origin/main",
+        help="ref --changed-only diffs against (default: origin/main, "
+        "falling back to main)",
     )

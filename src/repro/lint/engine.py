@@ -1,14 +1,30 @@
-"""Lint driver: file discovery, parsing, rule dispatch, suppression."""
+"""Lint driver: file discovery, parsing, rule dispatch, suppression.
+
+Two passes run over the collected files:
+
+1. the **per-file pass** (RPX001-007) checks each AST in isolation;
+2. the **project pass** (RPX008-010) builds one
+   :class:`~repro.lint.project.ProjectAnalysis` from every successfully
+   parsed file and runs the cross-file rules over it.  It is gated on
+   the category registry (``repro/sim/categories.py``) being part of the
+   collected set: linting a single file or an unrelated tree must not
+   produce spurious cross-file findings about code it cannot see.
+
+Files that cannot be read or parsed are *reported* (RPX000), never
+raised: one corrupted file must not take down a whole-repo run.
+"""
 
 from __future__ import annotations
 
 import ast
 from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.lint.context import FileContext, logical_parts
 from repro.lint.diagnostics import Diagnostic
-from repro.lint.rules import ALL_RULES, Rule
+from repro.lint.project import CATEGORIES_MODULE, ProjectAnalysis
+from repro.lint.rules import ALL_RULES, PROJECT_RULES, ProjectRule, Rule
 from repro.lint.suppress import filter_suppressed
 
 #: directory names never descended into during discovery.  ``fixtures`` is
@@ -27,6 +43,26 @@ EXCLUDED_DIR_NAMES = frozenset(
         "dist",
     }
 )
+
+
+@dataclass
+class LintRun:
+    """Everything one lint invocation produced, plus run statistics."""
+
+    #: kept (unsuppressed) diagnostics, sorted
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_scanned: int = 0
+    #: findings dropped by ``# repro-lint: disable=`` comments
+    suppressed: int = 0
+    #: whether the cross-file pass ran (category registry in scope)
+    project_pass_ran: bool = False
+
+    def per_rule_counts(self) -> dict[str, int]:
+        """Rule id -> kept finding count, sorted by rule id."""
+        counts: dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
+        return dict(sorted(counts.items()))
 
 
 def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
@@ -51,6 +87,16 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
                 yield candidate
 
 
+def _split_rules(
+    rules: Iterable[Rule] | None,
+) -> tuple[list[Rule], list[ProjectRule]]:
+    """(per-file rules, project rules) from an explicit or default set."""
+    selected = list(rules) if rules is not None else list(ALL_RULES)
+    per_file = [rule for rule in selected if not isinstance(rule, ProjectRule)]
+    project = [rule for rule in selected if isinstance(rule, ProjectRule)]
+    return per_file, project
+
+
 def lint_source(
     source: str,
     logical_path: str,
@@ -58,26 +104,20 @@ def lint_source(
     rules: Iterable[Rule] | None = None,
     suppress: bool = True,
 ) -> list[Diagnostic]:
-    """Lint ``source`` as if it lived at ``logical_path``.
+    """Lint ``source`` as if it lived at ``logical_path`` (per-file pass).
 
     ``logical_path`` drives path-scoped rule applicability (RPX002/3/4...);
     ``display_path`` (default: the logical path) appears in diagnostics.
     Fixture tests use the split to check protocol-path rules against files
-    stored under tests/lint/fixtures/.
+    stored under tests/lint/fixtures/.  Project rules in ``rules`` are
+    ignored here — they need a whole-project view (see :func:`run_project`
+    and :func:`lint_project_sources`).
     """
     display = display_path if display_path is not None else logical_path
     try:
         tree = ast.parse(source, filename=display)
     except SyntaxError as error:
-        return [
-            Diagnostic(
-                path=display,
-                line=error.lineno or 1,
-                col=(error.offset or 0) or 1,
-                rule="RPX000",
-                message=f"syntax error: {error.msg}",
-            )
-        ]
+        return [_syntax_diagnostic(display, error)]
     lines = source.splitlines()
     ctx = FileContext(
         display_path=display,
@@ -86,7 +126,8 @@ def lint_source(
         lines=lines,
     )
     diagnostics: list[Diagnostic] = []
-    for rule in rules if rules is not None else ALL_RULES:
+    per_file, _ = _split_rules(rules)
+    for rule in per_file:
         if rule.applies_to(ctx):
             diagnostics.extend(rule.check(ctx))
     if suppress:
@@ -102,14 +143,96 @@ def lint_file(
 ) -> list[Diagnostic]:
     """Lint one file from disk (see :func:`lint_source`)."""
     path = Path(path)
-    source = path.read_text(encoding="utf-8")
+    ctx, diagnostics = _load_file(path, logical_path)
+    if ctx is None:
+        return diagnostics
     return lint_source(
-        source,
+        "\n".join(ctx.lines),
         logical_path=logical_path if logical_path is not None else str(path),
         display_path=str(path),
         rules=rules,
         suppress=suppress,
     )
+
+
+def _syntax_diagnostic(display: str, error: SyntaxError) -> Diagnostic:
+    return Diagnostic(
+        path=display,
+        line=error.lineno or 1,
+        col=(error.offset or 0) or 1,
+        rule="RPX000",
+        message=f"syntax error: {error.msg}",
+    )
+
+
+def _load_file(
+    path: Path, logical_path: str | None = None
+) -> tuple[FileContext | None, list[Diagnostic]]:
+    """(parsed context, diagnostics); unreadable/unparseable -> RPX000."""
+    display = str(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        return None, [
+            Diagnostic(
+                path=display,
+                line=1,
+                col=1,
+                rule="RPX000",
+                message=f"unreadable file: {error}",
+            )
+        ]
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as error:
+        return None, [_syntax_diagnostic(display, error)]
+    ctx = FileContext(
+        display_path=display,
+        parts=logical_parts(logical_path if logical_path is not None else display),
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    return ctx, []
+
+
+def run_project(
+    paths: Sequence[str | Path],
+    rules: Iterable[Rule] | None = None,
+    suppress: bool = True,
+) -> LintRun:
+    """Lint every Python file under ``paths``: both passes, with stats."""
+    per_file_rules, project_rules = _split_rules(rules)
+    run = LintRun()
+    contexts: list[FileContext] = []
+    raw: list[Diagnostic] = []
+    lines_by_path: dict[str, list[str]] = {}
+    for path in iter_python_files(paths):
+        run.files_scanned += 1
+        ctx, load_diagnostics = _load_file(path)
+        raw.extend(load_diagnostics)
+        if ctx is None:
+            continue
+        contexts.append(ctx)
+        lines_by_path[ctx.display_path] = ctx.lines
+        for rule in per_file_rules:
+            if rule.applies_to(ctx):
+                raw.extend(rule.check(ctx))
+    if project_rules and any(ctx.parts == CATEGORIES_MODULE for ctx in contexts):
+        run.project_pass_ran = True
+        analysis = ProjectAnalysis.from_contexts(contexts)
+        for project_rule in project_rules:
+            raw.extend(project_rule.check_project(analysis))
+    if suppress:
+        kept: list[Diagnostic] = []
+        for diagnostic in raw:
+            lines = lines_by_path.get(diagnostic.path, [])
+            if filter_suppressed([diagnostic], lines):
+                kept.append(diagnostic)
+            else:
+                run.suppressed += 1
+        raw = kept
+    run.diagnostics = sorted(raw)
+    return run
 
 
 def lint_paths(
@@ -118,7 +241,31 @@ def lint_paths(
     suppress: bool = True,
 ) -> list[Diagnostic]:
     """Lint every Python file under ``paths``; diagnostics come back sorted."""
+    return run_project(paths, rules=rules, suppress=suppress).diagnostics
+
+
+def lint_project_sources(
+    files: Sequence[tuple[str, str]],
+    rules: Iterable[ProjectRule] | None = None,
+    suppress: bool = True,
+) -> list[Diagnostic]:
+    """Run the project pass over in-memory ``(logical_path, source)`` pairs.
+
+    The fixture-test entry point for RPX008-010: no per-file rules run,
+    and the registry-anchor gate is *not* applied — tests supply exactly
+    the file set they mean to analyze.
+    """
+    analysis = ProjectAnalysis.from_sources(list(files))
     diagnostics: list[Diagnostic] = []
-    for path in iter_python_files(paths):
-        diagnostics.extend(lint_file(path, rules=rules, suppress=suppress))
+    for rule in rules if rules is not None else PROJECT_RULES:
+        diagnostics.extend(rule.check_project(analysis))
+    if suppress:
+        lines_by_path = {logical: source.splitlines() for logical, source in files}
+        diagnostics = [
+            diagnostic
+            for diagnostic in diagnostics
+            if filter_suppressed(
+                [diagnostic], lines_by_path.get(diagnostic.path, [])
+            )
+        ]
     return sorted(diagnostics)

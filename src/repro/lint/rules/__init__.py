@@ -1,16 +1,25 @@
-"""Rule registry: every RPX rule, in id order."""
+"""Rule registry: every RPX rule, in id order.
+
+Per-file rules (RPX001-007) check one AST at a time; project rules
+(RPX008-010) run once over the whole-project analysis built by
+:mod:`repro.lint.project` and only when the collected file set includes
+the category registry (see :class:`repro.lint.rules.base.ProjectRule`).
+"""
 
 from __future__ import annotations
 
 from repro.lint.rules.backend import BackendNeutralityRule
-from repro.lint.rules.base import Rule
+from repro.lint.rules.base import ProjectRule, Rule
 from repro.lint.rules.categories_rule import TraceCategoryRule
 from repro.lint.rules.determinism import UnseededRandomnessRule, WallClockRule
+from repro.lint.rules.immutability import MessageImmutabilityRule
 from repro.lint.rules.isolation import ProcessIsolationRule
 from repro.lint.rules.layering import LayeringRule
+from repro.lint.rules.livesafety import LiveBackendSafetyRule
 from repro.lint.rules.messages import FrozenMessagesRule
+from repro.lint.rules.taxonomy import TaxonomyConformanceRule
 
-ALL_RULES: tuple[Rule, ...] = (
+PER_FILE_RULES: tuple[Rule, ...] = (
     UnseededRandomnessRule(),
     WallClockRule(),
     FrozenMessagesRule(),
@@ -19,6 +28,14 @@ ALL_RULES: tuple[Rule, ...] = (
     ProcessIsolationRule(),
     BackendNeutralityRule(),
 )
+
+PROJECT_RULES: tuple[ProjectRule, ...] = (
+    TaxonomyConformanceRule(),
+    MessageImmutabilityRule(),
+    LiveBackendSafetyRule(),
+)
+
+ALL_RULES: tuple[Rule, ...] = (*PER_FILE_RULES, *PROJECT_RULES)
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
 
@@ -29,6 +46,9 @@ def get_rule(rule_id: str) -> Rule | None:
 
 __all__ = [
     "ALL_RULES",
+    "PER_FILE_RULES",
+    "PROJECT_RULES",
+    "ProjectRule",
     "RULES_BY_ID",
     "Rule",
     "get_rule",

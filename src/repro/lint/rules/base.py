@@ -8,6 +8,7 @@ from repro.lint.diagnostics import Diagnostic
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.lint.context import FileContext
+    from repro.lint.project import ProjectAnalysis, SourceRef
 
 
 class Rule:
@@ -31,3 +32,33 @@ class Rule:
 
     def diagnostic(self, ctx: FileContext, node: object, message: str) -> Diagnostic:
         return ctx.diagnostic(self.rule_id, node, message)  # type: ignore[arg-type]
+
+
+class ProjectRule(Rule):
+    """A cross-file check over the whole-project analysis (RPX008+).
+
+    Project rules never see individual files: the engine builds one
+    :class:`~repro.lint.project.ProjectAnalysis` from every collected
+    file and calls :meth:`check_project` once per rule.  They only run
+    when the analyzed set includes the category registry
+    (``repro/sim/categories.py``) — a partial file set cannot support
+    sound cross-file conclusions, so single-file invocations skip them.
+    """
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return False
+
+    def check(self, ctx: FileContext) -> list[Diagnostic]:
+        return []
+
+    def check_project(self, analysis: ProjectAnalysis) -> list[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic_at(self, ref: SourceRef, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=ref.path,
+            line=ref.line,
+            col=ref.col,
+            rule=self.rule_id,
+            message=message,
+        )

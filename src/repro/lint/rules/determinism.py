@@ -6,6 +6,14 @@ import ast
 
 from repro.lint.context import FileContext
 from repro.lint.diagnostics import Diagnostic
+
+# The wall-clock primitive sets live in repro.lint.project (their
+# canonical home, shared with the RPX010 reachability analysis) and are
+# re-exported here for RPX002 and its consumers.
+from repro.lint.project import (
+    WALL_CLOCK_DATETIME_METHODS,
+    WALL_CLOCK_TIME_FUNCTIONS,
+)
 from repro.lint.rules.base import Rule
 
 #: ``random`` module functions that draw from the process-global RNG.
@@ -38,25 +46,6 @@ GLOBAL_RANDOM_FUNCTIONS = frozenset(
     }
 )
 
-#: ``time`` module functions that read the host's clocks (or block on them).
-WALL_CLOCK_TIME_FUNCTIONS = frozenset(
-    {
-        "time",
-        "time_ns",
-        "monotonic",
-        "monotonic_ns",
-        "perf_counter",
-        "perf_counter_ns",
-        "process_time",
-        "process_time_ns",
-        "sleep",
-        "localtime",
-        "gmtime",
-    }
-)
-
-#: ``datetime.datetime`` / ``datetime.date`` constructors that read the host clock.
-WALL_CLOCK_DATETIME_METHODS = frozenset({"now", "utcnow", "today"})
 
 #: The RPX002 allowlist: modules inside the scoped packages that may read
 #: the wall clock.  Deliberately a closed set of exact module paths, not a

@@ -1,0 +1,171 @@
+"""RPX009: frozen message instances are never mutated after construction."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import MessageClass, ProjectAnalysis, _attribute_chain, _ref
+from repro.lint.rules.base import ProjectRule
+
+
+class MessageImmutabilityRule(ProjectRule):
+    """RPX009: no field writes through references to frozen messages."""
+
+    rule_id = "RPX009"
+    title = "frozen message instances must never be mutated after construction"
+    explanation = (
+        "FIFO channels deliver the value that was sent: the proof of Theorem 1\n"
+        "treats a probe (i, j, k) as an immutable fact about the computation,\n"
+        "and the simulator relies on that to share message objects between\n"
+        "sender and receiver without copying.  @dataclass(frozen=True) blocks\n"
+        "ordinary attribute assignment at runtime, but only at the moment of\n"
+        "the write — object.__setattr__ bypasses it silently, and a mutation\n"
+        "attempt in a rarely-taken handler branch becomes a crash (or a\n"
+        "corrupted in-flight message) in production rather than in review.\n"
+        "This rule finds such writes statically, by dataflow: any name or\n"
+        "stored attribute whose type resolves to a frozen message dataclass\n"
+        "(parameter annotations, local constructions, self.attr assignments)\n"
+        "must never appear as the target of an attribute assignment,\n"
+        "augmented assignment, deletion, or object.__setattr__ call.\n"
+        "Derive a changed message with dataclasses.replace(...) instead."
+    )
+
+    def check_project(self, analysis: ProjectAnalysis) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for parts, ctx in sorted(analysis.modules.items()):
+            if analysis._package_of(parts) is None:
+                continue
+            scan = analysis._scans[parts]
+            for cls_node in scan.classes.values():
+                frozen_attrs = self._frozen_instance_attrs(analysis, parts, cls_node)
+                for item in cls_node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        diagnostics.extend(
+                            self._check_function(
+                                analysis, ctx, parts, item, frozen_attrs
+                            )
+                        )
+            for fn in scan.functions.values():
+                diagnostics.extend(
+                    self._check_function(analysis, ctx, parts, fn, {})
+                )
+        return sorted(diagnostics)
+
+    def _frozen_instance_attrs(
+        self,
+        analysis: ProjectAnalysis,
+        parts: tuple[str, ...],
+        cls_node: ast.ClassDef,
+    ) -> dict[str, MessageClass]:
+        """``self.<attr>`` names bound to frozen message instances."""
+        attrs: dict[str, MessageClass] = {}
+        for node in ast.walk(cls_node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value, annotation = node.target, node.value, node.annotation
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            resolved = self._resolve_expr_class(analysis, parts, value, annotation)
+            if resolved is not None and resolved.frozen:
+                attrs[target.attr] = resolved
+        return attrs
+
+    @staticmethod
+    def _resolve_expr_class(
+        analysis: ProjectAnalysis,
+        parts: tuple[str, ...],
+        value: ast.expr | None,
+        annotation: ast.expr | None = None,
+    ) -> MessageClass | None:
+        if isinstance(value, ast.Call):
+            name = None
+            if isinstance(value.func, ast.Name):
+                name = value.func.id
+            elif isinstance(value.func, ast.Attribute):
+                name = value.func.attr
+            if name is not None:
+                return analysis._resolve_class(parts, name)
+        if isinstance(annotation, ast.Name):
+            return analysis._resolve_class(parts, annotation.id)
+        return None
+
+    def _check_function(
+        self,
+        analysis: ProjectAnalysis,
+        ctx: FileContext,
+        parts: tuple[str, ...],
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        frozen_attrs: dict[str, MessageClass],
+    ) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        local_types = analysis._local_types(parts, fn)
+        frozen_locals: dict[str, MessageClass] = {}
+        for name, class_name in local_types.items():
+            resolved = analysis._resolve_class(parts, class_name)
+            if resolved is not None and resolved.frozen:
+                frozen_locals[name] = resolved
+
+        def resolve_target(expr: ast.expr) -> MessageClass | None:
+            """The frozen message a ``<expr>.<field>`` write mutates, if any."""
+            if not isinstance(expr, ast.Attribute):
+                return None
+            base = expr.value
+            if isinstance(base, ast.Name):
+                return frozen_locals.get(base.id)
+            chain = _attribute_chain(base)
+            if chain is not None and len(chain) == 2 and chain[0] == "self":
+                return frozen_attrs.get(chain[1])
+            return None
+
+        for node in ast.walk(fn):
+            targets: list[ast.expr] = []
+            verb = "assignment to"
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AugAssign):
+                targets, verb = [node.target], "augmented assignment to"
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets, verb = list(node.targets), "deletion of"
+            elif isinstance(node, ast.Call):
+                chain = _attribute_chain(node.func)
+                if (
+                    chain == ["object", "__setattr__"]
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in frozen_locals
+                ):
+                    cls = frozen_locals[node.args[0].id]
+                    diagnostics.append(
+                        self.diagnostic_at(
+                            _ref(ctx, node),
+                            f"object.__setattr__ on frozen message "
+                            f"'{cls.name}' bypasses immutability; build a new "
+                            "message with dataclasses.replace(...) instead",
+                        )
+                    )
+                continue
+            for target in targets:
+                cls = resolve_target(target)
+                if cls is None or not isinstance(target, ast.Attribute):
+                    continue
+                diagnostics.append(
+                    self.diagnostic_at(
+                        _ref(ctx, node),
+                        f"{verb} field '{target.attr}' of frozen message "
+                        f"'{cls.name}'; in-flight messages are immutable — "
+                        "use dataclasses.replace(...) to derive a new one",
+                    )
+                )
+        return sorted(diagnostics)

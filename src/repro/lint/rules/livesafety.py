@@ -1,0 +1,70 @@
+"""RPX010: live-backend safety — no shared state, no reachable wall clock."""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import ProjectAnalysis
+from repro.lint.rules.base import ProjectRule
+
+
+class LiveBackendSafetyRule(ProjectRule):
+    """RPX010: handlers stay safe under the live (asyncio) transport."""
+
+    rule_id = "RPX010"
+    title = "no shared module-level mutable state; no wall clock reachable from handlers"
+    explanation = (
+        "Under the deterministic simulator every handler runs on one thread\n"
+        "of one process, so shared module state and blocking calls merely\n"
+        "break replayability.  Under the live asyncio transport (PR 5) the\n"
+        "same handler code runs concurrently across nodes: module-level\n"
+        "mutable state becomes a cross-node channel that violates the\n"
+        "paper's no-shared-memory system model (section 2), and a\n"
+        "time.sleep() stalls the event loop, breaking the FIFO delivery\n"
+        "bound every liveness argument (section 4) leans on.\n"
+        "\n"
+        "This rule complements RPX002/RPX007's per-file pattern matching\n"
+        "with project-wide reachability:\n"
+        "\n"
+        "* a module-level list/dict/set (or collection factory call) in a\n"
+        "  protocol package that any function body reads is flagged as\n"
+        "  shared handler state — move it onto the process instance, or\n"
+        "  make it an immutable constant (tuple / frozenset / Mapping);\n"
+        "* a wall-clock or sleep call reachable from any message-handler\n"
+        "  entry point (on_message / on_* / _on_* methods, timer callbacks)\n"
+        "  through the conservative call graph is flagged at the handler,\n"
+        "  with the call path — even when the primitive itself sits in a\n"
+        "  helper module a per-file rule would scope out."
+    )
+
+    def check_project(self, analysis: ProjectAnalysis) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for state in analysis.module_state:
+            diagnostics.append(
+                self.diagnostic_at(
+                    state.ref,
+                    f"module-level mutable {state.kind} '{state.name}' is read "
+                    "from handler code; under the live backend this is state "
+                    "shared across nodes — keep per-process state on the "
+                    "process instance (system model, section 2)",
+                )
+            )
+        seen: set[tuple[str, str, int]] = set()
+        for entry in analysis.handler_entry_points():
+            for info, (primitive, line), path in analysis.clock_reachability(entry):
+                key = (entry.qualname, info.ref.path, line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if len(path) == 1:
+                    via = ""
+                else:
+                    via = f" via {' -> '.join(path[1:])}"
+                diagnostics.append(
+                    self.diagnostic_at(
+                        entry.ref,
+                        f"handler '{entry.name}' can reach wall-clock call "
+                        f"{primitive} at {info.ref.path}:{line}{via}; live "
+                        "handlers must never block or read host time",
+                    )
+                )
+        return sorted(diagnostics)

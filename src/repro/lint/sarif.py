@@ -1,0 +1,211 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what GitHub code scanning ingests: CI uploads the document produced here
+and findings surface as annotations on the PR diff.  One ``run`` per
+invocation; the tool's ``rules`` array carries every RPX rule (plus the
+synthetic RPX000 parse-failure rule) so result ``ruleIndex`` references
+stay valid whether or not a rule fired.
+
+``jsonschema`` is not a dependency of this project, so
+:func:`validate_sarif` hand-checks the structural subset we emit against
+the 2.1.0 spec — the same pattern :mod:`repro.obs.export` uses for the
+Chrome trace format.  The test suite runs it over real output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import ALL_RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "repro-lint"
+
+#: synthetic rule for files that fail to read or parse (no Rule class).
+_PARSE_RULE: dict[str, Any] = {
+    "id": "RPX000",
+    "name": "ParseFailure",
+    "shortDescription": {"text": "file could not be read or parsed"},
+    "fullDescription": {
+        "text": (
+            "The lint engine reports unreadable or syntactically invalid "
+            "files as findings instead of aborting the run."
+        )
+    },
+    "defaultConfiguration": {"level": "error"},
+}
+
+
+def _rule_descriptors() -> list[dict[str, Any]]:
+    descriptors = [_PARSE_RULE]
+    for rule in ALL_RULES:
+        descriptors.append(
+            {
+                "id": rule.rule_id,
+                "name": type(rule).__name__,
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {"text": rule.explanation},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return descriptors
+
+
+def _artifact_uri(path: str) -> str:
+    """A SARIF-friendly relative URI: forward slashes, no leading ./"""
+    uri = path.replace("\\", "/")
+    while uri.startswith("./"):
+        uri = uri[2:]
+    return uri
+
+
+def sarif_payload(diagnostics: list[Diagnostic]) -> dict[str, Any]:
+    """The complete SARIF 2.1.0 document for one lint invocation."""
+    rules = _rule_descriptors()
+    index_by_id = {descriptor["id"]: i for i, descriptor in enumerate(rules)}
+    results: list[dict[str, Any]] = []
+    for diagnostic in sorted(diagnostics):
+        results.append(
+            {
+                "ruleId": diagnostic.rule,
+                "ruleIndex": index_by_id.get(diagnostic.rule, -1),
+                "level": "error",
+                "message": {"text": diagnostic.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": _artifact_uri(diagnostic.path),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": diagnostic.line,
+                                "startColumn": diagnostic.col,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {"text": "repository root"}}
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(diagnostics: list[Diagnostic]) -> str:
+    """Byte-stable SARIF text (sorted keys, trailing newline)."""
+    return json.dumps(sarif_payload(diagnostics), indent=2, sort_keys=True)
+
+
+def validate_sarif(document: Any) -> list[str]:
+    """Structural 2.1.0 conformance errors for the subset we emit.
+
+    Empty list == valid.  Checks the invariants GitHub code scanning
+    actually rejects on: version/schema, the runs/tool/driver skeleton,
+    rule descriptor shape, result message/location shape, and that every
+    ``ruleIndex`` points at the descriptor whose id the result names.
+    """
+    errors: list[str] = []
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    if document.get("version") != SARIF_VERSION:
+        errors.append(f"version must be {SARIF_VERSION!r}")
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return [*errors, "runs must be a non-empty array"]
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not isinstance(run, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(run.get("tool"), dict) else None
+        if not isinstance(driver, dict) or not isinstance(driver.get("name"), str):
+            errors.append(f"{where}.tool.driver.name missing")
+            continue
+        rules = driver.get("rules", [])
+        if not isinstance(rules, list):
+            errors.append(f"{where}.tool.driver.rules is not an array")
+            rules = []
+        rule_ids: list[str] = []
+        for i, descriptor in enumerate(rules):
+            if not isinstance(descriptor, dict) or not isinstance(
+                descriptor.get("id"), str
+            ):
+                errors.append(f"{where}.tool.driver.rules[{i}].id missing")
+                rule_ids.append("")
+                continue
+            rule_ids.append(descriptor["id"])
+            short = descriptor.get("shortDescription")
+            if not (isinstance(short, dict) and isinstance(short.get("text"), str)):
+                errors.append(
+                    f"{where}.tool.driver.rules[{i}].shortDescription.text missing"
+                )
+        results = run.get("results")
+        if not isinstance(results, list):
+            errors.append(f"{where}.results must be an array")
+            continue
+        for i, result in enumerate(results):
+            loc = f"{where}.results[{i}]"
+            if not isinstance(result, dict):
+                errors.append(f"{loc} is not an object")
+                continue
+            message = result.get("message")
+            if not (isinstance(message, dict) and isinstance(message.get("text"), str)):
+                errors.append(f"{loc}.message.text missing")
+            rule_id = result.get("ruleId")
+            if not isinstance(rule_id, str):
+                errors.append(f"{loc}.ruleId missing")
+            rule_index = result.get("ruleIndex")
+            if isinstance(rule_index, int) and rule_index >= 0:
+                if rule_index >= len(rule_ids):
+                    errors.append(f"{loc}.ruleIndex {rule_index} out of range")
+                elif isinstance(rule_id, str) and rule_ids[rule_index] != rule_id:
+                    errors.append(
+                        f"{loc}.ruleIndex {rule_index} names "
+                        f"{rule_ids[rule_index]!r}, not {rule_id!r}"
+                    )
+            for j, location in enumerate(result.get("locations", [])):
+                physical = (
+                    location.get("physicalLocation")
+                    if isinstance(location, dict)
+                    else None
+                )
+                if not isinstance(physical, dict):
+                    errors.append(f"{loc}.locations[{j}].physicalLocation missing")
+                    continue
+                artifact = physical.get("artifactLocation")
+                if not (
+                    isinstance(artifact, dict)
+                    and isinstance(artifact.get("uri"), str)
+                ):
+                    errors.append(
+                        f"{loc}.locations[{j}]...artifactLocation.uri missing"
+                    )
+                region = physical.get("region")
+                if isinstance(region, dict):
+                    start = region.get("startLine")
+                    if not (isinstance(start, int) and start >= 1):
+                        errors.append(
+                            f"{loc}.locations[{j}]...region.startLine must be >= 1"
+                        )
+    return errors

@@ -1,0 +1,114 @@
+"""Lint baseline record/check semantics (mirrors the bench baseline)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import (
+    SCHEMA,
+    BaselineError,
+    canonical_document,
+    check,
+    record,
+)
+from repro.lint.diagnostics import Diagnostic
+
+FINDING = Diagnostic(
+    path="src/repro/sim/dirty.py",
+    line=5,
+    col=12,
+    rule="RPX002",
+    message="wall-clock call time.time()",
+)
+OTHER = Diagnostic(
+    path="src/repro/basic/vertex.py",
+    line=2,
+    col=1,
+    rule="RPX008",
+    message="undeclared message send",
+)
+
+
+class TestRecord:
+    def test_round_trip_is_byte_identical(self, tmp_path: Path) -> None:
+        path = tmp_path / "lint-baseline.json"
+        record(path, [FINDING, OTHER])
+        first = path.read_bytes()
+        record(path, [OTHER, FINDING])  # order must not matter
+        assert path.read_bytes() == first
+        assert first.decode() == canonical_document([FINDING, OTHER])
+
+    def test_document_shape(self, tmp_path: Path) -> None:
+        path = tmp_path / "lint-baseline.json"
+        record(path, [FINDING])
+        document = json.loads(path.read_text())
+        assert document["schema"] == SCHEMA
+        assert document["count"] == 1
+        (entry,) = document["findings"]
+        assert entry == FINDING.to_json()
+
+    def test_ends_with_newline(self, tmp_path: Path) -> None:
+        path = tmp_path / "lint-baseline.json"
+        record(path, [])
+        assert path.read_text().endswith("}\n")
+
+
+class TestCheck:
+    def test_identical_findings_pass(self, tmp_path: Path) -> None:
+        path = tmp_path / "lint-baseline.json"
+        record(path, [FINDING])
+        lines = check(path, [FINDING])
+        assert any("1 recorded, 1 current, 0 new, 0 fixed" in line for line in lines)
+
+    def test_new_finding_fails(self, tmp_path: Path) -> None:
+        path = tmp_path / "lint-baseline.json"
+        record(path, [FINDING])
+        with pytest.raises(BaselineError, match="1 new"):
+            check(path, [FINDING, OTHER])
+
+    def test_fixed_finding_fails_the_ratchet(self, tmp_path: Path) -> None:
+        path = tmp_path / "lint-baseline.json"
+        record(path, [FINDING, OTHER])
+        with pytest.raises(BaselineError, match="1 fixed"):
+            check(path, [FINDING])
+
+    def test_moved_finding_is_new_plus_fixed(self, tmp_path: Path) -> None:
+        path = tmp_path / "lint-baseline.json"
+        record(path, [FINDING])
+        moved = Diagnostic(
+            path=FINDING.path,
+            line=FINDING.line + 1,
+            col=FINDING.col,
+            rule=FINDING.rule,
+            message=FINDING.message,
+        )
+        with pytest.raises(BaselineError, match="1 new and 1 fixed"):
+            check(path, [moved])
+
+    def test_unrecognised_schema_raises(self, tmp_path: Path) -> None:
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(json.dumps({"schema": "something-else/9", "findings": []}))
+        with pytest.raises(BaselineError, match="schema"):
+            check(path, [])
+
+    def test_malformed_entry_raises(self, tmp_path: Path) -> None:
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(
+            json.dumps({"schema": SCHEMA, "findings": [{"path": "x.py"}]})
+        )
+        with pytest.raises(BaselineError, match="malformed baseline entry"):
+            check(path, [])
+
+
+class TestCommittedBaseline:
+    """The repo's own committed baseline: empty, canonical, passing."""
+
+    REPO_ROOT = Path(__file__).parents[2]
+
+    def test_committed_baseline_is_empty_and_canonical(self) -> None:
+        path = self.REPO_ROOT / "lint-baseline.json"
+        assert path.is_file(), "lint-baseline.json must be committed"
+        assert path.read_text() == canonical_document([])

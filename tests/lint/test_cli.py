@@ -52,7 +52,7 @@ class TestJsonFormat:
         assert main(["lint", str(tmp_path / "src"), "--format", "json"]) == 1
         first = capsys.readouterr().out
         payload = json.loads(first)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["count"] == 1
         (diagnostic,) = payload["diagnostics"]
         assert diagnostic["rule"] == "RPX002"
@@ -68,7 +68,33 @@ class TestJsonFormat:
         write_tree(tmp_path, "src/repro/sim/clean.py", "x = 1\n")
         assert main(["lint", str(tmp_path / "src"), "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload == {"version": 1, "count": 0, "diagnostics": []}
+        assert payload == {
+            "version": 2,
+            "count": 0,
+            "diagnostics": [],
+            "statistics": {
+                "files_scanned": 1,
+                "suppressed": 0,
+                "project_pass": False,
+                "rules": {},
+            },
+        }
+
+    def test_json_statistics_count_rules_and_suppressions(
+        self, tmp_path: Path, capsys
+    ) -> None:
+        write_tree(tmp_path, "src/repro/sim/dirty.py", BAD_PROTOCOL_FILE)
+        write_tree(
+            tmp_path,
+            "src/repro/sim/quiet.py",
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=RPX002\n",
+        )
+        assert main(["lint", str(tmp_path / "src"), "--format", "json"]) == 1
+        stats = json.loads(capsys.readouterr().out)["statistics"]
+        assert stats["files_scanned"] == 2
+        assert stats["suppressed"] == 1
+        assert stats["rules"] == {"RPX002": 1}
 
     def test_json_diagnostics_are_sorted(self, tmp_path: Path, capsys) -> None:
         write_tree(tmp_path, "src/repro/sim/b.py", BAD_PROTOCOL_FILE)
@@ -81,7 +107,19 @@ class TestJsonFormat:
 
 class TestExplain:
     @pytest.mark.parametrize(
-        "rule_id", ["RPX001", "RPX002", "RPX003", "RPX004", "RPX005", "RPX006"]
+        "rule_id",
+        [
+            "RPX001",
+            "RPX002",
+            "RPX003",
+            "RPX004",
+            "RPX005",
+            "RPX006",
+            "RPX007",
+            "RPX008",
+            "RPX009",
+            "RPX010",
+        ],
     )
     def test_explain_prints_rule_doc(self, rule_id: str, capsys) -> None:
         assert main(["lint", "--explain", rule_id]) == 0
@@ -109,6 +147,94 @@ class TestSuppressionEndToEnd:
         )
         assert main(["lint", str(tmp_path / "src")]) == 0
         assert "clean" in capsys.readouterr().out
+
+
+class TestBrokenFiles:
+    """Unreadable / unparseable files are findings, not crashes."""
+
+    def test_syntax_error_reports_rpx000(self, tmp_path: Path, capsys) -> None:
+        write_tree(tmp_path, "src/repro/sim/broken.py", "def oops(:\n")
+        assert main(["lint", str(tmp_path / "src")]) == 1
+        out = capsys.readouterr().out
+        assert "RPX000" in out
+        assert "syntax error" in out
+
+    def test_undecodable_file_reports_rpx000(self, tmp_path: Path, capsys) -> None:
+        path = tmp_path / "src" / "repro" / "sim" / "binary.py"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"\xff\xfe\x00garbage")
+        assert main(["lint", str(tmp_path / "src")]) == 1
+        out = capsys.readouterr().out
+        assert "RPX000" in out
+        assert "unreadable file" in out
+
+    def test_one_broken_file_does_not_mask_the_rest(
+        self, tmp_path: Path, capsys
+    ) -> None:
+        write_tree(tmp_path, "src/repro/sim/broken.py", "def oops(:\n")
+        write_tree(tmp_path, "src/repro/sim/dirty.py", BAD_PROTOCOL_FILE)
+        assert main(["lint", str(tmp_path / "src")]) == 1
+        out = capsys.readouterr().out
+        assert "RPX000" in out
+        assert "RPX002" in out
+
+
+class TestBaselineFlags:
+    def test_record_then_check_round_trips(self, tmp_path: Path, capsys) -> None:
+        write_tree(tmp_path, "src/repro/sim/dirty.py", BAD_PROTOCOL_FILE)
+        baseline = tmp_path / "lint-baseline.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path / "src"),
+                    "--baseline",
+                    str(baseline),
+                    "--record",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # identical tree: the baselined finding no longer fails the run
+        assert (
+            main(["lint", str(tmp_path / "src"), "--baseline", str(baseline)]) == 0
+        )
+        assert "1 recorded, 1 current, 0 new, 0 fixed" in capsys.readouterr().out
+
+    def test_new_finding_fails_the_baseline_check(
+        self, tmp_path: Path, capsys
+    ) -> None:
+        baseline = tmp_path / "lint-baseline.json"
+        write_tree(tmp_path, "src/repro/sim/clean.py", "x = 1\n")
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path / "src"),
+                    "--baseline",
+                    str(baseline),
+                    "--record",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        write_tree(tmp_path, "src/repro/sim/dirty.py", BAD_PROTOCOL_FILE)
+        assert (
+            main(["lint", str(tmp_path / "src"), "--baseline", str(baseline)]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "lint baseline check failed" in out
+        assert "new finding" in out
+
+    def test_record_requires_baseline(self, capsys) -> None:
+        assert main(["lint", "--record"]) == 2
+        assert "--record requires --baseline" in capsys.readouterr().out
+
+    def test_changed_only_rejects_baseline(self, capsys) -> None:
+        assert main(["lint", "--changed-only", "--baseline", "x.json"]) == 2
+        assert "cannot be combined" in capsys.readouterr().out
 
 
 class TestDiscovery:

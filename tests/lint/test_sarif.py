@@ -1,0 +1,124 @@
+"""SARIF 2.1.0 output: structure, validation, stability."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import ALL_RULES
+from repro.lint.sarif import (
+    SARIF_VERSION,
+    render_sarif,
+    sarif_payload,
+    validate_sarif,
+)
+
+SAMPLE = [
+    Diagnostic(
+        path="src/repro/sim/dirty.py",
+        line=5,
+        col=12,
+        rule="RPX002",
+        message="wall-clock call time.time()",
+    ),
+    Diagnostic(
+        path="src/repro/basic/vertex.py",
+        line=9,
+        col=1,
+        rule="RPX008",
+        message="undeclared message send",
+    ),
+]
+
+
+class TestPayload:
+    def test_validates_and_carries_every_rule(self) -> None:
+        payload = sarif_payload(SAMPLE)
+        assert validate_sarif(payload) == []
+        assert payload["version"] == SARIF_VERSION
+        (run,) = payload["runs"]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        # RPX000 plus every registered rule, in id order
+        assert rule_ids == ["RPX000"] + [rule.rule_id for rule in ALL_RULES]
+        assert len(run["results"]) == 2
+
+    def test_rule_index_matches_rule_id(self) -> None:
+        payload = sarif_payload(SAMPLE)
+        (run,) = payload["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_locations_are_one_based(self) -> None:
+        payload = sarif_payload(SAMPLE)
+        (result, _) = sorted(
+            payload["runs"][0]["results"], key=lambda r: r["ruleId"]
+        )
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+
+    def test_render_is_byte_stable(self) -> None:
+        assert render_sarif(SAMPLE) == render_sarif(list(reversed(SAMPLE)))
+
+    def test_empty_run_still_validates(self) -> None:
+        payload = sarif_payload([])
+        assert validate_sarif(payload) == []
+        assert payload["runs"][0]["results"] == []
+
+
+class TestValidator:
+    """The hand-rolled schema check rejects what code scanning rejects."""
+
+    def test_rejects_non_object(self) -> None:
+        assert validate_sarif([]) != []
+
+    def test_rejects_wrong_version(self) -> None:
+        payload = sarif_payload([])
+        payload["version"] = "2.0.0"
+        assert any("version" in e for e in validate_sarif(payload))
+
+    def test_rejects_missing_driver_name(self) -> None:
+        payload = sarif_payload([])
+        del payload["runs"][0]["tool"]["driver"]["name"]
+        assert any("driver.name" in e for e in validate_sarif(payload))
+
+    def test_rejects_result_without_message(self) -> None:
+        payload = sarif_payload(SAMPLE)
+        del payload["runs"][0]["results"][0]["message"]
+        assert any("message.text" in e for e in validate_sarif(payload))
+
+    def test_rejects_mismatched_rule_index(self) -> None:
+        payload = sarif_payload(SAMPLE)
+        payload["runs"][0]["results"][0]["ruleIndex"] = 0  # RPX000's slot
+        assert any("ruleIndex" in e for e in validate_sarif(payload))
+
+    def test_rejects_zero_start_line(self) -> None:
+        payload = sarif_payload(SAMPLE)
+        location = payload["runs"][0]["results"][0]["locations"][0]
+        location["physicalLocation"]["region"]["startLine"] = 0
+        assert any("startLine" in e for e in validate_sarif(payload))
+
+
+class TestCliEndToEnd:
+    def test_sarif_of_dirty_tree_validates(self, tmp_path: Path, capsys) -> None:
+        target = tmp_path / "src" / "repro" / "sim" / "dirty.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import time\n\n\ndef stamp() -> float:\n    return time.time()\n")
+        assert main(["lint", str(tmp_path / "src"), "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_sarif(payload) == []
+        (result,) = payload["runs"][0]["results"]
+        assert result["ruleId"] == "RPX002"
+        uri = result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+        assert uri.endswith("dirty.py")
+        assert "\\" not in uri
+
+    def test_sarif_of_clean_tree_exits_zero(self, tmp_path: Path, capsys) -> None:
+        target = tmp_path / "src" / "repro" / "sim" / "clean.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("x = 1\n")
+        assert main(["lint", str(tmp_path / "src"), "--format", "sarif"]) == 0
+        assert validate_sarif(json.loads(capsys.readouterr().out)) == []

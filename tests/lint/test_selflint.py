@@ -11,9 +11,29 @@ REPO_ROOT = Path(__file__).parents[2]
 
 
 def test_repo_is_lint_clean() -> None:
-    """`repro lint src tests` over the real tree reports nothing."""
-    diagnostics = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    """The CI self-lint invocation over the real tree reports nothing.
+
+    This covers the project pass too (RPX008-010): the category registry
+    is inside ``src``, so taxonomy conformance, message immutability, and
+    live-backend safety are all checked against the actual protocol code.
+    """
+    diagnostics = lint_paths(
+        [
+            REPO_ROOT / "src",
+            REPO_ROOT / "tests",
+            REPO_ROOT / "benchmarks",
+            REPO_ROOT / "tools",
+        ]
+    )
     assert diagnostics == [], "\n".join(d.format_text() for d in diagnostics)
+
+
+def test_project_pass_runs_on_the_real_tree() -> None:
+    from repro.lint import run_project
+
+    run = run_project([REPO_ROOT / "src"])
+    assert run.project_pass_ran
+    assert run.files_scanned > 100
 
 
 def test_every_constant_is_in_all_categories() -> None:

@@ -1,0 +1,97 @@
+"""Edge cases of the ``# repro-lint: disable=...`` suppression comments."""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import lint_source
+from repro.lint.suppress import filter_suppressed, suppressions_by_line
+
+LOGICAL = "src/repro/sim/demo.py"
+
+
+def diag(line: int, rule: str = "RPX002") -> Diagnostic:
+    return Diagnostic(path=LOGICAL, line=line, col=1, rule=rule, message="m")
+
+
+class TestDirectiveParsing:
+    def test_multi_rule_directive(self) -> None:
+        table = suppressions_by_line(
+            ["x = 1  # repro-lint: disable=RPX001,RPX004"]
+        )
+        assert table == {1: {"RPX001", "RPX004"}}
+
+    def test_whitespace_and_case_are_tolerated(self) -> None:
+        table = suppressions_by_line(
+            ["x = 1  #repro-lint:  disable= rpx002 , RPX009 "]
+        )
+        assert table == {1: {"RPX002", "RPX009"}}
+
+    def test_unknown_rule_ids_are_kept_verbatim(self) -> None:
+        """An unknown id suppresses nothing real but must not crash."""
+        table = suppressions_by_line(["x = 1  # repro-lint: disable=RPX999"])
+        assert table == {1: {"RPX999"}}
+        kept = filter_suppressed([diag(1, "RPX002")], ["x  # repro-lint: disable=RPX999"])
+        assert kept == [diag(1, "RPX002")]
+
+    def test_all_wildcard(self) -> None:
+        kept = filter_suppressed(
+            [diag(1, "RPX002"), diag(1, "RPX008")],
+            ["x = 1  # repro-lint: disable=ALL"],
+        )
+        assert kept == []
+
+    def test_empty_directive_suppresses_nothing(self) -> None:
+        assert suppressions_by_line(["x = 1  # repro-lint: disable=,"]) == {}
+
+    def test_directive_only_applies_to_its_own_line(self) -> None:
+        lines = ["a = 1  # repro-lint: disable=RPX002", "b = 2"]
+        kept = filter_suppressed([diag(1), diag(2)], lines)
+        assert kept == [diag(2)]
+
+
+class TestContinuationLines:
+    """Diagnostics anchor to the physical line of the flagged node; the
+    directive must sit on that line, even inside a multi-line call."""
+
+    def test_directive_on_the_flagged_continuation_line(self) -> None:
+        source = (
+            "import time\n"
+            "\n"
+            "value = max(\n"
+            "    0.0,\n"
+            "    time.time(),  # repro-lint: disable=RPX002\n"
+            ")\n"
+        )
+        assert lint_source(source, LOGICAL) == []
+
+    def test_directive_on_the_wrong_line_does_not_suppress(self) -> None:
+        source = (
+            "import time\n"
+            "\n"
+            "value = max(  # repro-lint: disable=RPX002\n"
+            "    0.0,\n"
+            "    time.time(),\n"
+            ")\n"
+        )
+        diagnostics = lint_source(source, LOGICAL)
+        assert [d.rule for d in diagnostics] == ["RPX002"]
+        assert diagnostics[0].line == 5
+
+    def test_multi_rule_directive_suppresses_both_rules_on_one_line(self) -> None:
+        source = (
+            "import time\n"
+            "import random\n"
+            "\n"
+            "x = (time.time(), random.random())  # repro-lint: disable=RPX001,RPX002\n"
+        )
+        assert lint_source(source, LOGICAL) == []
+
+    def test_partial_directive_keeps_the_other_rule(self) -> None:
+        source = (
+            "import time\n"
+            "import random\n"
+            "\n"
+            "x = (time.time(), random.random())  # repro-lint: disable=RPX002\n"
+        )
+        diagnostics = lint_source(source, LOGICAL)
+        assert [d.rule for d in diagnostics] == ["RPX001"]

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Summarise `repro lint --format json` output as a Markdown table.
+
+Used by the CI ``static-analysis`` job: the table goes to the job
+summary so a reviewer sees per-rule counts, suppression usage, and
+whether the cross-file project pass ran — without digging through logs.
+
+Usage: repro lint src tests --format json | python tools/lint_summary.py
+       python tools/lint_summary.py lint.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+EXPECTED_VERSION = 2
+
+
+def load(argv: list[str]) -> dict[str, Any]:
+    if len(argv) == 2:
+        with open(argv[1], encoding="utf-8") as handle:
+            payload = json.load(handle)
+    elif len(argv) == 1:
+        payload = json.load(sys.stdin)
+    else:
+        raise SystemExit(__doc__)
+    if not isinstance(payload, dict):
+        raise SystemExit("lint JSON payload must be an object")
+    return payload
+
+
+def main() -> int:
+    payload = load(sys.argv)
+    version = payload.get("version")
+    if version != EXPECTED_VERSION:
+        print(
+            f"::warning::lint JSON version {version!r} != {EXPECTED_VERSION}; "
+            "table may be incomplete",
+            file=sys.stderr,
+        )
+    stats = payload.get("statistics", {})
+    count = payload.get("count", 0)
+    rules: dict[str, int] = stats.get("rules", {})
+
+    print("## repro lint")
+    print()
+    print(f"- files scanned: **{stats.get('files_scanned', '?')}**")
+    print(f"- findings: **{count}**")
+    print(f"- suppressed (`# repro-lint: disable=`): **{stats.get('suppressed', '?')}**")
+    project = stats.get("project_pass")
+    ran = "ran" if project else "did not run (category registry not in scope)"
+    print(f"- cross-file project pass (RPX008-RPX010): **{ran}**")
+    if rules:
+        print()
+        print("| Rule | Findings |")
+        print("|---|---:|")
+        for rule_id in sorted(rules):
+            print(f"| `{rule_id}` | {rules[rule_id]} |")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
