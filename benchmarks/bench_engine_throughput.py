@@ -35,8 +35,8 @@ def test_event_loop_throughput(benchmark, bench_baseline):
 
 
 class _Sink(Process):
-    def __init__(self, pid, simulator):
-        super().__init__(pid, simulator)
+    def __init__(self, pid):
+        super().__init__(pid)
         self.received = 0
 
     def on_message(self, sender, message):
@@ -49,8 +49,8 @@ def test_network_throughput(benchmark):
     def run() -> int:
         simulator = Simulator(seed=0, trace=False)
         network = Network(simulator)
-        source = _Sink(0, simulator)
-        sink = _Sink(1, simulator)
+        source = _Sink(0)
+        sink = _Sink(1)
         network.register(source)
         network.register(sink)
         for i in range(5_000):

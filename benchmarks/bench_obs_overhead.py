@@ -1,0 +1,156 @@
+"""Observability overhead: tracing must be free when nobody is watching.
+
+The streaming telemetry layer (``repro.obs.stream`` / ``repro.obs.metrics``)
+rides :meth:`repro.sim.trace.Tracer.subscribe`; the cost model that makes
+``repro monitor`` honest is that a run which is *not* monitored pays
+nothing for the instrumentation points scattered through the network and
+the protocol handlers.  Two configurations matter:
+
+* **idle** -- ``trace=False``, no subscribers: every ``tracer.wants`` /
+  ``record`` call must short-circuit on the precomputed
+  :attr:`~repro.sim.trace.Tracer.idle` flag (one attribute read).
+* **cold-subscribed** -- a category-scoped subscriber is attached, but
+  to categories the hot path never emits: every call now passes the
+  idle check and misses the category dict.  This is the worst case of
+  "monitoring attached elsewhere"; it must stay within 2% of idle.
+
+The comparison runs on the bare FIFO network (its per-message
+``net.sent``/``net.delivered`` guards are the hottest tracing sites in
+the engine); protocol systems attach their own category observers, so
+they are *always* in the cold-subscribed regime -- which is exactly why
+the cold path must be cheap.  The monitor configuration itself (span
+engine subscribed, ``trace=False``) is benchmarked end to end below and
+its absolute throughput is ratcheted in ``BENCH_baseline.json``
+(micro-benchmark ``obs.monitor_stream`` via ``repro bench``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.basic.system import BasicSystem
+from repro.sim import categories
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+from repro.workloads.scenarios import schedule_cycle
+
+#: messages per timed network run; big enough that one run is tens of
+#: milliseconds (amortising timer resolution and scheduler jitter),
+#: small enough that the interleaved repeats stay fast.
+N_MESSAGES = 20_000
+N_VERTICES = 48
+REPEATS = 7
+#: allowed overhead of the cold-subscribed path over the idle path.
+OVERHEAD_BUDGET = 0.02
+
+
+class _Sink(Process):
+    def on_message(self, sender, message):
+        pass
+
+
+def _run_network(subscribe_cold: bool) -> float:
+    """One timed 5k-message network run; returns wall seconds."""
+    simulator = Simulator(seed=0, trace=False)
+    if subscribe_cold:
+        # A real category-scoped subscription (the monitor's mechanism),
+        # but on a category this run never emits: every net.sent /
+        # net.delivered guard pays the full non-idle dispatch and misses.
+        simulator.tracer.subscribe(
+            lambda event: None, categories=(categories.PROFILE_QUEUE_SAMPLED,)
+        )
+    network = Network(simulator)
+    source = _Sink(0)
+    network.register(source)
+    network.register(_Sink(1))
+    for i in range(N_MESSAGES):
+        source.send(1, i)
+    started = time.perf_counter()
+    simulator.run()
+    elapsed = time.perf_counter() - started
+    assert simulator.events_executed >= N_MESSAGES
+    return elapsed
+
+
+def test_tracer_idle_flag_tracks_subscriptions():
+    """The precondition of the fast path: trace=False and no subscribers
+    leaves the tracer idle; any subscription wakes it; unsubscribing
+    restores it.  (Protocol systems attach observers of their own, so
+    only the bare engine is ever fully idle -- see the module docstring.)"""
+    simulator = Simulator(seed=0, trace=False)
+    tracer = simulator.tracer
+    assert tracer.idle
+
+    def listener(event):
+        raise AssertionError("cold category must never fire")
+
+    tracer.subscribe(listener, categories=(categories.PROFILE_QUEUE_SAMPLED,))
+    assert not tracer.idle
+    tracer.unsubscribe(listener)
+    assert tracer.idle
+
+    # The enabled flag alone also wakes the tracer (events must buffer).
+    tracer.enabled = True
+    assert not tracer.idle
+    tracer.enabled = False
+    assert tracer.idle
+
+
+def test_cold_subscription_overhead_under_budget():
+    """Interleaved min-of-N: cold-subscribed within 2% of fully idle.
+
+    Interleaving (idle, cold, idle, cold, ...) exposes both variants to
+    the same thermal/scheduler drift; taking the min of each damps noise
+    the standard way.  The assertion carries two retries to keep
+    scheduler hiccups on a shared runner from failing the suite -- three
+    consecutive breaches of the budget is a real regression.
+    """
+
+    def measure() -> tuple[float, float]:
+        # Warm both code paths (allocator, bytecode caches) before timing;
+        # the first cold-subscribed run of a process is reliably slower.
+        _run_network(subscribe_cold=False)
+        _run_network(subscribe_cold=True)
+        idle = float("inf")
+        cold = float("inf")
+        for _ in range(REPEATS):
+            idle = min(idle, _run_network(subscribe_cold=False))
+            cold = min(cold, _run_network(subscribe_cold=True))
+        return idle, cold
+
+    overhead = 0.0
+    for attempt in range(3):
+        idle, cold = measure()
+        overhead = cold / idle - 1.0
+        print(
+            f"\n[obs overhead attempt {attempt + 1}: idle {idle * 1e3:.2f} ms, "
+            f"cold-subscribed {cold * 1e3:.2f} ms, overhead {overhead:+.2%} "
+            f"(budget {OVERHEAD_BUDGET:.0%})]"
+        )
+        if overhead <= OVERHEAD_BUDGET:
+            return
+    raise AssertionError(
+        f"cold-subscribed tracing overhead {overhead:+.2%} exceeded the "
+        f"{OVERHEAD_BUDGET:.0%} budget in three consecutive measurements"
+    )
+
+
+def test_monitored_run_produces_spans_without_buffering(benchmark):
+    """The monitor configuration end to end: streaming engine subscribed,
+    trace=False -- throughput benchmark plus the bounded-memory claim."""
+    from repro.obs.spans import BASIC_SPAN_SCHEMA
+    from repro.obs.stream import StreamingSpanEngine
+
+    def run() -> tuple[int, int]:
+        system = BasicSystem(n_vertices=N_VERTICES, seed=0, trace=False)
+        engine = StreamingSpanEngine(BASIC_SPAN_SCHEMA, n_vertices=N_VERTICES)
+        engine.attach(system.simulator.tracer)
+        schedule_cycle(system, list(range(N_VERTICES)), gap=0.1)
+        system.run_to_quiescence()
+        engine.finish()
+        return engine.emitted, len(system.simulator.tracer)
+
+    emitted, buffered = benchmark(run)
+    assert emitted >= 1
+    assert buffered == 0, "a monitored trace=False run must buffer no events"

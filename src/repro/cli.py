@@ -374,6 +374,61 @@ def _cmd_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core import get_variant
+    from repro.errors import ConfigurationError, SimulationError
+    from repro.live.monitor import run_monitor
+
+    try:
+        variant = get_variant(args.variant)
+    except ConfigurationError as error:
+        print(str(error))
+        return 2
+    if variant.monitor is None:
+        print(f"variant {args.variant!r} does not support live monitoring")
+        return 2
+    try:
+        report = run_monitor(
+            args.variant,
+            scenario=args.scenario,
+            seed=args.seed,
+            duration=args.duration,
+            interval=args.interval,
+            time_scale=args.time_scale,
+            slo_seconds=args.slo,
+            metrics_out=args.metrics_out,
+            spans_out=args.spans_out,
+            snapshots_out=args.snapshots_out,
+            stream=None if args.json else sys.stdout,
+        )
+    except SimulationError as error:
+        print(f"MONITOR RUN FAILED: {error}")
+        return 1
+    if args.json:
+        print(json.dumps(report.to_json(), sort_keys=True))
+    else:
+        outcome = report.outcome
+        print(
+            f"[monitor {args.variant} scenario={args.scenario} "
+            f"seed={args.seed} ticks={report.ticks}]"
+        )
+        print(f"  declarations: {outcome.declarations}")
+        print(f"  soundness violations: {outcome.soundness_violations}")
+        print(f"  bound violations: {report.bound_violations}")
+        print(f"  spans streamed: {report.spans_emitted}")
+        if report.slo_seconds is not None:
+            print(
+                f"  SLO ({report.slo_seconds:g} s): "
+                f"{report.slo_violations} violation(s)"
+            )
+        print(f"  wall time: {report.wall_seconds:.3f} s")
+        if not report.ok:
+            print("FAILED: monitor gate (soundness / bounds / SLO / detection)")
+    return 0 if report.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run
 
@@ -583,6 +638,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget in seconds before the run fails (default: 30)",
     )
     live.set_defaults(handler=_cmd_live)
+
+    monitor = subparsers.add_parser(
+        "monitor",
+        help="watch a live run with a runtime console and telemetry export",
+        description=(
+            "Runs a registered variant's scenario on the asyncio runtime "
+            "and observes it tick by tick: a one-line console status "
+            "(virtual clock, per-node queue depth, in-flight messages, "
+            "open probe computations, declarations, SLO state), a "
+            "Prometheus text file rewritten each tick, a JSONL stream of "
+            "settled probe-computation spans, and a JSONL stream of "
+            "metric snapshots.  Exit 1 when the run is unsound, breaks a "
+            "section 4 probe bound, misses its detection-latency SLO, or "
+            "fails to detect a deadlock it was dealt."
+        ),
+    )
+    monitor.add_argument("variant", help="variant name (see `repro variants`)")
+    monitor.add_argument(
+        "--scenario",
+        choices=("deadlock", "clean"),
+        default="deadlock",
+        help="conformance scenario to run (default: deadlock)",
+    )
+    monitor.add_argument("--seed", type=int, default=0, help="root seed (default: 0)")
+    monitor.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        help="wall seconds to observe the run for (default: 5)",
+    )
+    monitor.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="wall seconds between console/export ticks (default: 0.5)",
+    )
+    monitor.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.005,
+        help="wall seconds per virtual time unit (default: 0.005)",
+    )
+    monitor.add_argument(
+        "--slo",
+        type=float,
+        default=None,
+        help="detection-latency SLO in wall seconds (default: off)",
+    )
+    monitor.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write Prometheus text exposition here, rewritten each tick",
+    )
+    monitor.add_argument(
+        "--spans-out",
+        metavar="FILE",
+        help="stream settled probe-computation spans here as JSONL",
+    )
+    monitor.add_argument(
+        "--snapshots-out",
+        metavar="FILE",
+        help="stream periodic metrics snapshots here as JSONL",
+    )
+    monitor.add_argument(
+        "--json",
+        action="store_true",
+        help="suppress the console and print one final JSON report",
+    )
+    monitor.set_defaults(handler=_cmd_monitor)
 
     from repro.lint.cli import add_lint_arguments
 

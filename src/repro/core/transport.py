@@ -38,7 +38,7 @@ from collections.abc import Callable, Hashable
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim.metrics import Counter, MetricsRegistry
+    from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry
     from repro.sim.rng import RngRegistry
     from repro.sim.trace import Tracer
 
@@ -99,6 +99,14 @@ class NodeContext(Protocol):
 
     def counter(self, name: str) -> "Counter":
         """The shared metrics counter registered under ``name``."""
+        ...
+
+    def gauge(self, name: str) -> "Gauge":
+        """The shared metrics gauge registered under ``name``."""
+        ...
+
+    def histogram(self, name: str) -> "Histogram":
+        """The shared metrics histogram registered under ``name``."""
         ...
 
 

@@ -16,6 +16,7 @@ from repro.core.registry import (
     DemoSpec,
     DetectorVariant,
     MessageTaxonomy,
+    MonitorSetup,
     VariantCapabilities,
     register,
 )
@@ -36,9 +37,10 @@ def _schedule_chain(system: BasicSystem, vertices: list[int]) -> None:
         system.schedule_request(0.5 * i, vertices[i], [vertices[i + 1]])
 
 
-def _conformance(
+def _setup(
     scenario: str, seed: int, transport: object | None = None
-) -> ConformanceOutcome:
+) -> MonitorSetup:
+    """Assemble the standard scenario without running it (monitor seam)."""
     system = BasicSystem(n_vertices=4, seed=seed, strict=False, transport=transport)
     if scenario == "deadlock":
         _schedule_cycle(system, [0, 1, 2, 3])
@@ -46,19 +48,30 @@ def _conformance(
         _schedule_chain(system, [0, 1, 2, 3])
     else:
         unknown_scenario("basic", scenario)
-    system.run_to_quiescence()
-    report = system.completeness_report()
-    return ConformanceOutcome(
-        variant="basic",
-        scenario=scenario,
-        declarations=len(system.declarations),
-        soundness_violations=len(system.soundness_violations),
-        complete=report.complete,
-        undetected_components=len(report.undetected_components),
-        first_declaration_at=(
-            system.declarations[0].time if system.declarations else None
-        ),
-    )
+
+    def summarize() -> ConformanceOutcome:
+        report = system.completeness_report()
+        return ConformanceOutcome(
+            variant="basic",
+            scenario=scenario,
+            declarations=len(system.declarations),
+            soundness_violations=len(system.soundness_violations),
+            complete=report.complete,
+            undetected_components=len(report.undetected_components),
+            first_declaration_at=(
+                system.declarations[0].time if system.declarations else None
+            ),
+        )
+
+    return MonitorSetup(system=system, summarize=summarize, n_nodes=4)
+
+
+def _conformance(
+    scenario: str, seed: int, transport: object | None = None
+) -> ConformanceOutcome:
+    setup = _setup(scenario, seed, transport)
+    setup.system.run_to_quiescence()
+    return setup.summarize()
 
 
 def _demo() -> int:
@@ -111,5 +124,6 @@ BASIC_VARIANT = register(
             help="3-cycle basic-model demo",
             run=_demo,
         ),
+        monitor=_setup,
     )
 )

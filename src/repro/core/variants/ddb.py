@@ -15,6 +15,7 @@ from repro.core.registry import (
     DemoSpec,
     DetectorVariant,
     MessageTaxonomy,
+    MonitorSetup,
     VariantCapabilities,
     register,
 )
@@ -29,9 +30,10 @@ def _two_site_system(seed: int, transport: object | None = None) -> DdbSystem:
     )
 
 
-def _conformance(
+def _setup(
     scenario: str, seed: int, transport: object | None = None
-) -> ConformanceOutcome:
+) -> MonitorSetup:
+    """Assemble the standard scenario without running it (monitor seam)."""
     from repro.ddb.locks import LockMode
     from repro.ddb.transaction import Think, TransactionSpec, acquire
 
@@ -60,19 +62,30 @@ def _conformance(
             ),
             at=0.1 * index,
         )
-    system.run_to_quiescence(max_events=100_000)
-    complete, undetected = system.completeness_report()
-    return ConformanceOutcome(
-        variant="ddb",
-        scenario=scenario,
-        declarations=len(system.declarations),
-        soundness_violations=len(system.soundness_violations),
-        complete=complete,
-        undetected_components=len(undetected),
-        first_declaration_at=(
-            system.declarations[0].time if system.declarations else None
-        ),
-    )
+
+    def summarize() -> ConformanceOutcome:
+        complete, undetected = system.completeness_report()
+        return ConformanceOutcome(
+            variant="ddb",
+            scenario=scenario,
+            declarations=len(system.declarations),
+            soundness_violations=len(system.soundness_violations),
+            complete=complete,
+            undetected_components=len(undetected),
+            first_declaration_at=(
+                system.declarations[0].time if system.declarations else None
+            ),
+        )
+
+    return MonitorSetup(system=system, summarize=summarize, n_nodes=2)
+
+
+def _conformance(
+    scenario: str, seed: int, transport: object | None = None
+) -> ConformanceOutcome:
+    setup = _setup(scenario, seed, transport)
+    setup.system.run_to_quiescence(max_events=100_000)
+    return setup.summarize()
 
 
 def _demo() -> int:
@@ -148,5 +161,6 @@ DDB_VARIANT = register(
             help="cross-site DDB deadlock demo",
             run=_demo,
         ),
+        monitor=_setup,
     )
 )

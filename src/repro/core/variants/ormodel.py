@@ -14,15 +14,17 @@ from repro.core.conformance import ConformanceOutcome, unknown_scenario
 from repro.core.registry import (
     DemoSpec,
     DetectorVariant,
+    MonitorSetup,
     VariantCapabilities,
     register,
 )
 from repro.ormodel.system import OrSystem
 
 
-def _conformance(
+def _setup(
     scenario: str, seed: int, transport: object | None = None
-) -> ConformanceOutcome:
+) -> MonitorSetup:
+    """Assemble the standard scenario without running it (monitor seam)."""
     system = OrSystem(n_vertices=3, seed=seed, strict=False, transport=transport)
     if scenario == "deadlock":
         # The knot from the demo: p0 waits any{p1, p2}, both wait any{p0}.
@@ -34,19 +36,30 @@ def _conformance(
         system.schedule_request(0.0, 1, [0])
     else:
         unknown_scenario("ormodel", scenario)
-    system.run_to_quiescence()
-    report = system.completeness_report()
-    return ConformanceOutcome(
-        variant="ormodel",
-        scenario=scenario,
-        declarations=len(system.declarations),
-        soundness_violations=len(system.soundness_violations),
-        complete=report.complete,
-        undetected_components=len(report.undetected_components),
-        first_declaration_at=(
-            system.declarations[0].time if system.declarations else None
-        ),
-    )
+
+    def summarize() -> ConformanceOutcome:
+        report = system.completeness_report()
+        return ConformanceOutcome(
+            variant="ormodel",
+            scenario=scenario,
+            declarations=len(system.declarations),
+            soundness_violations=len(system.soundness_violations),
+            complete=report.complete,
+            undetected_components=len(report.undetected_components),
+            first_declaration_at=(
+                system.declarations[0].time if system.declarations else None
+            ),
+        )
+
+    return MonitorSetup(system=system, summarize=summarize, n_nodes=3)
+
+
+def _conformance(
+    scenario: str, seed: int, transport: object | None = None
+) -> ConformanceOutcome:
+    setup = _setup(scenario, seed, transport)
+    setup.system.run_to_quiescence()
+    return setup.summarize()
 
 
 def _demo() -> int:
@@ -88,5 +101,6 @@ OR_VARIANT = register(
             help="OR/communication-model knot demo (section 7 extension)",
             run=_demo,
         ),
+        monitor=_setup,
     )
 )

@@ -1,0 +1,310 @@
+"""The ``repro monitor`` runtime console: watch a live run as it happens.
+
+Where :mod:`repro.live.runner` drives a scenario to quiescence and
+reports afterwards, this module *interleaves* the run with observation:
+the wall-clock run is sliced into ticks, and between slices the monitor
+renders a one-line console status (virtual clock, per-node queue depth,
+in-flight probes, open computations, declarations, SLO state) and
+exports telemetry -- a Prometheus text file rewritten in place, a JSONL
+stream of settled spans, and a JSONL stream of metric snapshots.
+
+All telemetry flows through :class:`~repro.obs.metrics.TransportTelemetry`
+riding a category-scoped tracer subscription, so the run itself executes
+with ``trace=False``: nothing is buffered, and a monitored run can in
+principle go on forever (the span engine evicts settled computations;
+see :mod:`repro.obs.stream`).
+
+This module lives in the ``live`` tier (not ``obs``) because it owns a
+wall-clock run loop: layering rule RPX004 lets ``live`` import ``obs``
+but not the reverse, and the RPX002 wall-clock rule scopes ``obs`` out
+of ``time.sleep`` while the live driver tier may pace itself freely.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any
+
+from repro.core.conformance import ConformanceOutcome
+from repro.core.registry import get_variant
+from repro.errors import ConfigurationError
+from repro.live.transport import AsyncioTransport
+from repro.obs.metrics import TransportTelemetry
+from repro.obs.spans import SCHEMAS_BY_MODEL, ProbeComputationSpan
+from repro.obs.stream import span_to_json
+
+
+@dataclass(frozen=True)
+class MonitorReport:
+    """Outcome of one monitored run, for humans, JSON, and exit codes."""
+
+    variant: str
+    scenario: str
+    outcome: ConformanceOutcome
+    #: wall seconds the monitor observed the run for.
+    wall_seconds: float
+    #: console/export ticks rendered.
+    ticks: int
+    #: spans settled and streamed during the run (incl. the final flush).
+    spans_emitted: int
+    #: online section 4 bound violations recorded by the span engines.
+    bound_violations: int
+    time_scale: float
+    #: the detection-latency SLO, wall seconds per declaration (None = off).
+    slo_seconds: float | None
+    #: wall-clock detection latencies of the deadlock computations seen.
+    detection_latencies_seconds: tuple[float, ...] = ()
+
+    @property
+    def detected(self) -> bool:
+        return self.outcome.declarations > 0
+
+    @property
+    def sound(self) -> bool:
+        return self.outcome.soundness_violations == 0
+
+    @property
+    def slo_violations(self) -> int:
+        if self.slo_seconds is None:
+            return 0
+        return sum(
+            1 for latency in self.detection_latencies_seconds
+            if latency > self.slo_seconds
+        )
+
+    @property
+    def ok(self) -> bool:
+        """The CI gate: sound, within bounds and SLO, and -- on a deadlock
+        scenario -- the deadlock was actually detected."""
+        if not self.sound or self.bound_violations or self.slo_violations:
+            return False
+        if self.scenario == "deadlock" and not self.detected:
+            return False
+        return True
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": "repro.monitor-report/1",
+            "variant": self.variant,
+            "scenario": self.scenario,
+            "ok": self.ok,
+            "detected": self.detected,
+            "sound": self.sound,
+            "declarations": self.outcome.declarations,
+            "soundness_violations": self.outcome.soundness_violations,
+            "complete": self.outcome.complete,
+            "bound_violations": self.bound_violations,
+            "slo_seconds": self.slo_seconds,
+            "slo_violations": self.slo_violations,
+            "detection_latencies_seconds": list(self.detection_latencies_seconds),
+            "spans_emitted": self.spans_emitted,
+            "ticks": self.ticks,
+            "wall_seconds": self.wall_seconds,
+            "time_scale": self.time_scale,
+        }
+
+
+@dataclass
+class _Exports:
+    """The monitor's output files, opened lazily and always closed."""
+
+    metrics_path: Path | None = None
+    spans_file: IO[str] | None = None
+    snapshots_file: IO[str] | None = None
+    spans_written: int = field(default=0)
+
+    def write_span(self, span_json: dict[str, Any]) -> None:
+        if self.spans_file is not None:
+            self.spans_file.write(json.dumps(span_json, sort_keys=True) + "\n")
+            self.spans_written += 1
+
+    def write_prometheus(self, text: str) -> None:
+        if self.metrics_path is not None:
+            self.metrics_path.write_text(text)
+
+    def write_snapshot(self, line: str) -> None:
+        if self.snapshots_file is not None:
+            self.snapshots_file.write(line + "\n")
+
+    def close(self) -> None:
+        for handle in (self.spans_file, self.snapshots_file):
+            if handle is not None:
+                handle.close()
+
+
+def _render_tick(
+    *,
+    transport: AsyncioTransport,
+    telemetry: TransportTelemetry,
+    declarations: int,
+    slo_seconds: float | None,
+    slo_violations: int,
+    stream: IO[str],
+) -> None:
+    depths = telemetry.in_flight_by_destination()
+    total_in_flight = sum(depths.values())
+    open_comps = sum(
+        engine.open_computations for engine in telemetry.engines.values()
+    )
+    settled = sum(engine.emitted for engine in telemetry.engines.values())
+    if slo_seconds is None:
+        slo = "off"
+    elif slo_violations:
+        slo = f"VIOLATED x{slo_violations}"
+    else:
+        slo = "ok"
+    per_node = " ".join(
+        f"{node}:{int(depth)}" for node, depth in sorted(depths.items())
+    )
+    stream.write(
+        f"t={transport.now:8.1f}u  in-flight={int(total_in_flight):3d}"
+        f"  open={open_comps:3d}  settled={settled:4d}"
+        f"  declared={declarations:3d}  slo={slo}"
+        + (f"  queues[{per_node}]" if per_node else "")
+        + "\n"
+    )
+    stream.flush()
+
+
+def run_monitor(
+    variant_name: str,
+    *,
+    scenario: str = "deadlock",
+    seed: int = 0,
+    duration: float = 5.0,
+    interval: float = 0.5,
+    time_scale: float = 0.005,
+    slo_seconds: float | None = None,
+    metrics_out: str | Path | None = None,
+    spans_out: str | Path | None = None,
+    snapshots_out: str | Path | None = None,
+    stream: IO[str] | None = None,
+) -> MonitorReport:
+    """Run one scenario live and observe it tick by tick.
+
+    Parameters
+    ----------
+    duration:
+        Total wall seconds to observe.  The underlying system usually
+        quiesces earlier (the standard scenarios are tiny); the monitor
+        keeps watching -- and exporting -- until the budget ends, which
+        is exactly what a monitor is for.
+    interval:
+        Wall seconds between console/export ticks.
+    slo_seconds:
+        Detection-latency SLO in wall seconds (virtual latency x
+        ``time_scale``); ``None`` disables the check.
+    metrics_out / spans_out / snapshots_out:
+        Prometheus text file (rewritten each tick), settled-span JSONL
+        stream, and metrics-snapshot JSONL stream.
+    stream:
+        Console destination; ``None`` renders nothing.
+    """
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    if interval <= 0:
+        raise ConfigurationError(f"interval must be positive, got {interval}")
+    variant = get_variant(variant_name)
+    if variant.monitor is None:
+        raise ConfigurationError(
+            f"variant {variant_name!r} does not support live monitoring"
+        )
+    taxonomy = variant.capabilities.taxonomy
+    schemas = (
+        (SCHEMAS_BY_MODEL[variant.capabilities.model],)
+        if taxonomy is not None
+        else ()
+    )
+
+    exports = _Exports(
+        metrics_path=None if metrics_out is None else Path(metrics_out),
+        spans_file=None if spans_out is None else Path(spans_out).open("w"),
+        snapshots_file=(
+            None if snapshots_out is None else Path(snapshots_out).open("w")
+        ),
+    )
+
+    transport = AsyncioTransport(
+        seed=seed,
+        trace=False,
+        time_scale=time_scale,
+        max_wall_seconds=duration + 30.0,
+    )
+    ticks = 0
+    started = time.perf_counter()
+    try:
+        setup = variant.monitor(scenario, seed, transport=transport)
+
+        def on_span(span: ProbeComputationSpan) -> None:
+            exports.write_span(span_to_json(span))
+
+        telemetry = TransportTelemetry(
+            transport,
+            schemas=schemas,
+            n_vertices=setup.n_nodes,
+            span_sink=on_span,
+        )
+
+        deadline = started + duration
+        while True:
+            wall = time.perf_counter()
+            if wall >= deadline:
+                break
+            tick_end = min(wall + interval, deadline)
+            # Advance the run by one tick of virtual time.  run() returns
+            # early on quiescence; sleep out the slice in that case so a
+            # quiet system does not busy-spin the console.
+            transport.run(until=transport.now + interval / time_scale)
+            remaining = tick_end - time.perf_counter()
+            if remaining > 0:
+                time.sleep(remaining)
+            ticks += 1
+            slo_violations = (
+                0
+                if slo_seconds is None
+                else sum(
+                    1
+                    for latency in telemetry.detection_latencies
+                    if latency * time_scale > slo_seconds
+                )
+            )
+            exports.write_prometheus(telemetry.render_prometheus())
+            exports.write_snapshot(telemetry.snapshot_line(transport.now))
+            if stream is not None:
+                _render_tick(
+                    transport=transport,
+                    telemetry=telemetry,
+                    declarations=len(setup.system.declarations),
+                    slo_seconds=slo_seconds,
+                    slo_violations=slo_violations,
+                    stream=stream,
+                )
+
+        telemetry.finish()
+        outcome = setup.summarize()
+        exports.write_prometheus(telemetry.render_prometheus())
+        exports.write_snapshot(telemetry.snapshot_line(transport.now))
+    finally:
+        exports.close()
+        transport.close()
+    wall_seconds = time.perf_counter() - started
+
+    return MonitorReport(
+        variant=variant_name,
+        scenario=scenario,
+        outcome=outcome,
+        wall_seconds=wall_seconds,
+        ticks=ticks,
+        spans_emitted=sum(
+            engine.emitted for engine in telemetry.engines.values()
+        ),
+        bound_violations=telemetry.bound_violations,
+        time_scale=time_scale,
+        slo_seconds=slo_seconds,
+        detection_latencies_seconds=tuple(
+            latency * time_scale for latency in telemetry.detection_latencies
+        ),
+    )

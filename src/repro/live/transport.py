@@ -33,7 +33,7 @@ from typing import Any
 
 from repro.errors import SimulationError
 from repro.sim import categories
-from repro.sim.metrics import Counter, MetricsRegistry
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.sim.network import DelayModel, FixedDelay
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
@@ -108,11 +108,20 @@ class LiveNodeContext:
 
     def trace(self, category: str, **details: object) -> None:
         transport = self._transport
-        if transport.tracer.wants(category):
-            transport.tracer.record(transport.now, category, **details)
+        tracer = transport.tracer
+        if tracer.idle:
+            return
+        if tracer.wants(category):
+            tracer.record(transport.now, category, **details)
 
     def counter(self, name: str) -> Counter:
         return self._transport.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._transport.metrics.gauge(name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._transport.metrics.histogram(name)
 
     def __repr__(self) -> str:
         return f"LiveNodeContext({self._node_id!r})"

@@ -16,6 +16,14 @@ for inspecting a run.  This package folds the structured trace recorded by
   itself (events/sec, queue depth, per-handler-category time).  This is the
   **only** module in the scoped packages allowed to read the wall clock
   (lint rule RPX002's documented allowlist).
+* :mod:`repro.obs.stream` -- the incremental twin of the span fold: a
+  category-scoped tracer subscription rebuilds spans one event at a time,
+  emits each computation the moment it resolves, and checks the section 4
+  probe bounds online, with memory bounded by the *open* computations.
+* :mod:`repro.obs.metrics` -- labelled live metric families (counters,
+  gauges, bucketed histograms) with Prometheus text exposition, plus
+  :class:`~repro.obs.metrics.TransportTelemetry`, which populates them
+  from any transport backend (the engine behind ``repro monitor``).
 
 Layering: ``obs`` observes the protocol core from outside, exactly like
 ``analysis``/``verification``; protocol packages must never import it
@@ -29,6 +37,13 @@ from repro.obs.export import (
     read_jsonl,
     write_jsonl,
 )
+from repro.obs.metrics import (
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    TelemetryRegistry,
+    TransportTelemetry,
+)
 from repro.obs.profile import ProfileReport, SimulatorProfiler, profiling
 from repro.obs.spans import (
     BASIC_SPAN_SCHEMA,
@@ -40,16 +55,28 @@ from repro.obs.spans import (
     build_spans,
     check_probe_bounds,
 )
+from repro.obs.stream import (
+    StreamingSpanEngine,
+    span_sort_key,
+    span_to_json,
+    stream_spans,
+)
 
 __all__ = [
     "BASIC_SPAN_SCHEMA",
     "DDB_SPAN_SCHEMA",
+    "CounterFamily",
+    "GaugeFamily",
+    "HistogramFamily",
     "ProbeComputationSpan",
     "ProbeHop",
     "ProfileReport",
     "SimulatorProfiler",
     "SpanOutcome",
     "SpanSchema",
+    "StreamingSpanEngine",
+    "TelemetryRegistry",
+    "TransportTelemetry",
     "build_spans",
     "check_probe_bounds",
     "events_from_jsonl",
@@ -57,5 +84,8 @@ __all__ = [
     "events_to_jsonl",
     "profiling",
     "read_jsonl",
+    "span_sort_key",
+    "span_to_json",
+    "stream_spans",
     "write_jsonl",
 ]

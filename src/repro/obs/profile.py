@@ -29,6 +29,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
+from repro.obs.metrics import GaugeMetric
 from repro.sim import categories
 from repro.sim.events import Event
 from repro.sim.simulator import Simulator
@@ -125,8 +126,13 @@ class SimulatorProfiler:
         self._attached_at = 0.0
         self._handler_seconds = 0.0
         self._by_category: dict[str, list[float]] = {}
-        self._queue_depth_max = 0
-        self._samples = 0
+        # Queue-depth bookkeeping rides the observability layer's gauge
+        # primitive (high-water mark + observation count) instead of
+        # hand-rolled counters: one gauge tracks the per-event depth (its
+        # ``max`` is the report's queue_depth_max), the other is set only
+        # on sampled events (its ``observations`` is the sample count).
+        self._depth_gauge = GaugeMetric()
+        self._sampled_gauge = GaugeMetric()
 
     # -- ProfileHook interface ------------------------------------------
 
@@ -140,8 +146,7 @@ class SimulatorProfiler:
         bucket = self._by_category.setdefault(handler_category(event.name), [0, 0.0])
         bucket[0] += 1
         bucket[1] += elapsed
-        if queue_depth > self._queue_depth_max:
-            self._queue_depth_max = queue_depth
+        self._depth_gauge.set(queue_depth)
         if self._events % self.sample_every == 0:
             self._sample(queue_depth)
 
@@ -167,7 +172,7 @@ class SimulatorProfiler:
         metrics = self.simulator.metrics
         metrics.gauge("sim.queue.depth").set(queue_depth)
         metrics.timeseries("sim.queue.depth").record(now, queue_depth)
-        self._samples += 1
+        self._sampled_gauge.set(queue_depth)
         self.simulator.trace_now(
             categories.PROFILE_QUEUE_SAMPLED,
             depth=queue_depth,
@@ -191,8 +196,8 @@ class SimulatorProfiler:
             wall_seconds=wall,
             events_per_second=self._events / wall if wall > 0 else 0.0,
             by_category=by_category,
-            queue_depth_max=self._queue_depth_max,
-            queue_depth_samples=self._samples,
+            queue_depth_max=int(self._depth_gauge.max),
+            queue_depth_samples=self._sampled_gauge.observations,
         )
 
 

@@ -1,0 +1,475 @@
+"""Incremental span reconstruction: the streaming twin of :mod:`spans`.
+
+:func:`repro.obs.spans.build_spans` folds a *complete* in-memory trace
+after the run -- the wrong shape for the live backend and for
+long-running workloads, where the full trace either does not exist
+(``trace=False``) or must not be buffered.  This module rebuilds the
+same :class:`~repro.obs.spans.ProbeComputationSpan` records one
+:class:`~repro.sim.trace.TraceEvent` at a time, via a category-scoped
+:meth:`~repro.sim.trace.Tracer.subscribe` hook, and emits each span the
+moment its computation ``(i, n)`` resolves:
+
+* **deadlock** -- the A1 declaration arrived and every probe hop of the
+  tag has drained (received + net-delivered);
+* **superseded** -- a later computation ``(i, n')`` of the same initiator
+  appeared (section 4.3) and the old tag's hops have drained;
+* **fizzled** -- assigned only at :meth:`StreamingSpanEngine.finish`,
+  because "no declaration will ever come" is a quiescence-time fact.
+
+Memory is bounded by the *open* computations, not the run length: a
+settled span is evicted together with its matching queues, which is what
+lets a monitor watch an unbounded run.  Settlement is deferred until the
+first event of a *different* tag: probes propagate only inside the
+handler that received them (A0/A2), so once a drained tag's handler has
+moved on, no further event of that tag can exist.
+
+The section 4 bounds are checked **online**: the per-edge probe count is
+maintained incrementally and a breach raises (``strict_bounds=True``) or
+records a :class:`~repro.errors.BoundViolation` at the offending
+``probe.sent`` event -- not after the run, when the evidence has long
+since scrolled past.
+
+Equivalence with the batch fold is a hard contract (the parity suite in
+``tests/obs/test_stream.py`` asserts field-for-field equality on every
+registered variant): :func:`stream_spans` over a full trace returns
+exactly what :func:`~repro.obs.spans.build_spans` does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Hashable, Iterable
+from typing import Any
+
+from repro._ids import ProbeTag
+from repro.errors import BoundViolation
+from repro.obs.spans import (
+    BASIC_SPAN_SCHEMA,
+    ProbeComputationSpan,
+    ProbeHop,
+    SpanOutcome,
+    SpanSchema,
+)
+from repro.sim import categories
+from repro.sim.trace import TraceEvent, Tracer
+
+SpanSink = Callable[[ProbeComputationSpan], None]
+ViolationSink = Callable[[BoundViolation], None]
+
+
+def _tag_of(value: Any) -> ProbeTag | None:
+    return value if isinstance(value, ProbeTag) else None
+
+
+def span_sort_key(span: ProbeComputationSpan) -> tuple[float, int, int]:
+    """The batch folder's ordering: initiation time, initiator, sequence."""
+    start = span.initiated_at if span.initiated_at is not None else span.end_time
+    return (start, span.tag.initiator, span.tag.sequence)
+
+
+class StreamingSpanEngine:
+    """Rebuild probe-computation spans from a live event stream.
+
+    Parameters
+    ----------
+    schema:
+        Which model's lifecycle categories to fold (same schemas as the
+        batch folder).
+    n_vertices:
+        When given, the section 4 total bound (at most ``n(n-1)`` probes
+        per computation) is checked online as well as the per-edge bound.
+    strict_bounds:
+        Raise the first :class:`~repro.errors.BoundViolation` out of the
+        producing handler instead of only recording it.
+    on_span:
+        Called once per settled span, at eviction time.  Emission order
+        is settlement order, **not** initiation order; sort with
+        :func:`span_sort_key` for the batch folder's ordering.
+    on_violation:
+        Called for every recorded bound violation (also in strict mode,
+        just before the raise).
+    """
+
+    def __init__(
+        self,
+        schema: SpanSchema = BASIC_SPAN_SCHEMA,
+        *,
+        n_vertices: int | None = None,
+        strict_bounds: bool = False,
+        on_span: SpanSink | None = None,
+        on_violation: ViolationSink | None = None,
+    ) -> None:
+        self.schema = schema
+        self.n_vertices = n_vertices
+        self.strict_bounds = strict_bounds
+        self.on_span = on_span
+        self.on_violation = on_violation
+        #: every bound violation seen so far, in event order.
+        self.violations: list[BoundViolation] = []
+        #: settled spans emitted so far.
+        self.emitted = 0
+        #: high-water mark of simultaneously open computations -- the
+        #: bounded-memory claim, made testable.
+        self.peak_open = 0
+        self._tracer: Tracer | None = None
+
+        self._spans: dict[ProbeTag, ProbeComputationSpan] = {}
+        self._awaiting_receive: dict[tuple[ProbeTag, Hashable], deque[ProbeHop]] = {}
+        self._awaiting_net: dict[
+            tuple[ProbeTag, Hashable, Hashable], deque[ProbeHop]
+        ] = {}
+        #: per-tag hops still awaiting a receive or a net-delivery match;
+        #: zero means no future event can belong to the tag (once its
+        #: producing handler has finished).
+        self._outstanding: dict[ProbeTag, int] = {}
+        #: incremental per-edge probe counts (the online section 4 check).
+        self._edge_counts: dict[ProbeTag, dict[Hashable, int]] = {}
+        #: highest sequence seen per initiator (section 4.3 supersession).
+        self._latest: dict[int, int] = {}
+        #: resolved + drained tags awaiting confirmation by the first
+        #: event of a different tag (probes of a tag are only produced
+        #: inside that tag's own receive handler).
+        self._deferred: dict[ProbeTag, None] = {}
+
+    # ------------------------------------------------------------------
+    # Subscription plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def categories(self) -> tuple[str, ...]:
+        """The trace categories this engine must observe."""
+        schema = self.schema
+        return (
+            schema.initiated,
+            schema.probe_sent,
+            schema.probe_received,
+            schema.declared,
+            categories.NET_SENT,
+            categories.NET_DELIVERED,
+        )
+
+    @property
+    def open_computations(self) -> int:
+        """Computations currently held in memory (settled ones are gone)."""
+        return len(self._spans)
+
+    def attach(self, tracer: Tracer) -> None:
+        """Subscribe to ``tracer``, category-scoped.
+
+        The scoped subscription is the whole point: with ``trace=False``
+        every category the engine does not watch stays on the tracer's
+        zero-cost path, and nothing is ever buffered in the trace log.
+        """
+        tracer.subscribe(self.on_event, categories=self.categories)
+        self._tracer = tracer
+
+    def detach(self, tracer: Tracer) -> None:
+        tracer.unsubscribe(self.on_event)
+        self._tracer = None
+
+    # ------------------------------------------------------------------
+    # The incremental fold
+    # ------------------------------------------------------------------
+
+    def _span_for(self, tag: ProbeTag, time: float) -> ProbeComputationSpan:
+        span = self._spans.get(tag)
+        if span is None:
+            span = ProbeComputationSpan(
+                tag=tag, initiator=tag.initiator, initiated_at=None, end_time=time
+            )
+            self._spans[tag] = span
+            if len(self._spans) > self.peak_open:
+                self.peak_open = len(self._spans)
+            latest = self._latest.get(tag.initiator)
+            if latest is None or tag.sequence > latest:
+                self._latest[tag.initiator] = tag.sequence
+                self._settle_superseded(tag.initiator, tag.sequence)
+        span.end_time = max(span.end_time, time)
+        return span
+
+    def _settle_superseded(self, initiator: int, latest: int) -> None:
+        """A new latest sequence may resolve older computations of the
+        same initiator; re-examine them."""
+        for tag in list(self._spans):
+            if tag.initiator == initiator and tag.sequence < latest:
+                self._try_settle(tag)
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Consume one trace event (the ``Tracer.subscribe`` callback)."""
+        schema = self.schema
+        category = event.category
+        if category == schema.initiated:
+            tag = _tag_of(event["tag"])
+            if tag is None:
+                return
+            self._flush_deferred(tag)
+            span = self._span_for(tag, event.time)
+            if span.initiated_at is None:
+                span.initiated_at = event.time
+        elif category == schema.probe_sent:
+            tag = _tag_of(event["tag"])
+            if tag is None:
+                return
+            self._flush_deferred(tag)
+            span = self._span_for(tag, event.time)
+            sender, destination = schema.sent_endpoints(event)
+            hop = ProbeHop(
+                tag=tag,
+                source=sender,
+                target=destination,
+                edge=schema.edge_of(event),
+                sent_at=event.time,
+            )
+            span.hops.append(hop)
+            self._awaiting_receive.setdefault((tag, hop.edge), deque()).append(hop)
+            self._awaiting_net.setdefault((tag, sender, destination), deque()).append(
+                hop
+            )
+            self._outstanding[tag] = self._outstanding.get(tag, 0) + 2
+            self._check_bounds_online(span, hop)
+        elif category == schema.probe_received:
+            tag = _tag_of(event["tag"])
+            if tag is None:
+                return
+            self._flush_deferred(tag)
+            span = self._span_for(tag, event.time)
+            edge = schema.edge_of(event)
+            key = (tag, edge)
+            pending = self._awaiting_receive.get(key)
+            if pending:
+                hop = pending.popleft()
+                if not pending:
+                    del self._awaiting_receive[key]
+                self._outstanding[tag] -= 1
+            else:
+                # Sliced trace: the matching send was not recorded.
+                source_pid: Hashable = event.details.get("source")
+                target_pid: Hashable = event.details.get(
+                    "target", event.details.get("site")
+                )
+                hop = ProbeHop(
+                    tag=tag, source=source_pid, target=target_pid, edge=edge
+                )
+                span.hops.append(hop)
+            hop.received_at = event.time
+            meaningful = event.details.get("meaningful")
+            hop.meaningful = bool(meaningful) if meaningful is not None else None
+            self._try_settle(tag)
+        elif category == schema.declared:
+            tag = _tag_of(event["tag"])
+            if tag is None:
+                return
+            self._flush_deferred(tag)
+            span = self._span_for(tag, event.time)
+            if span.declared_at is None:
+                span.declared_at = event.time
+                span.declared_by = schema.declared_by(event)
+            self._try_settle(tag)
+        elif category in (categories.NET_SENT, categories.NET_DELIVERED):
+            message = event.details.get("message")
+            tag = _tag_of(getattr(message, "tag", None))
+            if tag is None:
+                return
+            self._flush_deferred(tag)
+            key = (tag, event["sender"], event["destination"])
+            pending = self._awaiting_net.get(key)
+            if not pending:
+                return
+            if category == categories.NET_SENT:
+                # First hop in the queue that has no net-accept time yet.
+                for hop in pending:
+                    if hop.net_sent_at is None:
+                        hop.net_sent_at = event.time
+                        self._span_for(tag, event.time)
+                        break
+            else:
+                hop = pending.popleft()
+                if not pending:
+                    del self._awaiting_net[key]
+                hop.net_delivered_at = event.time
+                self._span_for(tag, event.time)
+                self._outstanding[tag] -= 1
+                self._try_settle(tag)
+
+    # ------------------------------------------------------------------
+    # Online section 4 bounds
+    # ------------------------------------------------------------------
+
+    def _check_bounds_online(self, span: ProbeComputationSpan, hop: ProbeHop) -> None:
+        counts = self._edge_counts.setdefault(span.tag, {})
+        count = counts.get(hop.edge, 0) + 1
+        counts[hop.edge] = count
+        if count == 2:
+            self._violate(
+                BoundViolation(
+                    "one-probe-per-edge",
+                    f"computation {span.tag} sent a second probe over edge "
+                    f"{hop.edge!r} at t={hop.sent_at} (section 4 allows "
+                    "exactly one)",
+                )
+            )
+        if self.n_vertices is not None:
+            limit = self.n_vertices * (self.n_vertices - 1)
+            total = sum(counts.values())
+            if total == limit + 1:
+                self._violate(
+                    BoundViolation(
+                        "probes-le-edges",
+                        f"computation {span.tag} exceeded the {limit} possible "
+                        f"wait-for edges among {self.n_vertices} vertices at "
+                        f"t={hop.sent_at}",
+                    )
+                )
+
+    def _violate(self, violation: BoundViolation) -> None:
+        self.violations.append(violation)
+        if self.on_violation is not None:
+            self.on_violation(violation)
+        if self.strict_bounds:
+            raise violation
+
+    # ------------------------------------------------------------------
+    # Settlement & eviction
+    # ------------------------------------------------------------------
+
+    def _resolution(self, tag: ProbeTag) -> SpanOutcome | None:
+        """The outcome already determined for ``tag``, if any.
+
+        FIZZLED is never determined mid-stream: only quiescence proves
+        the absence of a future declaration.
+        """
+        span = self._spans[tag]
+        if span.declared_at is not None:
+            return SpanOutcome.DEADLOCK
+        if tag.sequence < self._latest.get(tag.initiator, tag.sequence):
+            return SpanOutcome.SUPERSEDED
+        return None
+
+    def _try_settle(self, tag: ProbeTag) -> None:
+        if tag not in self._spans or self._outstanding.get(tag, 0) > 0:
+            return
+        if self._resolution(tag) is not None:
+            self._deferred[tag] = None
+
+    def _flush_deferred(self, current: ProbeTag) -> None:
+        """Evict deferred tags once an event of a *different* tag proves
+        their producing handlers have completed."""
+        if not self._deferred:
+            return
+        for tag in list(self._deferred):
+            if tag == current:
+                continue
+            del self._deferred[tag]
+            if tag not in self._spans or self._outstanding.get(tag, 0) > 0:
+                continue
+            outcome = self._resolution(tag)
+            if outcome is not None:
+                self._evict(tag, outcome)
+
+    def _evict(self, tag: ProbeTag, outcome: SpanOutcome) -> None:
+        span = self._spans.pop(tag)
+        span.outcome = outcome
+        self._outstanding.pop(tag, None)
+        self._edge_counts.pop(tag, None)
+        # Drained tags have no queue entries left; fizzled ones (flushed
+        # by finish) may.  Sweep both keyed maps for stragglers.
+        for key in [k for k in self._awaiting_receive if k[0] == tag]:
+            del self._awaiting_receive[key]
+        for key in [k for k in self._awaiting_net if k[0] == tag]:
+            del self._awaiting_net[key]
+        self.emitted += 1
+        tracer = self._tracer
+        if tracer is not None and tracer.wants(categories.OBS_SPAN_SETTLED):
+            tracer.record(
+                span.end_time,
+                categories.OBS_SPAN_SETTLED,
+                tag=tag,
+                outcome=outcome.value,
+                probes_sent=span.probes_sent,
+                detection_latency=span.detection_latency,
+            )
+        if self.on_span is not None:
+            self.on_span(span)
+
+    def finish(self) -> list[ProbeComputationSpan]:
+        """Flush every remaining computation at end of stream.
+
+        Undetermined spans become FIZZLED (or SUPERSEDED when a later
+        sequence exists), exactly like the batch folder's quiescence-time
+        outcome pass.  Returns the spans emitted *by this call*, in the
+        batch folder's sort order; spans already emitted mid-stream are
+        not repeated.
+        """
+        flushed: list[ProbeComputationSpan] = []
+        self._deferred.clear()
+        for tag in sorted(
+            self._spans, key=lambda t: span_sort_key(self._spans[t])
+        ):
+            span = self._spans[tag]
+            outcome = self._resolution(tag)
+            if outcome is None:
+                outcome = SpanOutcome.FIZZLED
+            self._evict(tag, outcome)
+            flushed.append(span)
+        return flushed
+
+
+def span_to_json(span: ProbeComputationSpan) -> dict[str, Any]:
+    """A compact JSON-able view of one span, for streamed JSONL export.
+
+    Deliberately simpler than the lossless trace round-trip of
+    :mod:`repro.obs.export`: ids are stringified, derived quantities are
+    precomputed -- the shape a dashboard or ``jq`` wants, not a decoder.
+    """
+    return {
+        "tag": str(span.tag),
+        "initiator": span.initiator,
+        "sequence": span.tag.sequence,
+        "initiated_at": span.initiated_at,
+        "declared_at": span.declared_at,
+        "declared_by": None if span.declared_by is None else str(span.declared_by),
+        "outcome": span.outcome.value,
+        "end_time": span.end_time,
+        "probes_sent": span.probes_sent,
+        "meaningful_probes": span.meaningful_probes,
+        "detection_latency": span.detection_latency,
+        "hops": [
+            {
+                "source": str(hop.source),
+                "target": str(hop.target),
+                "edge": str(hop.edge),
+                "sent_at": hop.sent_at,
+                "net_sent_at": hop.net_sent_at,
+                "net_delivered_at": hop.net_delivered_at,
+                "received_at": hop.received_at,
+                "meaningful": hop.meaningful,
+            }
+            for hop in span.hops
+        ],
+    }
+
+
+def stream_spans(
+    source: Tracer | Iterable[TraceEvent],
+    schema: SpanSchema = BASIC_SPAN_SCHEMA,
+    *,
+    n_vertices: int | None = None,
+    strict_bounds: bool = False,
+) -> list[ProbeComputationSpan]:
+    """Run the incremental engine over a complete event stream.
+
+    Returns spans in the batch folder's order -- on a full trace the
+    result is field-for-field identical to
+    :func:`repro.obs.spans.build_spans` (the parity contract).
+    """
+    collected: list[ProbeComputationSpan] = []
+    engine = StreamingSpanEngine(
+        schema,
+        n_vertices=n_vertices,
+        strict_bounds=strict_bounds,
+        on_span=collected.append,
+    )
+    for event in source:
+        engine.on_event(event)
+    engine.finish()
+    return sorted(collected, key=span_sort_key)

@@ -49,6 +49,11 @@ DDB_DEADLOCK_DECLARED: Final = "ddb.deadlock.declared"
 #: Periodic event-queue-depth sample recorded by the opt-in profiler
 #: (virtual-time stamped, hence deterministic and replayable).
 PROFILE_QUEUE_SAMPLED: Final = "profile.queue.sampled"
+#: The streaming span engine resolved one probe computation ``(i, n)``
+#: and evicted it from memory (outcome + probe accounting in the details).
+OBS_SPAN_SETTLED: Final = "obs.span.settled"
+#: The live telemetry layer took one periodic metrics snapshot.
+OBS_METRICS_SNAPSHOT: Final = "obs.metrics.snapshot"
 
 # -- OR / communication model (section 7) ----------------------------------
 OR_REQUEST_SENT: Final = "or.request.sent"

@@ -206,7 +206,10 @@ class Simulator:
 
     def trace_now(self, category: str, **details: object) -> None:
         """Record a trace event stamped with the current time."""
-        self.tracer.record(self.clock.now, category, **details)
+        tracer = self.tracer
+        if tracer.idle:
+            return
+        tracer.record(self.clock.now, category, **details)
 
     def __repr__(self) -> str:
         return (

@@ -52,15 +52,58 @@ class Tracer:
     simulation.
     """
 
-    __slots__ = ("_by_category", "_events", "_subscribers", "enabled")
+    __slots__ = (
+        "_by_category",
+        "_enabled",
+        "_events",
+        "_idle",
+        "_subscribers",
+        "_wants_all",
+    )
 
     def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
+        self._enabled = enabled
         self._events: list[TraceEvent] = []
         #: wildcard subscribers: see every recorded event.
         self._subscribers: list[Subscriber] = []
         #: category-scoped subscribers: see only their categories' events.
         self._by_category: dict[str, list[Subscriber]] = {}
+        self._idle = not enabled
+        self._wants_all = enabled
+
+    @property
+    def enabled(self) -> bool:
+        """Whether events are appended to the in-memory log."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = value
+        self._recompute_flags()
+
+    @property
+    def idle(self) -> bool:
+        """True when no recorded event could reach anyone.
+
+        Precomputed on every ``enabled`` flip and (un)subscription, so hot
+        call sites (``NodeContext.trace``, ``Simulator.trace_now``) pay one
+        attribute read -- not a set lookup -- on the ``trace=False``
+        no-subscriber fast path the big sweeps run on.
+        """
+        return self._idle
+
+    def _recompute_flags(self) -> None:
+        """Refresh the two precomputed dispatch flags.
+
+        ``_idle`` short-circuits everything when nobody could see an
+        event; ``_wants_all`` short-circuits the per-category lookup when
+        every event is seen anyway (log enabled or a wildcard subscriber
+        attached).  Both exist so the hot guards below stay at one or two
+        attribute reads -- the cold-subscribed regime every protocol
+        system runs in (systems attach their own category observers).
+        """
+        self._idle = not (self._enabled or self._subscribers or self._by_category)
+        self._wants_all = self._enabled or bool(self._subscribers)
 
     def wants(self, category: str) -> bool:
         """True when recording ``category`` now would reach anyone.
@@ -69,15 +112,19 @@ class Tracer:
         dict per message) use this to skip the :meth:`record` call
         entirely on untraced categories.
         """
-        return bool(self.enabled or self._subscribers or category in self._by_category)
+        if self._idle:
+            return False
+        return self._wants_all or category in self._by_category
 
     def record(self, time: float, category: str, **details: Any) -> None:
         """Record one event (no-op when disabled and nobody subscribed)."""
+        if self._idle:
+            return
         targeted = self._by_category.get(category)
-        if not self.enabled and not self._subscribers and targeted is None:
+        if targeted is None and not self._wants_all:
             return
         event = TraceEvent(time=time, category=category, details=details)
-        if self.enabled:
+        if self._enabled:
             self._events.append(event)
         for subscriber in self._subscribers:
             subscriber(event)
@@ -97,12 +144,14 @@ class Tracer:
         """
         if categories is None:
             self._subscribers.append(callback)
+            self._recompute_flags()
             return
         names = tuple(categories)
         if not names:
             raise ValueError("categories must be None (wildcard) or non-empty")
         for name in names:
             self._by_category.setdefault(name, []).append(callback)
+        self._recompute_flags()
 
     def unsubscribe(self, callback: Subscriber) -> None:
         """Detach a subscriber registered with :meth:`subscribe`.
@@ -116,6 +165,7 @@ class Tracer:
         """
         try:
             self._subscribers.remove(callback)
+            self._recompute_flags()
             return
         except ValueError:
             pass
@@ -131,6 +181,7 @@ class Tracer:
                 del self._by_category[name]
         if not removed:
             raise ValueError(f"callback {callback!r} is not subscribed to this tracer")
+        self._recompute_flags()
 
     @contextmanager
     def subscribed(

@@ -20,7 +20,7 @@ from collections.abc import Callable, Hashable
 from typing import TYPE_CHECKING, Any
 
 from repro.sim.events import EventHandle
-from repro.sim.metrics import Counter, MetricsRegistry
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
 from repro.sim.simulator import Simulator
@@ -56,10 +56,20 @@ class SimNodeContext:
         return self._simulator.schedule(delay, callback, name)
 
     def trace(self, category: str, **details: object) -> None:
-        self._simulator.trace_now(category, **details)
+        simulator = self._simulator
+        tracer = simulator.tracer
+        if tracer.idle:
+            return
+        tracer.record(simulator.clock.now, category, **details)
 
     def counter(self, name: str) -> Counter:
         return self._simulator.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._simulator.metrics.gauge(name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._simulator.metrics.histogram(name)
 
     def __repr__(self) -> str:
         return f"SimNodeContext({self._node_id!r})"

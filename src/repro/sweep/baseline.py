@@ -86,10 +86,36 @@ def _bench_cycle64() -> tuple[int, float]:
     return system.simulator.events_executed, elapsed
 
 
+def _bench_monitor_stream() -> tuple[int, float]:
+    """Detect a 64-cycle deadlock with the streaming span engine attached.
+
+    The ``repro monitor`` configuration: ``trace=False`` (nothing
+    buffered) plus a category-scoped subscription folding spans online.
+    Ratcheting this next to ``engine.cycle64`` keeps the telemetry
+    layer's overhead on the detection hot path honest.
+    """
+    from repro.core.registry import get_variant
+    from repro.obs.spans import BASIC_SPAN_SCHEMA
+    from repro.obs.stream import StreamingSpanEngine
+    from repro.workloads.scenarios import schedule_cycle
+
+    system = get_variant("basic").build(n_vertices=64, seed=0, trace=False)
+    engine = StreamingSpanEngine(BASIC_SPAN_SCHEMA, n_vertices=64)
+    engine.attach(system.simulator.tracer)
+    schedule_cycle(system, list(range(64)), gap=0.1)
+    started = time.perf_counter()
+    system.run_to_quiescence()
+    elapsed = time.perf_counter() - started
+    engine.finish()
+    assert engine.emitted, "the monitored 64-cycle must settle spans"
+    return system.simulator.events_executed, elapsed
+
+
 MICRO_BENCHMARKS: dict[str, Callable[[], tuple[int, float]]] = {
     "engine.event_loop": _bench_event_loop,
     "engine.network": _bench_network,
     "engine.cycle64": _bench_cycle64,
+    "obs.monitor_stream": _bench_monitor_stream,
 }
 
 

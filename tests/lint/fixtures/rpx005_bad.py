@@ -18,3 +18,11 @@ def count_probes(tracer) -> int:
 
 def is_delivery(event) -> bool:
     return event.category == "net.delivered"  # expect: RPX005
+
+
+def settle_span(tracer, now: float) -> None:
+    tracer.record(now, "obs.span.settled", outcome="deadlock")  # expect: RPX005
+
+
+def is_snapshot(event) -> bool:
+    return event.category == "obs.metrics.snapshot"  # expect: RPX005

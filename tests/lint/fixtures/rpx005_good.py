@@ -16,3 +16,11 @@ def count_probes(tracer) -> int:
 
 def is_delivery(event) -> bool:
     return event.category == categories.NET_DELIVERED
+
+
+def settle_span(tracer, now: float) -> None:
+    tracer.record(now, categories.OBS_SPAN_SETTLED, outcome="deadlock")
+
+
+def is_snapshot(event) -> bool:
+    return event.category == categories.OBS_METRICS_SNAPSHOT

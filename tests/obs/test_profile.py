@@ -107,6 +107,18 @@ class TestReport:
         assert len(series) == report.queue_depth_samples > 0
         assert system.simulator.metrics.gauge("sim.queue.depth").value >= 0
 
+    def test_gauge_backed_counters_match_the_trace(self) -> None:
+        # regression for the rewrite onto repro.obs.metrics.GaugeMetric:
+        # with sample_every=1 every executed event is sampled, so the
+        # report's high-water mark and sample count must equal what the
+        # trace itself records -- byte-identical to the hand-rolled ints
+        # the profiler used before.
+        system, report = self.run_profiled(sample_every=1)
+        sampled = system.simulator.tracer.events(categories.PROFILE_QUEUE_SAMPLED)
+        assert report.queue_depth_samples == len(sampled) == report.events
+        assert report.queue_depth_max == max(event["depth"] for event in sampled)
+        assert isinstance(report.queue_depth_max, int)
+
     def test_render_mentions_the_headline_numbers(self) -> None:
         _, report = self.run_profiled()
         text = report.render()

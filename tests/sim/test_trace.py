@@ -73,6 +73,48 @@ class TestTracer:
         tracer.record(1.0, "after")
         assert seen == []
 
+    def test_idle_and_wants_track_every_transition(self) -> None:
+        # the precomputed fast-path flags behind wants()/record(): fully
+        # idle -> category-scoped -> wildcard -> enabled, and back.
+        tracer = Tracer(enabled=False)
+        assert tracer.idle
+        assert not tracer.wants("a")
+
+        listener = lambda event: None  # noqa: E731
+        tracer.subscribe(listener, categories=("a",))
+        assert not tracer.idle
+        assert tracer.wants("a") and not tracer.wants("b")
+
+        wildcard = lambda event: None  # noqa: E731
+        tracer.subscribe(wildcard)
+        assert tracer.wants("b")  # wildcard sees everything
+        tracer.unsubscribe(wildcard)
+        assert not tracer.wants("b")
+
+        tracer.unsubscribe(listener)
+        assert tracer.idle
+
+        tracer.enabled = True
+        assert not tracer.idle and tracer.wants("anything")
+        tracer.enabled = False
+        assert tracer.idle
+
+    def test_unwatched_category_is_dropped_not_buffered(self) -> None:
+        # the cold-subscribed regime: recording a category nobody watches
+        # must neither buffer the event nor call any subscriber.
+        tracer = Tracer(enabled=False)
+        seen: list[TraceEvent] = []
+        tracer.subscribe(seen.append, categories=("watched",))
+        tracer.record(1.0, "unwatched", x=1)
+        tracer.record(2.0, "watched", x=2)
+        assert len(tracer) == 0
+        assert [event.category for event in seen] == ["watched"]
+
+    def test_empty_category_subscription_is_rejected(self) -> None:
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="non-empty"):
+            tracer.subscribe(lambda event: None, categories=())
+
     def test_clear(self) -> None:
         tracer = Tracer()
         tracer.record(1.0, "a")

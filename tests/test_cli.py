@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -178,3 +180,47 @@ class TestBenchCommand:
         )
         assert main(["bench", "check", "--baseline", str(path), "--repeats", "1"]) == 1
         assert "BENCH CHECK FAILED" in capsys.readouterr().out
+
+
+class TestMonitorCommand:
+    FAST = ["--duration", "0.6", "--interval", "0.2", "--time-scale", "0.002"]
+
+    def test_monitor_json_report(self, capsys) -> None:
+        assert main(["monitor", "basic", "--json", *self.FAST]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.monitor-report/1"
+        assert document["ok"] and document["detected"]
+
+    def test_monitor_console_and_exports(self, tmp_path, capsys) -> None:
+        metrics = tmp_path / "metrics.prom"
+        spans = tmp_path / "spans.jsonl"
+        assert main(
+            [
+                "monitor",
+                "basic",
+                "--metrics-out",
+                str(metrics),
+                "--spans-out",
+                str(spans),
+                *self.FAST,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[monitor basic scenario=deadlock" in out
+        assert "spans streamed:" in out
+        assert "FAILED" not in out
+        assert "repro_computations_total" in metrics.read_text()
+        assert spans.read_text().strip()
+
+    def test_monitor_clean_scenario(self, capsys) -> None:
+        assert main(["monitor", "basic", "--scenario", "clean", "--json", *self.FAST]) == 0
+        assert json.loads(capsys.readouterr().out)["detected"] is False
+
+    def test_monitor_unknown_variant_is_an_error(self, capsys) -> None:
+        assert main(["monitor", "nope", *self.FAST]) == 2
+        assert "unknown detector variant" in capsys.readouterr().out
+
+    def test_monitor_impossible_slo_exits_nonzero(self, capsys) -> None:
+        assert main(["monitor", "basic", "--slo", "1e-9", "--json", *self.FAST]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["slo_violations"] > 0 and not document["ok"]

@@ -1,0 +1,153 @@
+"""The ``repro monitor`` runtime: live run + streaming telemetry exports.
+
+Each test observes a real :class:`~repro.live.transport.AsyncioTransport`
+run on a compressed clock, so durations are kept small; what is asserted
+is schedule-free (detection, soundness, export file shapes), never an
+exact interleaving.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.live.monitor import MonitorReport, run_monitor
+
+#: compressed clock: 1 virtual unit = 2 ms wall; the standard scenarios
+#: quiesce within ~20 virtual units.
+FAST = {"time_scale": 0.002, "duration": 1.0, "interval": 0.2}
+
+
+class TestRunMonitor:
+    def test_deadlock_run_is_ok_and_detected(self, tmp_path) -> None:
+        metrics = tmp_path / "metrics.prom"
+        spans = tmp_path / "spans.jsonl"
+        snapshots = tmp_path / "snapshots.jsonl"
+        report = run_monitor(
+            "basic",
+            scenario="deadlock",
+            metrics_out=metrics,
+            spans_out=spans,
+            snapshots_out=snapshots,
+            **FAST,
+        )
+        assert report.ok and report.detected and report.sound
+        assert report.bound_violations == 0
+        assert report.ticks >= 2
+        assert report.spans_emitted >= 1
+        assert report.detection_latencies_seconds
+
+        text = metrics.read_text()
+        assert "# TYPE repro_messages_total counter" in text
+        assert "repro_declarations_total" in text
+
+        streamed = [json.loads(line) for line in spans.read_text().splitlines()]
+        assert len(streamed) == report.spans_emitted
+        assert "deadlock" in {span["outcome"] for span in streamed}
+
+        snapshot_lines = [
+            json.loads(line) for line in snapshots.read_text().splitlines()
+        ]
+        # one snapshot per tick plus the final flush
+        assert len(snapshot_lines) == report.ticks + 1
+        assert snapshot_lines[-1]["schema"] == "repro.obs.metrics-snapshot/1"
+        sequences = [line["sequence"] for line in snapshot_lines]
+        assert sequences == sorted(sequences)
+
+    def test_clean_run_stays_silent_and_ok(self) -> None:
+        report = run_monitor("basic", scenario="clean", **FAST)
+        assert report.ok
+        assert not report.detected
+        assert report.detection_latencies_seconds == ()
+
+    def test_console_stream_renders_ticks(self) -> None:
+        console = io.StringIO()
+        report = run_monitor("basic", scenario="deadlock", stream=console, **FAST)
+        lines = console.getvalue().splitlines()
+        assert len(lines) == report.ticks
+        assert all(line.startswith("t=") for line in lines)
+        assert "slo=off" in lines[-1]
+        assert "declared=" in lines[-1]
+
+    def test_impossible_slo_is_flagged_not_ok(self) -> None:
+        report = run_monitor(
+            "basic", scenario="deadlock", slo_seconds=1e-9, **FAST
+        )
+        assert report.detected
+        assert report.slo_violations == len(report.detection_latencies_seconds) > 0
+        assert not report.ok
+
+    def test_generous_slo_is_ok(self) -> None:
+        report = run_monitor(
+            "basic", scenario="deadlock", slo_seconds=60.0, **FAST
+        )
+        assert report.slo_violations == 0
+        assert report.ok
+
+    @pytest.mark.parametrize("name", ["ddb", "ormodel"])
+    def test_other_variants_are_monitorable(self, name: str) -> None:
+        report = run_monitor(name, scenario="deadlock", **FAST)
+        assert report.detected and report.sound
+
+    def test_invalid_arguments_are_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="duration"):
+            run_monitor("basic", duration=0.0)
+        with pytest.raises(ConfigurationError, match="interval"):
+            run_monitor("basic", interval=-1.0)
+        with pytest.raises(ConfigurationError, match="unknown detector variant"):
+            run_monitor("nope")
+
+
+class TestMonitorReport:
+    def make(self, **overrides) -> MonitorReport:
+        from repro.core.conformance import ConformanceOutcome
+
+        defaults = dict(
+            variant="basic",
+            scenario="deadlock",
+            outcome=ConformanceOutcome(
+                variant="basic",
+                scenario="deadlock",
+                declarations=1,
+                soundness_violations=0,
+                complete=True,
+                undetected_components=0,
+                first_declaration_at=3.0,
+            ),
+            wall_seconds=1.0,
+            ticks=4,
+            spans_emitted=2,
+            bound_violations=0,
+            time_scale=0.002,
+            slo_seconds=None,
+            detection_latencies_seconds=(0.01,),
+        )
+        defaults.update(overrides)
+        return MonitorReport(**defaults)
+
+    def test_ok_requires_detection_on_deadlock_scenario(self) -> None:
+        from dataclasses import replace
+
+        report = self.make()
+        assert report.ok
+        missed = self.make(outcome=replace(report.outcome, declarations=0))
+        assert not missed.ok
+        # ... but a clean scenario is allowed (required, even) to be silent
+        clean = self.make(
+            scenario="clean",
+            outcome=replace(report.outcome, scenario="clean", declarations=0),
+            detection_latencies_seconds=(),
+        )
+        assert clean.ok
+
+    def test_ok_fails_on_bound_violations(self) -> None:
+        assert not self.make(bound_violations=1).ok
+
+    def test_json_document_is_complete(self) -> None:
+        document = json.loads(json.dumps(self.make().to_json()))
+        assert document["schema"] == "repro.monitor-report/1"
+        for key in ("ok", "detected", "sound", "slo_violations", "ticks"):
+            assert key in document

@@ -25,6 +25,7 @@ FLOORS = {
     "repro.core": 85.0,
     "repro.sweep": 85.0,
     "repro.live": 85.0,
+    "repro.obs": 85.0,
 }
 
 
