@@ -137,19 +137,26 @@ def test_cold_subscription_overhead_under_budget():
 
 
 def test_monitored_run_produces_spans_without_buffering(benchmark):
-    """The monitor configuration end to end: streaming engine subscribed,
-    trace=False -- throughput benchmark plus the bounded-memory claim."""
-    from repro.obs.spans import BASIC_SPAN_SCHEMA
-    from repro.obs.stream import StreamingSpanEngine
+    """The monitor configuration end to end: telemetry subscribed through
+    the shared :func:`~repro.obs.metrics.telemetry_for_variant` helper
+    (the same attachment path ``repro monitor`` and the cluster
+    coordinator use -- no direct tracer plumbing here), trace=False --
+    throughput benchmark plus the bounded-memory claim."""
+    from repro.core.registry import get_variant
+    from repro.obs.metrics import telemetry_for_variant
+
+    capabilities = get_variant("basic").capabilities
 
     def run() -> tuple[int, int]:
         system = BasicSystem(n_vertices=N_VERTICES, seed=0, trace=False)
-        engine = StreamingSpanEngine(BASIC_SPAN_SCHEMA, n_vertices=N_VERTICES)
-        engine.attach(system.simulator.tracer)
+        telemetry = telemetry_for_variant(
+            system.transport, capabilities, n_vertices=N_VERTICES
+        )
         schedule_cycle(system, list(range(N_VERTICES)), gap=0.1)
         system.run_to_quiescence()
-        engine.finish()
-        return engine.emitted, len(system.simulator.tracer)
+        telemetry.finish()
+        emitted = sum(engine.emitted for engine in telemetry.engines.values())
+        return emitted, len(system.transport.tracer)
 
     emitted, buffered = benchmark(run)
     assert emitted >= 1

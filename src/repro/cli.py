@@ -374,6 +374,73 @@ def _cmd_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster import run_cluster
+    from repro.core import get_variant
+    from repro.errors import ClusterError, ConfigurationError, SimulationError
+
+    try:
+        get_variant(args.variant)
+    except ConfigurationError as error:
+        print(str(error))
+        return 2
+    try:
+        report = run_cluster(
+            args.variant,
+            scenario=args.scenario,
+            seed=args.seed,
+            time_scale=args.time_scale,
+            timeout=args.timeout,
+            channel="tcp" if args.tcp else "unix",
+            n_vertices=args.n,
+            duration=args.duration,
+        )
+    except ClusterError as error:
+        print(f"CLUSTER RUN FAILED: {error}")
+        for failure in error.failures:
+            print(f"  worker {failure.worker} ({failure.node}): {failure.reason}")
+            if failure.detail:
+                print(f"    {failure.detail.splitlines()[-1]}")
+        return 1
+    except (ConfigurationError, SimulationError) as error:
+        print(f"CLUSTER RUN FAILED: {error}")
+        return 1
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as sink:
+            json.dump(report.to_json(), sink, sort_keys=True, indent=2)
+            sink.write("\n")
+    outcome = report.outcome
+    print(
+        f"[cluster {args.variant} scenario={args.scenario} seed={args.seed} "
+        f"channel={report.channel} workers={report.workers} "
+        f"time_scale={report.time_scale:g}]"
+    )
+    print(f"  declarations: {outcome.declarations}")
+    print(f"  soundness violations: {outcome.soundness_violations}")
+    print(f"  complete: {outcome.complete}")
+    print(f"  messages through workers: {report.messages_delivered}")
+    if report.detection_latency_seconds is not None:
+        print(
+            f"  detection latency: {report.detection_latency_seconds * 1000.0:.1f} ms "
+            f"wall ({outcome.first_declaration_at:g} virtual units)"
+        )
+    else:
+        print("  detection latency: n/a (no declaration)")
+    print(f"  wall time: {report.wall_seconds:.3f} s")
+    if not report.sound:
+        print("FAILED: declaration without a genuine deadlock (QRP2 violated)")
+        return 1
+    if args.scenario == "deadlock" and not report.detected:
+        print("FAILED: genuine deadlock went undetected (QRP1 violated)")
+        return 1
+    if args.scenario == "random" and not outcome.complete:
+        print("FAILED: random workload left a deadlock undetected (QRP1 violated)")
+        return 1
+    return 0
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     import json
 
@@ -638,6 +705,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget in seconds before the run fails (default: 30)",
     )
     live.set_defaults(handler=_cmd_live)
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="run a variant across one worker OS process per node",
+        description=(
+            "Runs a registered variant with every node's message channels "
+            "owned by its own worker process: messages cross real Unix-"
+            "domain (or TCP) sockets as length-prefixed JSON frames, with "
+            "per-channel FIFO order preserved end to end and seeded delay "
+            "injection.  Scenarios: the standard deadlock/clean "
+            "conformance pair, or a large random workload (basic model) "
+            "gated on the quiescence-time completeness report.  Exit 1 on "
+            "a missed deadlock, a soundness violation, or a worker "
+            "failure."
+        ),
+    )
+    cluster.add_argument("variant", help="variant name (see `repro variants`)")
+    cluster.add_argument(
+        "--scenario",
+        choices=("deadlock", "clean", "random"),
+        default="deadlock",
+        help="scenario to run (default: deadlock)",
+    )
+    cluster.add_argument("--seed", type=int, default=0, help="root seed (default: 0)")
+    cluster.add_argument(
+        "--n",
+        type=int,
+        default=8,
+        help="vertices for the random workload (default: 8)",
+    )
+    cluster.add_argument(
+        "--duration",
+        type=float,
+        default=40.0,
+        help="random-workload duration in virtual units (default: 40)",
+    )
+    cluster.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.005,
+        help="wall seconds per virtual time unit (default: 0.005)",
+    )
+    cluster.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="wall-clock budget in seconds before the run fails (default: 60)",
+    )
+    cluster.add_argument(
+        "--tcp",
+        action="store_true",
+        help="use loopback TCP channels instead of Unix-domain sockets",
+    )
+    cluster.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="also write the full report as JSON here",
+    )
+    cluster.set_defaults(handler=_cmd_cluster)
 
     monitor = subparsers.add_parser(
         "monitor",

@@ -1,0 +1,186 @@
+"""Wire format of the cluster backend: length-prefixed JSON frames.
+
+Every byte that crosses a worker boundary is one *frame*: a 4-byte
+big-endian length prefix followed by that many bytes of UTF-8 JSON (an
+object).  Frames ride ordered byte streams (Unix-domain or TCP sockets),
+so frame order on a connection equals write order -- the transport's
+per-channel FIFO guarantee (axiom P4) reduces to "one serial writer per
+channel" on top of this module.
+
+Protocol messages are arbitrary Python values (frozen dataclasses,
+tuples, frozensets, enums, ...), so the JSON payload uses a small tagged
+encoding (:func:`encode_value` / :func:`decode_value`).  Decoding never
+imports code: a dataclass or enum payload only decodes if its defining
+module is already imported, which is always true on the coordinator (it
+authored the frame) and turns a forged type reference into a hard error
+instead of an import.
+
+The worker program (:mod:`repro.cluster.worker`) deliberately does *not*
+import this module -- workers treat payloads as opaque JSON and only
+speak the framing, which they inline so that spawning a worker never
+imports the repro package.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import enum
+import json
+import struct
+import sys
+from typing import Any
+
+from repro.errors import ClusterError
+
+#: 4-byte big-endian unsigned frame length, preceding each JSON body.
+HEADER = struct.Struct(">I")
+#: hard ceiling on one frame's body; a corrupt length prefix otherwise
+#: turns into a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_KIND = "__repro__"
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one protocol message (or id) into JSON-able form.
+
+    Handles the shapes registered variants actually send: scalars, frozen
+    dataclasses (by ``module:qualname`` plus encoded fields), enums (by
+    member name), tuples, sets, frozensets, lists, and dicts with
+    arbitrary encodable keys.  Anything else is rejected with a
+    :class:`~repro.errors.ClusterError` naming the offending type.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        cls = type(value)
+        return {_KIND: "enum", "type": _type_ref(cls), "name": value.name}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            field.name: encode_value(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        return {_KIND: "dataclass", "type": _type_ref(type(value)), "fields": fields}
+    if isinstance(value, tuple):
+        return {_KIND: "tuple", "items": [encode_value(item) for item in value]}
+    if isinstance(value, frozenset):
+        return {_KIND: "frozenset", "items": [encode_value(item) for item in value]}
+    if isinstance(value, set):
+        return {_KIND: "set", "items": [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return {_KIND: "list", "items": [encode_value(item) for item in value]}
+    if isinstance(value, dict):
+        return {
+            _KIND: "dict",
+            "items": [[encode_value(k), encode_value(v)] for k, v in value.items()],
+        }
+    raise ClusterError(
+        f"cluster transport cannot serialize a {type(value).__module__}."
+        f"{type(value).__qualname__} message; send JSON scalars, containers, "
+        "enums, or dataclasses"
+    )
+
+
+def decode_value(payload: Any) -> Any:
+    """Invert :func:`encode_value`; see the module docstring for safety."""
+    if not isinstance(payload, dict):
+        return payload
+    kind = payload.get(_KIND)
+    if kind == "tuple":
+        return tuple(decode_value(item) for item in payload["items"])
+    if kind == "frozenset":
+        return frozenset(decode_value(item) for item in payload["items"])
+    if kind == "set":
+        return {decode_value(item) for item in payload["items"]}
+    if kind == "list":
+        return [decode_value(item) for item in payload["items"]]
+    if kind == "dict":
+        return {decode_value(k): decode_value(v) for k, v in payload["items"]}
+    if kind == "enum":
+        cls = _resolve_type(payload["type"])
+        return cls[payload["name"]]
+    if kind == "dataclass":
+        cls = _resolve_type(payload["type"])
+        if not dataclasses.is_dataclass(cls):
+            raise ClusterError(f"frame names non-dataclass type {payload['type']!r}")
+        fields = {
+            name: decode_value(value) for name, value in payload["fields"].items()
+        }
+        return cls(**fields)
+    raise ClusterError(f"frame payload has unknown encoding kind {kind!r}")
+
+
+def _type_ref(cls: type) -> str:
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def _resolve_type(ref: str) -> Any:
+    """Look a ``module:qualname`` reference up in already-imported code."""
+    module_name, _, qualname = ref.partition(":")
+    module = sys.modules.get(module_name)
+    if module is None:
+        raise ClusterError(
+            f"frame references type {ref!r} from a module that is not "
+            "imported; refusing to import code from the wire"
+        )
+    obj: Any = module
+    for part in qualname.split("."):
+        obj = getattr(obj, part, None)
+        if obj is None:
+            raise ClusterError(f"frame references unknown type {ref!r}")
+    return obj
+
+
+def encode_frame(frame: dict[str, Any]) -> bytes:
+    """One complete frame as bytes: header plus JSON body."""
+    body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES}); message too large for the cluster wire"
+        )
+    return HEADER.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict[str, Any]:
+    """Parse one frame body; malformed bytes raise :class:`ClusterError`."""
+    try:
+        frame = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ClusterError(f"malformed frame body: {error}") from error
+    if not isinstance(frame, dict) or "kind" not in frame:
+        raise ClusterError("frame body must be a JSON object with a 'kind' field")
+    return frame
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF in the middle of a frame (a peer dying mid-write) raises
+    :class:`ClusterError` -- a torn frame is evidence of a failure, not
+    a shutdown.
+    """
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ClusterError("connection closed inside a frame header") from error
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"incoming frame announces {length} bytes "
+            f"(> MAX_FRAME_BYTES {MAX_FRAME_BYTES}); stream is corrupt"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ClusterError("connection closed inside a frame body") from error
+    return decode_frame(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, frame: dict[str, Any]) -> None:
+    """Write one frame and drain, so backpressure reaches the sender."""
+    writer.write(encode_frame(frame))
+    await writer.drain()

@@ -1,0 +1,201 @@
+"""Run one registered detector variant on the multi-process cluster.
+
+The driver behind ``repro cluster``: build a
+:class:`~repro.cluster.transport.ClusterTransport` (one worker OS process
+per node), attach the standard telemetry bridge
+(:func:`~repro.obs.metrics.telemetry_for_variant` -- detection latency is
+read from the same ``repro_detection_latency_units`` family the monitor
+exports), hand the transport to the variant's conformance callable, and
+report the outcome.  A ``random`` scenario additionally drives the basic
+model with :class:`~repro.workloads.basic_random.RandomRequestWorkload`
+-- a large churning workload where deadlocks form at random -- and gates
+on the quiescence-time completeness report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cluster.transport import ClusterTransport
+from repro.core.conformance import ConformanceOutcome
+from repro.core.registry import get_variant
+from repro.errors import ConfigurationError
+from repro.obs.metrics import telemetry_for_variant
+from repro.workloads.basic_random import RandomRequestWorkload
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Outcome of one cluster run, for humans, JSON artifacts, and CI."""
+
+    variant: str
+    scenario: str
+    outcome: ConformanceOutcome
+    #: wall seconds from bring-up to the end of the run.
+    wall_seconds: float
+    #: wall seconds until the first declaration (``None`` if silent).
+    detection_latency_seconds: float | None
+    #: per-computation detection latencies (wall seconds) from the
+    #: ``repro_detection_latency_units`` telemetry family.
+    detection_latencies_seconds: tuple[float, ...]
+    time_scale: float
+    #: ``"unix"`` or ``"tcp"``.
+    channel: str
+    #: worker processes the coordinator spawned (one per node).
+    workers: int
+    #: messages that crossed the worker boundary and came back.
+    messages_delivered: int
+    seed: int
+
+    @property
+    def detected(self) -> bool:
+        return self.outcome.declarations > 0
+
+    @property
+    def sound(self) -> bool:
+        return self.outcome.soundness_violations == 0
+
+    @property
+    def ok(self) -> bool:
+        """The CI gate: sound; a dealt deadlock detected; a random
+        workload's deadlocks all detected by quiescence (QRP1)."""
+        if not self.sound:
+            return False
+        if self.scenario == "deadlock" and not self.detected:
+            return False
+        if self.scenario == "random" and not self.outcome.complete:
+            return False
+        return True
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": "repro.cluster-report/1",
+            "variant": self.variant,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "ok": self.ok,
+            "detected": self.detected,
+            "sound": self.sound,
+            "declarations": self.outcome.declarations,
+            "soundness_violations": self.outcome.soundness_violations,
+            "complete": self.outcome.complete,
+            "undetected_components": self.outcome.undetected_components,
+            "detection_latency_seconds": self.detection_latency_seconds,
+            "detection_latencies_seconds": list(self.detection_latencies_seconds),
+            "channel": self.channel,
+            "workers": self.workers,
+            "messages_delivered": self.messages_delivered,
+            "wall_seconds": self.wall_seconds,
+            "time_scale": self.time_scale,
+        }
+
+
+def run_cluster(
+    variant_name: str,
+    *,
+    scenario: str = "deadlock",
+    seed: int = 0,
+    time_scale: float = 0.005,
+    timeout: float = 60.0,
+    channel: str = "unix",
+    heartbeat_interval: float = 0.5,
+    n_vertices: int = 8,
+    duration: float = 40.0,
+    worker_env: dict[str, str] | None = None,
+) -> ClusterReport:
+    """Run one scenario with every node's channels in its own process.
+
+    ``timeout`` bounds each drive of the run in wall seconds; a cluster
+    that neither declares nor quiesces inside it raises
+    :class:`~repro.errors.SimulationError`, and a worker death raises
+    :class:`~repro.errors.ClusterError` (both via the transport driver).
+    ``n_vertices`` and ``duration`` apply to the ``random`` scenario only.
+    """
+    variant = get_variant(variant_name)
+    if scenario == "random" and variant.capabilities.model != "basic":
+        raise ConfigurationError(
+            "the random cluster workload drives the basic model; "
+            f"variant {variant_name!r} runs on {variant.capabilities.model!r}"
+        )
+    transport = ClusterTransport(
+        seed=seed,
+        trace=False,
+        time_scale=time_scale,
+        max_wall_seconds=timeout,
+        channel=channel,
+        heartbeat_interval=heartbeat_interval,
+        worker_env=worker_env,
+    )
+    telemetry = telemetry_for_variant(transport, variant.capabilities)
+    started = time.perf_counter()
+    try:
+        if scenario == "random":
+            outcome = _run_random(
+                variant_name,
+                transport,
+                seed=seed,
+                n_vertices=n_vertices,
+                duration=duration,
+            )
+        else:
+            outcome = variant.conformance(scenario, seed, transport=transport)
+        telemetry.finish()
+        workers = len(transport.worker_processes())
+        delivered = int(
+            transport.metrics.counter("net.messages.delivered").value
+        )
+    finally:
+        transport.close()
+    wall = time.perf_counter() - started
+    latency = (
+        None
+        if outcome.first_declaration_at is None
+        else outcome.first_declaration_at * time_scale
+    )
+    return ClusterReport(
+        variant=variant_name,
+        scenario=scenario,
+        outcome=outcome,
+        wall_seconds=wall,
+        detection_latency_seconds=latency,
+        detection_latencies_seconds=tuple(
+            units * time_scale for units in telemetry.detection_latencies
+        ),
+        time_scale=time_scale,
+        channel=channel,
+        workers=workers,
+        messages_delivered=delivered,
+        seed=seed,
+    )
+
+
+def _run_random(
+    variant_name: str,
+    transport: ClusterTransport,
+    *,
+    seed: int,
+    n_vertices: int,
+    duration: float,
+) -> ConformanceOutcome:
+    """The large random workload: churn, then gate on completeness."""
+    variant = get_variant(variant_name)
+    system = variant.build(
+        n_vertices=n_vertices, seed=seed, strict=False, transport=transport
+    )
+    workload = RandomRequestWorkload(system, duration=duration)
+    workload.start()
+    system.run_to_quiescence()
+    report = system.completeness_report()
+    return ConformanceOutcome(
+        variant=variant_name,
+        scenario="random",
+        declarations=len(system.declarations),
+        soundness_violations=len(system.soundness_violations),
+        complete=report.complete,
+        undetected_components=len(report.undetected_components),
+        first_declaration_at=(
+            system.declarations[0].time if system.declarations else None
+        ),
+    )

@@ -1,0 +1,260 @@
+"""Cluster worker: one OS process owning one node's inbound channels.
+
+The coordinator (:mod:`repro.cluster.transport`) spawns one of these per
+registered node and routes every message for that node through it, so
+each delivery genuinely crosses two process boundaries as length-prefixed
+JSON frames.  The worker's job is the delivery half of axiom P4:
+
+* one FIFO queue per inbound channel, drained by a serial consumer, so
+  delivery order on a channel equals frame order regardless of the
+  injected delays (``loose`` frames -- the ``fifo=False`` ablation --
+  instead sleep independently and may overtake);
+* each message sleeps until its virtual due time (``origin + due *
+  time_scale`` on the worker's own clock, anchored by the coordinator's
+  ``start`` frame), then is echoed back as a ``deliver`` frame;
+* a heartbeat frame every ``--heartbeat`` seconds, so the coordinator
+  can tell a stalled worker from a quiet one;
+* connects back to the coordinator with deterministic exponential
+  backoff (:func:`backoff_delays`; no jitter -- cluster runs must stay
+  reproducible per seed, and the schedule has nothing to desynchronize).
+
+This file is a **self-contained stdlib program**: the coordinator spawns
+it by file path (``python .../worker.py``), so worker start-up never
+imports the repro package -- payloads stay opaque JSON, and the tiny
+frame helpers are inlined here instead of imported from
+:mod:`repro.cluster.frames`.
+
+Test hooks (environment variables, all off by default):
+
+``REPRO_CLUSTER_TEST_STARTUP_DELAY``
+    sleep this many seconds before connecting (a slow-starting worker).
+``REPRO_CLUSTER_TEST_CONNECT_FAILS``
+    fail the first N connect attempts (exercises the backoff path).
+``REPRO_CLUSTER_TEST_EXIT_AFTER``
+    die abruptly (``os._exit``) after N deliveries (a mid-run crash).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import struct
+import sys
+import time
+from typing import Any
+
+_HEADER = struct.Struct(">I")
+_MAX_FRAME_BYTES = 8 * 1024 * 1024
+#: exit status of an injected mid-run crash (REPRO_CLUSTER_TEST_EXIT_AFTER).
+CRASH_EXIT_CODE = 17
+
+#: connect retry schedule knobs (seconds).
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 1.0
+CONNECT_ATTEMPTS = 8
+
+
+def backoff_delays(
+    attempts: int = CONNECT_ATTEMPTS,
+    base: float = BACKOFF_BASE,
+    cap: float = BACKOFF_CAP,
+) -> list[float]:
+    """Deterministic exponential backoff: ``base * 2**k`` capped at ``cap``.
+
+    One delay per retry (the first attempt is immediate).  Deliberately
+    jitter-free: the schedule is private to one (worker, coordinator)
+    pair, so there is no thundering herd to spread out, and determinism
+    is a feature everywhere in this codebase.
+    """
+    return [min(base * (2.0**k), cap) for k in range(attempts)]
+
+
+def _env_float(name: str) -> float:
+    raw = os.environ.get(name, "")
+    return float(raw) if raw else 0.0
+
+
+def _env_int(name: str) -> int:
+    raw = os.environ.get(name, "")
+    return int(raw) if raw else 0
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ConnectionError("coordinator died inside a frame header") from error
+    (length,) = _HEADER.unpack(header)
+    if length > _MAX_FRAME_BYTES:
+        raise ConnectionError(f"frame announces {length} bytes; stream corrupt")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ConnectionError("coordinator died inside a frame body") from error
+    frame = json.loads(body.decode("utf-8"))
+    if not isinstance(frame, dict):
+        raise ConnectionError("frame body is not a JSON object")
+    return frame
+
+
+def _encode_frame(frame: dict[str, Any]) -> bytes:
+    body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(body)) + body
+
+
+async def _connect(spec: str) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Dial the coordinator, retrying with deterministic backoff."""
+    forced_failures = _env_int("REPRO_CLUSTER_TEST_CONNECT_FAILS")
+    delays = backoff_delays()
+    last_error: Exception = ConnectionError("no connect attempt made")
+    for attempt in range(len(delays) + 1):
+        try:
+            if attempt < forced_failures:
+                raise ConnectionError("injected connect failure (test hook)")
+            if spec.startswith("unix:"):
+                return await asyncio.open_unix_connection(spec[len("unix:") :])
+            if spec.startswith("tcp:"):
+                host, _, port = spec[len("tcp:") :].rpartition(":")
+                return await asyncio.open_connection(host, int(port))
+            raise ValueError(f"unknown connect spec {spec!r}")
+        except (OSError, ConnectionError) as error:
+            last_error = error
+            if attempt < len(delays):
+                await asyncio.sleep(delays[attempt])
+    raise last_error
+
+
+class Worker:
+    """Channel owner for one node; see the module docstring."""
+
+    def __init__(self, index: int, heartbeat: float) -> None:
+        self.index = index
+        self.heartbeat = heartbeat
+        self.origin: float | None = None
+        self.time_scale = 1.0
+        self.delivered = 0
+        self.exit_after = _env_int("REPRO_CLUSTER_TEST_EXIT_AFTER")
+        self._queues: dict[str, asyncio.Queue[dict[str, Any]]] = {}
+        self._consumers: list[asyncio.Task[None]] = []
+        self._loose: set[asyncio.Task[None]] = set()
+        self._writer_lock = asyncio.Lock()
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _write(self, frame: dict[str, Any]) -> None:
+        writer = self._writer
+        if writer is None:
+            return
+        async with self._writer_lock:
+            writer.write(_encode_frame(frame))
+            await writer.drain()
+
+    async def _heartbeat_loop(self) -> None:
+        sequence = 0
+        while True:
+            await asyncio.sleep(self.heartbeat)
+            sequence += 1
+            await self._write(
+                {"kind": "heartbeat", "index": self.index, "seq": sequence}
+            )
+
+    async def _sleep_until_due(self, due: float) -> None:
+        if self.origin is None:
+            return
+        remaining = self.origin + due * self.time_scale - time.monotonic()
+        if remaining > 0:
+            await asyncio.sleep(remaining)
+
+    async def _deliver(self, frame: dict[str, Any]) -> None:
+        await self._sleep_until_due(float(frame["due"]))
+        frame = dict(frame)
+        frame["kind"] = "deliver"
+        await self._write(frame)
+        self.delivered += 1
+        if self.exit_after and self.delivered >= self.exit_after:
+            # Simulated hard crash: no shutdown frame, no flushing -- the
+            # coordinator must notice via EOF/exit status, not courtesy.
+            os._exit(CRASH_EXIT_CODE)
+
+    async def _consume(self, queue: asyncio.Queue[dict[str, Any]]) -> None:
+        while True:
+            frame = await queue.get()
+            await self._deliver(frame)
+
+    def _enqueue(self, frame: dict[str, Any]) -> None:
+        if frame.get("loose"):
+            task = asyncio.ensure_future(self._deliver(frame))
+            self._loose.add(task)
+            task.add_done_callback(self._loose.discard)
+            return
+        channel = str(frame["channel"])
+        queue = self._queues.get(channel)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._queues[channel] = queue
+            self._consumers.append(asyncio.ensure_future(self._consume(queue)))
+        queue.put_nowait(frame)
+
+    async def run(self, spec: str) -> int:
+        reader, writer = await _connect(spec)
+        self._writer = writer
+        await self._write(
+            {"kind": "hello", "index": self.index, "pid": os.getpid()}
+        )
+        beats = asyncio.ensure_future(self._heartbeat_loop())
+        try:
+            while True:
+                frame = await _read_frame(reader)
+                if frame is None:
+                    # Coordinator went away without a shutdown frame: exit
+                    # rather than linger as an orphan.
+                    return 1
+                kind = frame.get("kind")
+                if kind == "start":
+                    self.origin = time.monotonic()
+                    self.time_scale = float(frame["time_scale"])
+                elif kind == "msg":
+                    self._enqueue(frame)
+                elif kind == "shutdown":
+                    return 0
+                else:
+                    raise ConnectionError(f"unknown frame kind {kind!r}")
+        finally:
+            beats.cancel()
+            for task in [*self._consumers, *self._loose]:
+                task.cancel()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    worker = Worker(index=args.index, heartbeat=args.heartbeat)
+    return await worker.run(args.connect)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="repro cluster worker process")
+    parser.add_argument("--connect", required=True, help="unix:<path> or tcp:<host>:<port>")
+    parser.add_argument("--index", type=int, required=True, help="worker index")
+    parser.add_argument(
+        "--heartbeat", type=float, default=0.5, help="heartbeat interval (seconds)"
+    )
+    args = parser.parse_args(argv)
+    startup_delay = _env_float("REPRO_CLUSTER_TEST_STARTUP_DELAY")
+    if startup_delay > 0:
+        time.sleep(startup_delay)
+    try:
+        return asyncio.run(_amain(args))
+    except (OSError, ConnectionError, ValueError) as error:
+        print(f"worker {args.index}: {error}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":
+    sys.exit(main())

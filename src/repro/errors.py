@@ -8,6 +8,8 @@ violations (the G/P axioms from the paper), and configuration problems.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -66,6 +68,44 @@ class BoundViolation(ReproError):
     def __init__(self, bound: str, message: str) -> None:
         super().__init__(f"bound {bound} violated: {message}")
         self.bound = bound
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """One worker process that died or went silent during a cluster run.
+
+    ``worker`` is the coordinator-assigned index, ``node`` the registered
+    process id the worker hosted channels for (stringified: ids may be
+    rich objects), ``returncode`` the exit status if the process already
+    exited, and ``detail`` the tail of the worker's captured stderr.
+    """
+
+    worker: int
+    node: str
+    reason: str
+    returncode: int | None = None
+    detail: str = ""
+
+
+class ClusterError(SimulationError):
+    """A multi-process cluster run could not complete.
+
+    Raised by :class:`repro.cluster.transport.ClusterTransport` when a
+    worker process dies, stops heartbeating, or never connects -- the
+    typed partial-run report the coordinator surfaces instead of hanging
+    until the wall-clock budget expires.  ``failures`` carries one
+    :class:`WorkerFailure` per worker known dead when the error was
+    raised.
+    """
+
+    def __init__(self, message: str, failures: tuple[WorkerFailure, ...] = ()) -> None:
+        if failures:
+            summary = "; ".join(
+                f"worker {f.worker} ({f.node}): {f.reason}" for f in failures
+            )
+            message = f"{message} [{summary}]"
+        super().__init__(message)
+        self.failures = failures
 
 
 class TransactionAborted(ReproError):

@@ -20,6 +20,7 @@ BACKEND_MODULES = frozenset(
         ("repro", "sim", "simulator"),
         ("repro", "sim", "network"),
         ("repro", "live", "transport"),
+        ("repro", "cluster", "transport"),
     }
 )
 
@@ -31,7 +32,8 @@ class BackendNeutralityRule(Rule):
     detectors act only through :class:`~repro.core.transport.NodeContext`
     / :class:`~repro.core.transport.Transport`; importing
     ``repro.sim.simulator``, ``repro.sim.network``, or
-    ``repro.live.transport`` pins them to one runtime.
+    ``repro.live.transport``, or ``repro.cluster.transport`` pins them
+    to one runtime.
     """
 
     rule_id = "RPX007"
@@ -42,10 +44,12 @@ class BackendNeutralityRule(Rule):
         "else.  The codebase mirrors that with the transport seam --\n"
         "repro.core.transport defines the structural NodeContext/Transport\n"
         "protocols, and the same vertex/controller code runs unchanged on\n"
-        "the deterministic simulator (repro.sim) and the wall-clock asyncio\n"
-        "backend (repro.live).  A protocol module importing\n"
-        "repro.sim.simulator or repro.sim.network (or repro.live.transport)\n"
-        "re-welds that seam shut: the node would compile against one\n"
+        "the deterministic simulator (repro.sim), the wall-clock asyncio\n"
+        "backend (repro.live), and the multi-process cluster backend\n"
+        "(repro.cluster).  A protocol module importing repro.sim.simulator\n"
+        "or repro.sim.network (or repro.live.transport or\n"
+        "repro.cluster.transport) re-welds that seam shut: the node would\n"
+        "compile against one\n"
         "backend's concrete surface and silently stop being portable, and\n"
         "the live-vs-sim conformance suite would no longer be testing the\n"
         "same code.  The system.py assemblers are exempt -- they are\n"

@@ -37,10 +37,11 @@ HARNESS_PACKAGES = frozenset(
 )
 #: the driver tier sits on top of everything: ``sweep`` fans experiment
 #: grids out across processes, ``live`` hosts nodes on the wall-clock
-#: asyncio backend; both may import protocol, core, and harness packages
-#: -- but nothing below may import the drivers back, or the experiments
-#: would no longer be runnable (or reasoned about) standalone.
-DRIVER_PACKAGES = frozenset({"sweep", "live"})
+#: asyncio backend, ``cluster`` spawns one worker OS process per node;
+#: all three may import protocol, core, and harness packages -- but
+#: nothing below may import the drivers back, or the experiments would
+#: no longer be runnable (or reasoned about) standalone.
+DRIVER_PACKAGES = frozenset({"sweep", "live", "cluster"})
 #: interface-only seam modules that any tier may import.  The transport
 #: seam (``repro.core.transport``) defines the structural NodeContext /
 #: Transport protocols and imports nothing above the protocol tier, so a
@@ -72,8 +73,10 @@ class LayeringRule(Rule):
         "the system.py assemblers inside the protocol packages belong to this\n"
         "tier too); experiments/, analysis/, verification/, workloads/ and\n"
         "obs/ observe those tiers from outside (black-box monitoring, like\n"
-        "the oracle layer), and sweep/ is the driver tier that fans the\n"
-        "harness out across worker processes.  A protocol->core import would\n"
+        "the oracle layer), and sweep/, live/ and cluster/ form the driver\n"
+        "tier that runs everything -- experiment grids across processes, the\n"
+        "asyncio runtime, one worker OS process per node.  A protocol->core\n"
+        "import would\n"
         "let harness bookkeeping leak into protocol decisions -- exactly the\n"
         "shared-knowledge cheating axiom P3 forbids -- and a harness->driver\n"
         "import would make single experiments depend on the multiprocessing\n"

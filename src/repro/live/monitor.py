@@ -32,8 +32,8 @@ from repro.core.conformance import ConformanceOutcome
 from repro.core.registry import get_variant
 from repro.errors import ConfigurationError
 from repro.live.transport import AsyncioTransport
-from repro.obs.metrics import TransportTelemetry
-from repro.obs.spans import SCHEMAS_BY_MODEL, ProbeComputationSpan
+from repro.obs.metrics import TransportTelemetry, telemetry_for_variant
+from repro.obs.spans import ProbeComputationSpan
 from repro.obs.stream import span_to_json
 
 
@@ -212,13 +212,6 @@ def run_monitor(
         raise ConfigurationError(
             f"variant {variant_name!r} does not support live monitoring"
         )
-    taxonomy = variant.capabilities.taxonomy
-    schemas = (
-        (SCHEMAS_BY_MODEL[variant.capabilities.model],)
-        if taxonomy is not None
-        else ()
-    )
-
     exports = _Exports(
         metrics_path=None if metrics_out is None else Path(metrics_out),
         spans_file=None if spans_out is None else Path(spans_out).open("w"),
@@ -241,9 +234,9 @@ def run_monitor(
         def on_span(span: ProbeComputationSpan) -> None:
             exports.write_span(span_to_json(span))
 
-        telemetry = TransportTelemetry(
+        telemetry = telemetry_for_variant(
             transport,
-            schemas=schemas,
+            variant.capabilities,
             n_vertices=setup.n_nodes,
             span_sink=on_span,
         )

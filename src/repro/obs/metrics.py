@@ -37,6 +37,7 @@ from repro.sim import categories
 from repro.sim.trace import TraceEvent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.registry import VariantCapabilities
     from repro.core.transport import Transport
 
 _NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
@@ -730,3 +731,37 @@ class TransportTelemetry:
     def snapshot_line(self, now: float) -> str:
         """One compact JSONL line for the periodic snapshot export."""
         return json.dumps(self.snapshot(now), sort_keys=True, default=str)
+
+
+def telemetry_for_variant(
+    transport: "Transport",
+    capabilities: "VariantCapabilities | None",
+    *,
+    n_vertices: int | None = None,
+    span_sink: SpanSink | None = None,
+    registry: TelemetryRegistry | None = None,
+    strict_bounds: bool = False,
+) -> TransportTelemetry:
+    """Attach the standard telemetry bridge for one registered variant.
+
+    The one blessed way to wire :class:`TransportTelemetry` to a run of a
+    known variant: the span schema is resolved from the variant's
+    capabilities (a variant without a probe taxonomy -- e.g. the timeout
+    baseline -- gets network metrics only, no span engine), and the
+    subscription rides ``transport.tracer`` whichever backend owns it --
+    simulator, asyncio runtime, or the multi-process cluster coordinator.
+    ``repro monitor``, the observability benchmarks, and the cluster
+    runner's coordinator-side aggregation all share this helper instead
+    of hand-rolling the schema lookup.
+    """
+    schemas: tuple[SpanSchema, ...] = ()
+    if capabilities is not None and capabilities.taxonomy is not None:
+        schemas = (SCHEMAS_BY_MODEL[capabilities.model],)
+    return TransportTelemetry(
+        transport,
+        schemas=schemas,
+        registry=registry,
+        n_vertices=n_vertices,
+        strict_bounds=strict_bounds,
+        span_sink=span_sink,
+    )

@@ -55,6 +55,12 @@ OBS_SPAN_SETTLED: Final = "obs.span.settled"
 #: The live telemetry layer took one periodic metrics snapshot.
 OBS_METRICS_SNAPSHOT: Final = "obs.metrics.snapshot"
 
+# -- cluster runtime (repro.cluster) ----------------------------------------
+#: A worker process connected back and completed its hello handshake.
+CLUSTER_WORKER_READY: Final = "cluster.worker.ready"
+#: A worker process died, broke its connection, or stopped heartbeating.
+CLUSTER_WORKER_FAILED: Final = "cluster.worker.failed"
+
 # -- OR / communication model (section 7) ----------------------------------
 OR_REQUEST_SENT: Final = "or.request.sent"
 OR_GRANT_SENT: Final = "or.grant.sent"

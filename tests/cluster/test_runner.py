@@ -1,0 +1,128 @@
+"""The cluster runner and its report: gates, JSON artifact, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cluster import run_cluster
+from repro.cluster.runner import ClusterReport
+from repro.core.conformance import ConformanceOutcome
+from repro.errors import ConfigurationError
+
+TIME_SCALE = 0.002
+
+
+def _report(**overrides) -> ClusterReport:
+    outcome_fields = {
+        "variant": "basic",
+        "scenario": "deadlock",
+        "declarations": 2,
+        "soundness_violations": 0,
+        "complete": True,
+        "undetected_components": 0,
+        "first_declaration_at": 10.0,
+    }
+    outcome_fields.update(overrides.pop("outcome", {}))
+    outcome = ConformanceOutcome(**outcome_fields)
+    fields = {
+        "variant": "basic",
+        "scenario": "deadlock",
+        "outcome": outcome,
+        "wall_seconds": 0.5,
+        "detection_latency_seconds": 0.02,
+        "detection_latencies_seconds": (0.02, 0.03),
+        "time_scale": TIME_SCALE,
+        "channel": "unix",
+        "workers": 4,
+        "messages_delivered": 20,
+        "seed": 0,
+    }
+    fields.update(overrides)
+    return ClusterReport(**fields)
+
+
+class TestReportGates:
+    def test_sound_detected_deadlock_is_ok(self) -> None:
+        assert _report().ok
+
+    def test_soundness_violation_fails(self) -> None:
+        report = _report(outcome={"soundness_violations": 1})
+        assert not report.ok
+
+    def test_missed_deadlock_fails(self) -> None:
+        report = _report(
+            outcome={"declarations": 0, "first_declaration_at": None}
+        )
+        assert not report.detected
+        assert not report.ok
+
+    def test_silent_clean_run_is_ok(self) -> None:
+        report = _report(
+            scenario="clean",
+            outcome={"scenario": "clean", "declarations": 0, "first_declaration_at": None},
+        )
+        assert report.ok
+
+    def test_incomplete_random_run_fails(self) -> None:
+        report = _report(
+            scenario="random",
+            outcome={"scenario": "random", "complete": False, "undetected_components": 1},
+        )
+        assert not report.ok
+
+    def test_json_artifact_is_schemad_and_self_contained(self) -> None:
+        payload = _report().to_json()
+        assert payload["schema"] == "repro.cluster-report/1"
+        assert payload["ok"] is True
+        assert payload["workers"] == 4
+        assert payload["detection_latencies_seconds"] == [0.02, 0.03]
+        json.dumps(payload)  # JSON-serializable as-is
+
+
+class TestRunnerValidation:
+    def test_random_scenario_requires_the_basic_model(self) -> None:
+        with pytest.raises(ConfigurationError, match="basic model"):
+            run_cluster("ddb", scenario="random")
+
+    def test_unknown_variant_is_a_configuration_error(self) -> None:
+        with pytest.raises(ConfigurationError, match="unknown detector variant"):
+            run_cluster("nope")
+
+
+class TestCli:
+    def test_cluster_subcommand_is_registered(self) -> None:
+        parser = build_parser()
+        args = parser.parse_args(
+            ["cluster", "basic", "--scenario", "clean", "--time-scale", "0.002"]
+        )
+        assert args.variant == "basic"
+        assert args.scenario == "clean"
+
+    def test_cli_run_writes_json_artifact(self, tmp_path, capsys) -> None:
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "cluster",
+                "basic",
+                "--scenario",
+                "deadlock",
+                "--time-scale",
+                str(TIME_SCALE),
+                "--json-out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "declarations: " in printed
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.cluster-report/1"
+        assert payload["ok"] is True
+        assert payload["soundness_violations"] == 0
+
+    def test_cli_unknown_variant_exits_2(self, capsys) -> None:
+        assert main(["cluster", "nope"]) == 2
+        assert "unknown detector variant" in capsys.readouterr().out

@@ -1,0 +1,24 @@
+# lint-as: src/repro/cluster/fixture.py
+"""RPX004 passing fixture: the cluster driver may import everything below.
+
+``cluster`` is driver-tier alongside ``sweep`` and ``live``: spawning
+one worker process per node means wiring protocol systems, the live
+backend it extends, the registry, and the telemetry bridge together --
+all strictly downward imports.
+"""
+
+from __future__ import annotations
+
+from repro.basic.system import BasicSystem
+from repro.core.registry import get_variant
+from repro.live.transport import AsyncioTransport
+from repro.obs.metrics import telemetry_for_variant
+from repro.workloads.basic_random import RandomRequestWorkload
+
+__all__ = [
+    "AsyncioTransport",
+    "BasicSystem",
+    "RandomRequestWorkload",
+    "get_variant",
+    "telemetry_for_variant",
+]

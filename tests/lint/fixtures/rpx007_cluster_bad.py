@@ -1,0 +1,16 @@
+# lint-as: src/repro/ddb/fixture.py
+"""RPX007 failing fixture: protocol code naming the cluster backend.
+
+A controller importing ``repro.cluster.transport`` would weld the node
+code to the multi-process runtime -- the same portability break as
+naming the simulator or the asyncio backend.  (The layering rule fires
+too: ``cluster`` is driver-tier.)
+"""
+
+from __future__ import annotations
+
+from repro.cluster.transport import ClusterTransport  # expect: RPX004, RPX007
+
+
+def peek() -> object:
+    return ClusterTransport

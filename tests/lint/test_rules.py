@@ -87,7 +87,7 @@ class TestWallClockAllowlist:
 
 
 class TestDriverTierLayering:
-    """RPX004's third tier: sweep is a driver above the harness."""
+    """RPX004's top tier: sweep, live, and cluster drive the harness."""
 
     def test_sweep_may_import_harness_and_protocol(self) -> None:
         source, logical = load_fixture("rpx004_sweep_good.py")
@@ -122,7 +122,21 @@ class TestDriverTierLayering:
             for right in tiers[i + 1 :]:
                 assert left & right == frozenset()
         assert CORE_PACKAGES == frozenset({"core", "baselines"})
-        assert DRIVER_PACKAGES == frozenset({"sweep", "live"})
+        assert DRIVER_PACKAGES == frozenset({"sweep", "live", "cluster"})
+
+    def test_cluster_may_import_everything_below(self) -> None:
+        source, logical = load_fixture("rpx004_cluster_good.py")
+        assert logical == "src/repro/cluster/fixture.py"
+        diagnostics = lint_source(source, logical)
+        assert diagnostics == [], [d.format_text() for d in diagnostics]
+
+    def test_harness_importing_cluster_is_flagged(self) -> None:
+        source, logical = load_fixture("rpx004_cluster_bad.py")
+        assert logical == "src/repro/obs/fixture.py"
+        expected = expected_findings(source)
+        assert expected and {rule for rule, _ in expected} == {"RPX004"}
+        diagnostics = lint_source(source, logical)
+        assert {(d.rule, d.line) for d in diagnostics} == expected
 
 
 class TestCoreTierLayering:
@@ -226,6 +240,26 @@ class TestBackendNeutrality:
         )
         assert diagnostic.rule == "RPX007"
         assert "repro.sim.network" in diagnostic.message
+
+    def test_cluster_backend_import_trips_both_rules(self) -> None:
+        # the fixture carries both markers: cluster is driver-tier (RPX004)
+        # and a concrete backend module (RPX007) at once
+        source, logical = load_fixture("rpx007_cluster_bad.py")
+        assert logical == "src/repro/ddb/fixture.py"
+        expected = expected_findings(source)
+        assert expected and {rule for rule, _ in expected} == {"RPX004", "RPX007"}
+        diagnostics = lint_source(source, logical)
+        assert {(d.rule, d.line) for d in diagnostics} == expected
+
+    def test_backend_module_set_names_all_three_backends(self) -> None:
+        from repro.lint.rules.backend import BACKEND_MODULES
+
+        assert BACKEND_MODULES == {
+            ("repro", "sim", "simulator"),
+            ("repro", "sim", "network"),
+            ("repro", "live", "transport"),
+            ("repro", "cluster", "transport"),
+        }
 
     def test_sim_package_itself_is_not_checked(self) -> None:
         # sim *is* the simulator backend; it may name its own modules

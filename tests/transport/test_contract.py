@@ -3,15 +3,17 @@
 Every :class:`~repro.core.transport.Transport` backend must deliver
 reliably (no loss, no duplication), keep per-channel FIFO order whatever
 delays are drawn, and fire timers in local-clock order.  This suite runs
-the same assertions against the deterministic simulator backend and the
-wall-clock asyncio backend -- passing here is what licenses running the
-same protocol code on either.
+the same assertions against the deterministic simulator backend, the
+wall-clock asyncio backend, and the multi-process cluster backend --
+passing here is what licenses running the same protocol code on any of
+them.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.cluster.transport import ClusterTransport
 from repro.core.transport import Transport
 from repro.errors import SimulationError
 from repro.live.transport import AsyncioTransport
@@ -36,6 +38,12 @@ def _build(backend: str, seed: int = 0, delay_model=None) -> Transport:
         from repro.core.assembly import build_runtime
 
         return build_runtime(seed=seed, delay_model=delay_model).transport
+    if backend == "cluster":
+        # Same tiny time scale; the FIFO and delivery assertions now hold
+        # across real process boundaries and socket frames.
+        return ClusterTransport(
+            seed=seed, delay_model=delay_model, time_scale=0.001, max_wall_seconds=20.0
+        )
     # Tiny time scale: drawn delays become sub-millisecond sleeps, so the
     # whole suite stays fast while the loop genuinely interleaves tasks.
     return AsyncioTransport(
@@ -43,7 +51,7 @@ def _build(backend: str, seed: int = 0, delay_model=None) -> Transport:
     )
 
 
-@pytest.fixture(params=["sim", "asyncio"])
+@pytest.fixture(params=["sim", "asyncio", "cluster"])
 def backend(request) -> str:
     return request.param
 
@@ -195,7 +203,7 @@ class TestRegistrationAndDriving:
         transport = _build(backend)
         try:
             assert isinstance(transport, Transport)
-            assert transport.name in {"sim", "asyncio"}
+            assert transport.name in {"sim", "asyncio", "cluster"}
         finally:
             transport.close()
 

@@ -26,6 +26,7 @@ FLOORS = {
     "repro.sweep": 85.0,
     "repro.live": 85.0,
     "repro.obs": 85.0,
+    "repro.cluster": 85.0,
 }
 
 
