@@ -5,6 +5,7 @@ Usage::
     repro quickstart                 # 3-cycle demo on the basic model
     repro ddb-demo                   # cross-site DDB deadlock + resolution
     repro variants                   # list the registered detector variants
+    repro workloads                  # list the registered workload families
     repro experiment E3              # regenerate one experiment table
     repro experiment all --quick     # regenerate everything, fast settings
     repro verify                     # exhaustive small-scope model checking
@@ -44,6 +45,29 @@ def _cmd_variants(_: argparse.Namespace) -> int:
         print(f"  sweep scenarios: {scenarios}")
         if variant.demo is not None:
             print(f"  demo: repro {variant.demo.command}")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import all_families, families_for_model
+
+    families = (
+        families_for_model(args.model) if args.model else all_families()
+    )
+    if not families:
+        print(f"no registered workload family drives model {args.model!r}")
+        return 1
+    for family in families:
+        flags = []
+        if family.deadlock_capable:
+            flags.append("deadlock-capable")
+        if family.randomized:
+            flags.append("randomized")
+        print(f"{family.name}: {family.title}")
+        print(f"  models: {', '.join(family.models)}"
+              + (f"  [{', '.join(flags)}]" if flags else ""))
+        print(f"  source: {family.source}")
+        print(f"  example: {family.example.workload_id}")
     return 0
 
 
@@ -345,8 +369,10 @@ def _cmd_live(args: argparse.Namespace) -> int:
             seed=args.seed,
             time_scale=args.time_scale,
             timeout=args.timeout,
+            n_vertices=args.n,
+            duration=args.duration,
         )
-    except SimulationError as error:
+    except (ConfigurationError, SimulationError) as error:
         print(f"LIVE RUN FAILED: {error}")
         return 1
     outcome = report.outcome
@@ -370,6 +396,9 @@ def _cmd_live(args: argparse.Namespace) -> int:
         return 1
     if args.scenario == "deadlock" and not report.detected:
         print("FAILED: genuine deadlock went undetected (QRP1 violated)")
+        return 1
+    if args.scenario not in ("deadlock", "clean") and not outcome.complete:
+        print("FAILED: workload left a deadlock undetected (QRP1 violated)")
         return 1
     return 0
 
@@ -435,8 +464,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.scenario == "deadlock" and not report.detected:
         print("FAILED: genuine deadlock went undetected (QRP1 violated)")
         return 1
-    if args.scenario == "random" and not outcome.complete:
-        print("FAILED: random workload left a deadlock undetected (QRP1 violated)")
+    if args.scenario not in ("deadlock", "clean") and not outcome.complete:
+        print("FAILED: workload left a deadlock undetected (QRP1 violated)")
         return 1
     return 0
 
@@ -470,7 +499,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             snapshots_out=args.snapshots_out,
             stream=None if args.json else sys.stdout,
         )
-    except SimulationError as error:
+    except (ConfigurationError, SimulationError) as error:
         print(f"MONITOR RUN FAILED: {error}")
         return 1
     if args.json:
@@ -526,6 +555,24 @@ def build_parser() -> argparse.ArgumentParser:
         "variants", help="list the registered detector variants"
     )
     variants.set_defaults(handler=_cmd_variants)
+
+    workloads = subparsers.add_parser(
+        "workloads",
+        help="list the registered workload families",
+        description=(
+            "Lists every workload family in the registry: the canned "
+            "section 2-4 patterns, the randomized basic/DDB drivers, and "
+            "the graph ensembles.  Any family name here is a valid "
+            "--scenario for `repro live`, `repro cluster`, and `repro "
+            "monitor` (capability-checked against the variant's model)."
+        ),
+    )
+    workloads.add_argument(
+        "--model",
+        default=None,
+        help="only families that can drive this model (basic, ddb, ormodel)",
+    )
+    workloads.set_defaults(handler=_cmd_workloads)
 
     timeline = subparsers.add_parser(
         "timeline", help="render a protocol timeline of the 3-cycle demo"
@@ -675,10 +722,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     live = subparsers.add_parser(
         "live",
-        help="run a variant's conformance scenario on the asyncio runtime",
+        help="run a variant's scenario on the asyncio runtime",
         description=(
-            "Runs a registered variant's standard deadlock or clean "
-            "scenario on the wall-clock asyncio transport instead of the "
+            "Runs a registered variant's standard deadlock/clean scenario "
+            "-- or any registered workload family (see `repro workloads`) "
+            "-- on the wall-clock asyncio transport instead of the "
             "deterministic simulator, and reports declarations, soundness, "
             "and detection latency.  Exit 1 on a missed deadlock or a "
             "soundness violation."
@@ -687,9 +735,23 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("variant", help="variant name (see `repro variants`)")
     live.add_argument(
         "--scenario",
-        choices=("deadlock", "clean"),
         default="deadlock",
-        help="conformance scenario to run (default: deadlock)",
+        help=(
+            "deadlock, clean, random, or a workload family name "
+            "(see `repro workloads`; default: deadlock)"
+        ),
+    )
+    live.add_argument(
+        "--n",
+        type=int,
+        default=None,
+        help="topology-size override for workload-family scenarios",
+    )
+    live.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="workload-duration override in virtual units (family scenarios)",
     )
     live.add_argument("--seed", type=int, default=0, help="root seed (default: 0)")
     live.add_argument(
@@ -715,18 +777,20 @@ def build_parser() -> argparse.ArgumentParser:
             "domain (or TCP) sockets as length-prefixed JSON frames, with "
             "per-channel FIFO order preserved end to end and seeded delay "
             "injection.  Scenarios: the standard deadlock/clean "
-            "conformance pair, or a large random workload (basic model) "
-            "gated on the quiescence-time completeness report.  Exit 1 on "
-            "a missed deadlock, a soundness violation, or a worker "
-            "failure."
+            "conformance pair, `random` (the model's default randomized "
+            "workload family), or any registered family name -- gated on "
+            "the quiescence-time completeness report.  Exit 1 on a "
+            "missed deadlock, a soundness violation, or a worker failure."
         ),
     )
     cluster.add_argument("variant", help="variant name (see `repro variants`)")
     cluster.add_argument(
         "--scenario",
-        choices=("deadlock", "clean", "random"),
         default="deadlock",
-        help="scenario to run (default: deadlock)",
+        help=(
+            "deadlock, clean, random, or a workload family name "
+            "(see `repro workloads`; default: deadlock)"
+        ),
     )
     cluster.add_argument("--seed", type=int, default=0, help="root seed (default: 0)")
     cluster.add_argument(
@@ -783,9 +847,11 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("variant", help="variant name (see `repro variants`)")
     monitor.add_argument(
         "--scenario",
-        choices=("deadlock", "clean"),
         default="deadlock",
-        help="conformance scenario to run (default: deadlock)",
+        help=(
+            "deadlock, clean, random, or a workload family name "
+            "(see `repro workloads`; default: deadlock)"
+        ),
     )
     monitor.add_argument("--seed", type=int, default=0, help="root seed (default: 0)")
     monitor.add_argument(

@@ -6,10 +6,13 @@ per node), attach the standard telemetry bridge
 (:func:`~repro.obs.metrics.telemetry_for_variant` -- detection latency is
 read from the same ``repro_detection_latency_units`` family the monitor
 exports), hand the transport to the variant's conformance callable, and
-report the outcome.  A ``random`` scenario additionally drives the basic
-model with :class:`~repro.workloads.basic_random.RandomRequestWorkload`
--- a large churning workload where deadlocks form at random -- and gates
-on the quiescence-time completeness report.
+report the outcome.  Scenarios beyond ``deadlock`` / ``clean`` resolve
+through the workload registry: ``random`` picks the model's default
+randomized family (``random`` on the basic model, ``ddb-mix`` on DDB),
+and any registered family name runs directly -- a family that cannot
+drive the variant's model fails fast with a
+:class:`~repro.errors.ConfigurationError` naming both.  Registry-driven
+runs gate on the quiescence-time completeness report.
 """
 
 from __future__ import annotations
@@ -21,9 +24,8 @@ from typing import Any
 from repro.cluster.transport import ClusterTransport
 from repro.core.conformance import ConformanceOutcome
 from repro.core.registry import get_variant
-from repro.errors import ConfigurationError
 from repro.obs.metrics import telemetry_for_variant
-from repro.workloads.basic_random import RandomRequestWorkload
+from repro.workloads.provision import provision_workload, resolve_scenario_spec
 
 
 @dataclass(frozen=True)
@@ -59,13 +61,14 @@ class ClusterReport:
 
     @property
     def ok(self) -> bool:
-        """The CI gate: sound; a dealt deadlock detected; a random
-        workload's deadlocks all detected by quiescence (QRP1)."""
+        """The CI gate: sound; a dealt deadlock detected; any
+        registry-driven workload's deadlocks all detected by quiescence
+        (QRP1)."""
         if not self.sound:
             return False
         if self.scenario == "deadlock" and not self.detected:
             return False
-        if self.scenario == "random" and not self.outcome.complete:
+        if self.scenario not in ("deadlock", "clean") and not self.outcome.complete:
             return False
         return True
 
@@ -111,14 +114,14 @@ def run_cluster(
     that neither declares nor quiesces inside it raises
     :class:`~repro.errors.SimulationError`, and a worker death raises
     :class:`~repro.errors.ClusterError` (both via the transport driver).
-    ``n_vertices`` and ``duration`` apply to the ``random`` scenario only.
+    ``n_vertices`` and ``duration`` apply to registry-driven scenarios
+    only (``random`` or a workload family name).
     """
     variant = get_variant(variant_name)
-    if scenario == "random" and variant.capabilities.model != "basic":
-        raise ConfigurationError(
-            "the random cluster workload drives the basic model; "
-            f"variant {variant_name!r} runs on {variant.capabilities.model!r}"
-        )
+    if scenario not in ("deadlock", "clean"):
+        # Resolve before spawning workers so capability mismatches fail
+        # fast with the family named, not after cluster bring-up.
+        resolve_scenario_spec(variant, scenario, seed=seed)
     transport = ClusterTransport(
         seed=seed,
         trace=False,
@@ -131,10 +134,11 @@ def run_cluster(
     telemetry = telemetry_for_variant(transport, variant.capabilities)
     started = time.perf_counter()
     try:
-        if scenario == "random":
-            outcome = _run_random(
+        if scenario not in ("deadlock", "clean"):
+            outcome = _run_workload(
                 variant_name,
                 transport,
+                scenario=scenario,
                 seed=seed,
                 n_vertices=n_vertices,
                 duration=duration,
@@ -171,31 +175,20 @@ def run_cluster(
     )
 
 
-def _run_random(
+def _run_workload(
     variant_name: str,
     transport: ClusterTransport,
     *,
+    scenario: str,
     seed: int,
     n_vertices: int,
     duration: float,
 ) -> ConformanceOutcome:
-    """The large random workload: churn, then gate on completeness."""
+    """A registry-driven workload: churn, then gate on completeness."""
     variant = get_variant(variant_name)
-    system = variant.build(
-        n_vertices=n_vertices, seed=seed, strict=False, transport=transport
+    spec = resolve_scenario_spec(
+        variant, scenario, seed=seed, n_vertices=n_vertices, duration=duration
     )
-    workload = RandomRequestWorkload(system, duration=duration)
-    workload.start()
-    system.run_to_quiescence()
-    report = system.completeness_report()
-    return ConformanceOutcome(
-        variant=variant_name,
-        scenario="random",
-        declarations=len(system.declarations),
-        soundness_violations=len(system.soundness_violations),
-        complete=report.complete,
-        undetected_components=len(report.undetected_components),
-        first_declaration_at=(
-            system.declarations[0].time if system.declarations else None
-        ),
-    )
+    run = provision_workload(variant, spec, transport=transport)
+    run.run_to_quiescence()
+    return run.summarize()

@@ -11,7 +11,7 @@ to the registry and supplies the standard conformance scenarios and the
 from __future__ import annotations
 
 from repro.basic.system import BasicSystem
-from repro.core.conformance import ConformanceOutcome, unknown_scenario
+from repro.core.conformance import ConformanceOutcome, conformance_workload
 from repro.core.registry import (
     DemoSpec,
     DetectorVariant,
@@ -21,33 +21,23 @@ from repro.core.registry import (
     register,
 )
 from repro.sim import categories
-
-
-def _schedule_cycle(system: BasicSystem, vertices: list[int]) -> None:
-    """Each vertex requests its successor at ``0.5 * i`` (the standard
-    cycle workload; kept inline because workloads is a harness package)."""
-    k = len(vertices)
-    for i, vertex in enumerate(vertices):
-        system.schedule_request(0.5 * i, vertex, [vertices[(i + 1) % k]])
-
-
-def _schedule_chain(system: BasicSystem, vertices: list[int]) -> None:
-    """A straight waiting chain (no cycle): drains via replies."""
-    for i in range(len(vertices) - 1):
-        system.schedule_request(0.5 * i, vertices[i], [vertices[i + 1]])
+from repro.workloads.spec import WorkloadSpec, get_family
 
 
 def _setup(
     scenario: str, seed: int, transport: object | None = None
 ) -> MonitorSetup:
-    """Assemble the standard scenario without running it (monitor seam)."""
-    system = BasicSystem(n_vertices=4, seed=seed, strict=False, transport=transport)
-    if scenario == "deadlock":
-        _schedule_cycle(system, [0, 1, 2, 3])
-    elif scenario == "clean":
-        _schedule_chain(system, [0, 1, 2, 3])
-    else:
-        unknown_scenario("basic", scenario)
+    """Assemble the standard scenario without running it (monitor seam).
+
+    The request pattern resolves through the workload registry (via the
+    RPX004 workload seam), so conformance runs the same ``cycle`` /
+    ``chain`` families every other runner schedules.
+    """
+    spec = conformance_workload("basic", scenario).with_seed(seed)
+    system = BasicSystem(
+        n_vertices=spec.n, seed=seed, strict=False, transport=transport
+    )
+    get_family(spec.family).schedule(spec, system)
 
     def summarize() -> ConformanceOutcome:
         report = system.completeness_report()
@@ -63,7 +53,7 @@ def _setup(
             ),
         )
 
-    return MonitorSetup(system=system, summarize=summarize, n_nodes=4)
+    return MonitorSetup(system=system, summarize=summarize, n_nodes=spec.n)
 
 
 def _conformance(
@@ -76,7 +66,7 @@ def _conformance(
 
 def _demo() -> int:
     system = BasicSystem(n_vertices=3, wfgd_on_declare=True)
-    _schedule_cycle(system, [0, 1, 2])
+    get_family("cycle").schedule(WorkloadSpec(family="cycle", n=3), system)
     system.run_to_quiescence()
     print("basic model, 3-cycle deadlock")
     for declaration in system.declarations:
@@ -104,6 +94,8 @@ BASIC_VARIANT = register(
                 "dense",
                 "cycle-with-tails",
                 "random",
+                "er",
+                "ba",
                 "baseline-random",
                 "baseline-ping-pong",
             ),

@@ -10,7 +10,7 @@ quiescence-time completeness check over the dark process graph applies.
 from __future__ import annotations
 
 from repro._ids import ResourceId, SiteId, TransactionId
-from repro.core.conformance import ConformanceOutcome, unknown_scenario
+from repro.core.conformance import ConformanceOutcome, conformance_workload
 from repro.core.registry import (
     DemoSpec,
     DetectorVariant,
@@ -21,47 +21,23 @@ from repro.core.registry import (
 )
 from repro.ddb.system import DdbSystem
 from repro.sim import categories
-
-
-def _two_site_system(seed: int, transport: object | None = None) -> DdbSystem:
-    resources = {ResourceId("r0"): SiteId(0), ResourceId("r1"): SiteId(1)}
-    return DdbSystem(
-        n_sites=2, resources=resources, seed=seed, strict=False, transport=transport
-    )
+from repro.workloads.spec import get_family
 
 
 def _setup(
     scenario: str, seed: int, transport: object | None = None
 ) -> MonitorSetup:
-    """Assemble the standard scenario without running it (monitor seam)."""
-    from repro.ddb.locks import LockMode
-    from repro.ddb.transaction import Think, TransactionSpec, acquire
+    """Assemble the standard scenario without running it (monitor seam).
 
-    system = _two_site_system(seed, transport)
-    X = LockMode.EXCLUSIVE
-    if scenario == "deadlock":
-        # T1 holds r0 and wants r1; T2 holds r1 and wants r0.
-        operations = (
-            (acquire(("r0", X)), Think(1.0), acquire(("r1", X))),
-            (acquire(("r1", X)), Think(1.0), acquire(("r0", X))),
-        )
-    elif scenario == "clean":
-        # Disjoint lock sets: both transactions commit without waiting.
-        operations = (
-            (acquire(("r0", X)), Think(1.0)),
-            (acquire(("r1", X)), Think(1.0)),
-        )
-    else:
-        unknown_scenario("ddb", scenario)
-    for index, steps in enumerate(operations):
-        system.begin(
-            TransactionSpec(
-                tid=TransactionId(index + 1),
-                home=SiteId(index),
-                operations=steps,
-            ),
-            at=0.1 * index,
-        )
+    The ``ddb-cross`` / ``ddb-disjoint`` workload families (resolved via
+    the RPX004 workload seam) build the two-site system and issue the
+    transactions; this module only describes the detector.
+    """
+    spec = conformance_workload("ddb", scenario).with_seed(seed)
+    family = get_family(spec.family)
+    assert family.build is not None  # both conformance families carry one
+    system: DdbSystem = family.build(spec, transport=transport, strict=False)
+    family.schedule(spec, system)
 
     def summarize() -> ConformanceOutcome:
         complete, undetected = system.completeness_report()
@@ -77,7 +53,7 @@ def _setup(
             ),
         )
 
-    return MonitorSetup(system=system, summarize=summarize, n_nodes=2)
+    return MonitorSetup(system=system, summarize=summarize, n_nodes=spec.n)
 
 
 def _conformance(
@@ -143,7 +119,7 @@ DDB_VARIANT = register(
                 "declared process is on an all-black cycle "
                 "(stale-abort declarations excepted)"
             ),
-            scenarios=("ddb-ring",),
+            scenarios=("ddb-ring", "ddb-hot"),
             taxonomy=MessageTaxonomy(
                 initiated=categories.DDB_COMPUTATION_INITIATED,
                 probe_sent=categories.DDB_PROBE_SENT,

@@ -10,7 +10,7 @@ computations).  The system wrapper is
 
 from __future__ import annotations
 
-from repro.core.conformance import ConformanceOutcome, unknown_scenario
+from repro.core.conformance import ConformanceOutcome, conformance_workload
 from repro.core.registry import (
     DemoSpec,
     DetectorVariant,
@@ -19,23 +19,22 @@ from repro.core.registry import (
     register,
 )
 from repro.ormodel.system import OrSystem
+from repro.workloads.spec import get_family
 
 
 def _setup(
     scenario: str, seed: int, transport: object | None = None
 ) -> MonitorSetup:
-    """Assemble the standard scenario without running it (monitor seam)."""
-    system = OrSystem(n_vertices=3, seed=seed, strict=False, transport=transport)
-    if scenario == "deadlock":
-        # The knot from the demo: p0 waits any{p1, p2}, both wait any{p0}.
-        system.schedule_request(0.0, 1, [0])
-        system.schedule_request(0.3, 2, [0])
-        system.schedule_request(0.6, 0, [1, 2])
-    elif scenario == "clean":
-        # One OR-request against an active vertex: granted, no deadlock.
-        system.schedule_request(0.0, 1, [0])
-    else:
-        unknown_scenario("ormodel", scenario)
+    """Assemble the standard scenario without running it (monitor seam).
+
+    The request pattern resolves through the workload registry's
+    ``or-knot`` / ``or-clean`` families (via the RPX004 workload seam).
+    """
+    spec = conformance_workload("ormodel", scenario).with_seed(seed)
+    system = OrSystem(
+        n_vertices=spec.n, seed=seed, strict=False, transport=transport
+    )
+    get_family(spec.family).schedule(spec, system)
 
     def summarize() -> ConformanceOutcome:
         report = system.completeness_report()
@@ -51,7 +50,7 @@ def _setup(
             ),
         )
 
-    return MonitorSetup(system=system, summarize=summarize, n_nodes=3)
+    return MonitorSetup(system=system, summarize=summarize, n_nodes=spec.n)
 
 
 def _conformance(

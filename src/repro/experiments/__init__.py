@@ -1,4 +1,4 @@
-"""The experiment harness: one module per paper claim (E1-E8).
+"""The experiment harness: one module per paper claim (E1-E9).
 
 The paper (PODC '82) publishes theorems and complexity claims rather than
 numbered tables; DESIGN.md assigns each quantitative claim an experiment
@@ -17,6 +17,7 @@ the numbers in EXPERIMENTS.md are regenerable from either entry point.
 | E6 | §5: WFGD informs all deadlocked vertices          | e6_wfgd |
 | E7 | §6.7: Q-initiation beats naive per-process scans  | e7_q_optimization |
 | E8 | §1: correctness/cost vs 1980-era baselines        | e8_baselines |
+| E9 | §4 bounds on random wait-graph ensembles          | e9_ensembles |
 """
 
 from repro.experiments import (
@@ -28,6 +29,7 @@ from repro.experiments import (
     e6_wfgd,
     e7_q_optimization,
     e8_baselines,
+    e9_ensembles,
 )
 
 ALL_EXPERIMENTS = {
@@ -39,6 +41,7 @@ ALL_EXPERIMENTS = {
     "E6": e6_wfgd,
     "E7": e7_q_optimization,
     "E8": e8_baselines,
+    "E9": e9_ensembles,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,277 @@
+"""E9 -- deadlock probability and probe cost over workload ensembles.
+
+The paper's §4 bounds (at most one probe per edge per computation, at
+most |E| probes per computation) are claimed for *any* wait graph; the
+e1-e8 grids only exercise canned shapes.  This experiment draws wait
+graphs from the registered random ensembles and measures, per load
+level:
+
+1. **Deadlock probability**: the fraction of seeds whose graph contains
+   a dark cycle (declared deadlock).  Random-graph theory (Barbosa;
+   Oliveira & Barbosa -- PAPERS.md) predicts a sharp rise once the mean
+   out-degree crosses 1; the scale-free ensemble reaches the same mean
+   degree with hub-concentrated waits, shifting the curve.
+2. **Time to deadlock**: virtual time of the first declaration among
+   deadlocked runs (detection latency under ensemble traffic).
+3. **§4 probe bounds**: every probe computation's span is machine-checked
+   with :meth:`~repro.obs.spans.ProbeComputationSpan.check_bounds`; the
+   experiment asserts zero violations across the whole ensemble.
+4. **Victim recovery** (DDB lane): the hot-resource transaction mix runs
+   with victim resolution on, and every run must end with no deadlock
+   remaining and all transactions committed -- detection plus recovery
+   under sustained contention churn.
+
+Three lanes: Erdős–Rényi ``G(n, p)`` swept over the load factor
+``p * (n - 1)``, Barabási–Albert swept over the attachment count ``m``,
+and the DDB ``ddb-hot`` family swept over transactions-per-resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import mean
+from repro.analysis.tables import Table
+from repro.core.registry import get_variant
+from repro.errors import BoundViolation
+from repro.obs.spans import build_spans
+from repro.workloads.provision import provision_workload
+from repro.workloads.spec import WorkloadSpec, make_params
+
+#: Sweep axes.  ``repro.sweep.grids`` re-expresses this experiment as a
+#: declarative grid over the same axes, so the numbers stay in one place.
+ENSEMBLE_N = 24
+QUICK_ENSEMBLE_N = 16
+#: ER load factors: mean out-degree p * (n - 1).
+LOAD_FACTORS = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0)
+QUICK_LOAD_FACTORS = (0.5, 1.0, 2.0)
+#: BA attachment counts (mean degree ~ 2m).
+BA_ATTACHMENTS = (1, 2, 3)
+QUICK_BA_ATTACHMENTS = (1, 2)
+SEEDS = tuple(range(12))
+QUICK_SEEDS = (0, 1, 2, 3)
+#: DDB hot-resource lane: sites, transactions-per-resource levels, and
+#: the virtual-time horizon after which victims stop restarting.
+DDB_N_SITES = 3
+DDB_LOADS = (0.5, 1.0, 2.0)
+QUICK_DDB_LOADS = (0.5, 1.5)
+DDB_DURATION = 400.0
+DDB_SEEDS = tuple(range(8))
+QUICK_DDB_SEEDS = (0, 1, 2)
+
+
+def er_probability(load: float, n: int) -> float:
+    """The ER edge probability realising mean out-degree ``load``."""
+    return round(load / (n - 1), 6)
+
+
+@dataclass
+class E9Result:
+    """One ensemble configuration aggregated over its seeds."""
+
+    family: str
+    label: str
+    #: the lane's load metric (mean out-degree, m, or txns/resource).
+    load: float
+    runs: int
+    deadlocked: int
+    #: mean virtual time of the first declaration (deadlocked runs only).
+    mean_time_to_deadlock: float | None
+    #: largest probes-per-computation observed anywhere in the lane.
+    max_probes_per_computation: int
+    #: section 4 bound breaches across every span (the claim: always 0).
+    bound_violations: int
+    #: DDB lane only: transactions committed / aborted across the runs.
+    commits: int = 0
+    aborts: int = 0
+
+    @property
+    def deadlock_probability(self) -> float:
+        return self.deadlocked / self.runs
+
+
+def _run_graph_config(
+    family: str, n: int, params: tuple[tuple[str, float], ...], seeds: tuple[int, ...]
+) -> tuple[int, list[float], int, int]:
+    """Run one basic-model ensemble config over its seeds.
+
+    Returns (deadlocked runs, first-declaration times, max probes per
+    computation, bound violations).  Soundness is asserted per run --
+    an unsound declaration fails the experiment, not just a counter.
+    """
+    variant = get_variant("basic")
+    deadlocked = 0
+    first_times: list[float] = []
+    max_probes = 0
+    violations = 0
+    for seed in seeds:
+        spec = WorkloadSpec(family=family, n=n, seed=seed, params=params)
+        run = provision_workload(variant, spec)
+        run.run_to_quiescence(max_events=2_000_000)
+        outcome = run.summarize()
+        assert outcome.soundness_violations == 0, (
+            f"unsound declaration in {spec.workload_id}"
+        )
+        assert outcome.complete, f"missed deadlock in {spec.workload_id}"
+        if outcome.declarations:
+            deadlocked += 1
+            assert outcome.first_declaration_at is not None
+            first_times.append(outcome.first_declaration_at)
+        for span in build_spans(run.system.simulator.tracer):
+            max_probes = max(max_probes, span.probes_sent)
+            try:
+                span.check_bounds(n_vertices=n)
+            except BoundViolation:
+                violations += 1
+    return deadlocked, first_times, max_probes, violations
+
+
+def run_er(
+    n: int = ENSEMBLE_N,
+    loads: tuple[float, ...] = LOAD_FACTORS,
+    seeds: tuple[int, ...] = SEEDS,
+) -> list[E9Result]:
+    results: list[E9Result] = []
+    for load in loads:
+        params = make_params(p=er_probability(load, n))
+        deadlocked, times, max_probes, violations = _run_graph_config(
+            "er", n, params, seeds
+        )
+        results.append(
+            E9Result(
+                family="er",
+                label=f"ER n={n} load={load:g}",
+                load=load,
+                runs=len(seeds),
+                deadlocked=deadlocked,
+                mean_time_to_deadlock=mean(times) if times else None,
+                max_probes_per_computation=max_probes,
+                bound_violations=violations,
+            )
+        )
+    return results
+
+
+def run_ba(
+    n: int = ENSEMBLE_N,
+    attachments: tuple[int, ...] = BA_ATTACHMENTS,
+    seeds: tuple[int, ...] = SEEDS,
+) -> list[E9Result]:
+    results: list[E9Result] = []
+    for m in attachments:
+        deadlocked, times, max_probes, violations = _run_graph_config(
+            "ba", n, make_params(m=m), seeds
+        )
+        results.append(
+            E9Result(
+                family="ba",
+                label=f"BA n={n} m={m}",
+                load=float(m),
+                runs=len(seeds),
+                deadlocked=deadlocked,
+                mean_time_to_deadlock=mean(times) if times else None,
+                max_probes_per_computation=max_probes,
+                bound_violations=violations,
+            )
+        )
+    return results
+
+
+def run_ddb_hot(
+    n_sites: int = DDB_N_SITES,
+    loads: tuple[float, ...] = DDB_LOADS,
+    seeds: tuple[int, ...] = DDB_SEEDS,
+    duration: float = DDB_DURATION,
+) -> list[E9Result]:
+    """The hot-resource mix with victim resolution: churn + recovery."""
+    variant = get_variant("ddb")
+    results: list[E9Result] = []
+    for load in loads:
+        deadlocked = 0
+        first_times: list[float] = []
+        commits = aborts = 0
+        for seed in seeds:
+            spec = WorkloadSpec(
+                family="ddb-hot",
+                n=n_sites,
+                seed=seed,
+                duration=duration,
+                params=make_params(load=load, resolve=1.0),
+            )
+            run = provision_workload(variant, spec)
+            run.run_to_quiescence(max_events=2_000_000)
+            outcome = run.summarize()
+            assert outcome.soundness_violations == 0, (
+                f"unsound declaration in {spec.workload_id}"
+            )
+            # Victim resolution must fully recover: nothing deadlocked
+            # remains and (within the horizon) everything commits.
+            run.system.assert_no_deadlock_remains()
+            extra = run.extra()
+            commits += extra["commits"]
+            aborts += extra["aborts"]
+            if outcome.declarations:
+                deadlocked += 1
+                assert outcome.first_declaration_at is not None
+                first_times.append(outcome.first_declaration_at)
+        results.append(
+            E9Result(
+                family="ddb-hot",
+                label=f"DDB hot n_sites={n_sites} load={load:g}",
+                load=load,
+                runs=len(seeds),
+                deadlocked=deadlocked,
+                mean_time_to_deadlock=mean(first_times) if first_times else None,
+                max_probes_per_computation=0,
+                bound_violations=0,
+                commits=commits,
+                aborts=aborts,
+            )
+        )
+    return results
+
+
+def run(quick: bool = False) -> tuple[Table, list[E9Result]]:
+    n = QUICK_ENSEMBLE_N if quick else ENSEMBLE_N
+    seeds = QUICK_SEEDS if quick else SEEDS
+    results = run_er(
+        n=n, loads=QUICK_LOAD_FACTORS if quick else LOAD_FACTORS, seeds=seeds
+    )
+    results += run_ba(
+        n=n,
+        attachments=QUICK_BA_ATTACHMENTS if quick else BA_ATTACHMENTS,
+        seeds=seeds,
+    )
+    results += run_ddb_hot(
+        loads=QUICK_DDB_LOADS if quick else DDB_LOADS,
+        seeds=QUICK_DDB_SEEDS if quick else DDB_SEEDS,
+    )
+    table = Table(
+        "E9: deadlock probability and probe cost over workload ensembles",
+        [
+            "ensemble",
+            "load",
+            "P(deadlock)",
+            "mean t(deadlock)",
+            "max probes/comp",
+            "bound violations",
+            "commits",
+            "aborts",
+        ],
+    )
+    for result in results:
+        table.add_row(
+            result.label,
+            f"{result.load:g}",
+            f"{result.deadlock_probability:.2f}",
+            (
+                "-"
+                if result.mean_time_to_deadlock is None
+                else f"{result.mean_time_to_deadlock:.1f}"
+            ),
+            result.max_probes_per_computation,
+            result.bound_violations,
+            result.commits,
+            result.aborts,
+        )
+    return table, results

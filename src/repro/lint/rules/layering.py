@@ -47,9 +47,19 @@ DRIVER_PACKAGES = frozenset({"sweep", "live", "cluster"})
 #: Transport protocols and imports nothing above the protocol tier, so a
 #: protocol module importing it gains no access to core machinery -- the
 #: whole point of the seam is that protocol code names the contract, not
-#: a backend.  Judged at full-module granularity, unlike ordinary
-#: targets.
-SEAM_MODULES = frozenset({("repro", "core", "transport")})
+#: a backend.  The workload seam (``repro.workloads.spec``) is the same
+#: shape one tier up: frozen WorkloadSpec values and the WorkloadFamily
+#: registry, importing nothing above ``repro.errors``, so core-tier
+#: variant registrations may *name* workloads while the generator
+#: implementations (``repro.workloads.families``, loaded lazily by the
+#: registry) stay harness-tier.  Judged at full-module granularity,
+#: unlike ordinary targets.
+SEAM_MODULES = frozenset(
+    {
+        ("repro", "core", "transport"),
+        ("repro", "workloads", "spec"),
+    }
+)
 
 
 class LayeringRule(Rule):
@@ -84,11 +94,17 @@ class LayeringRule(Rule):
         "(sharding, multi-process backends, remote workers) without touching\n"
         "the tiers below.  The simulator's profiling hook is a structural\n"
         "Protocol for this reason: obs implements it without sim ever\n"
-        "importing obs.  One module is exempt as a seam: repro.core.transport\n"
+        "importing obs.  Two modules are exempt as seams: repro.core.transport\n"
         "is interface-only (structural NodeContext/Transport protocols, no\n"
         "runtime imports above the protocol tier), so any tier may name it --\n"
         "that is how protocol code stays portable across the simulator and\n"
-        "the live asyncio backend without importing either."
+        "the live asyncio backend without importing either -- and\n"
+        "repro.workloads.spec is the workload registry's interface (frozen\n"
+        "WorkloadSpec values + family lookup, importing nothing above\n"
+        "repro.errors), so core-tier variant registrations may resolve the\n"
+        "conformance workloads by name while the generators themselves\n"
+        "(repro.workloads.families, loaded lazily at first lookup) stay in\n"
+        "the harness tier."
     )
 
     def applies_to(self, ctx: FileContext) -> bool:

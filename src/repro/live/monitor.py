@@ -29,12 +29,13 @@ from pathlib import Path
 from typing import IO, Any
 
 from repro.core.conformance import ConformanceOutcome
-from repro.core.registry import get_variant
+from repro.core.registry import MonitorSetup, get_variant
 from repro.errors import ConfigurationError
 from repro.live.transport import AsyncioTransport
 from repro.obs.metrics import TransportTelemetry, telemetry_for_variant
 from repro.obs.spans import ProbeComputationSpan
 from repro.obs.stream import span_to_json
+from repro.workloads.provision import provision_workload, resolve_scenario_spec
 
 
 @dataclass(frozen=True)
@@ -169,6 +170,24 @@ def _render_tick(
     stream.flush()
 
 
+def _setup_scenario(
+    variant: Any, scenario: str, seed: int, transport: AsyncioTransport
+) -> MonitorSetup:
+    """Assemble the system to monitor without running it.
+
+    The ``deadlock`` / ``clean`` conformance pair goes through the
+    variant's monitor seam; anything else resolves through the workload
+    registry (``random`` or a family name driving the variant's model).
+    """
+    if scenario in ("deadlock", "clean"):
+        assert variant.monitor is not None  # gated by run_monitor
+        setup: MonitorSetup = variant.monitor(scenario, seed, transport=transport)
+        return setup
+    spec = resolve_scenario_spec(variant, scenario, seed=seed)
+    run = provision_workload(variant, spec, transport=transport)
+    return MonitorSetup(system=run.system, summarize=run.summarize, n_nodes=spec.n)
+
+
 def run_monitor(
     variant_name: str,
     *,
@@ -208,7 +227,7 @@ def run_monitor(
     if interval <= 0:
         raise ConfigurationError(f"interval must be positive, got {interval}")
     variant = get_variant(variant_name)
-    if variant.monitor is None:
+    if scenario in ("deadlock", "clean") and variant.monitor is None:
         raise ConfigurationError(
             f"variant {variant_name!r} does not support live monitoring"
         )
@@ -229,7 +248,7 @@ def run_monitor(
     ticks = 0
     started = time.perf_counter()
     try:
-        setup = variant.monitor(scenario, seed, transport=transport)
+        setup = _setup_scenario(variant, scenario, seed, transport)
 
         def on_span(span: ProbeComputationSpan) -> None:
             exports.write_span(span_to_json(span))

@@ -4,6 +4,9 @@ The driver behind ``repro live``: build an
 :class:`~repro.live.transport.AsyncioTransport`, hand it to the variant's
 conformance callable (which assembles the same system it runs on the
 simulator), and report the outcome with wall-clock detection latency.
+Scenarios beyond ``deadlock`` / ``clean`` resolve through the workload
+registry (``random`` or any family name that can drive the variant's
+model) via :func:`~repro.workloads.provision.provision_workload`.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from dataclasses import dataclass
 from repro.core.conformance import ConformanceOutcome
 from repro.core.registry import get_variant
 from repro.live.transport import AsyncioTransport
+from repro.workloads.provision import provision_workload, resolve_scenario_spec
 
 
 @dataclass(frozen=True)
@@ -43,20 +47,40 @@ def run_live(
     seed: int = 0,
     time_scale: float = 0.005,
     timeout: float = 30.0,
+    n_vertices: int | None = None,
+    duration: float | None = None,
 ) -> LiveReport:
-    """Run one conformance scenario on the wall clock.
+    """Run one scenario on the wall clock.
 
     ``timeout`` bounds the whole run in wall seconds; a live system that
     neither declares nor quiesces inside it raises
     :class:`~repro.errors.SimulationError` (via the transport's driver).
+    ``n_vertices`` / ``duration`` override the family example's topology
+    size and horizon for registry-driven scenarios (ignored by the
+    ``deadlock`` / ``clean`` conformance pair).
     """
     variant = get_variant(variant_name)
+    if scenario not in ("deadlock", "clean"):
+        # Fail fast on capability mismatches before the transport starts.
+        resolve_scenario_spec(variant, scenario, seed=seed)
     transport = AsyncioTransport(
         seed=seed, time_scale=time_scale, max_wall_seconds=timeout
     )
     started = time.perf_counter()
     try:
-        outcome = variant.conformance(scenario, seed, transport=transport)
+        if scenario in ("deadlock", "clean"):
+            outcome = variant.conformance(scenario, seed, transport=transport)
+        else:
+            spec = resolve_scenario_spec(
+                variant,
+                scenario,
+                seed=seed,
+                n_vertices=n_vertices,
+                duration=duration,
+            )
+            run = provision_workload(variant, spec, transport=transport)
+            run.run_to_quiescence()
+            outcome = run.summarize()
     finally:
         transport.close()
     wall = time.perf_counter() - started

@@ -19,15 +19,15 @@ from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError
 from repro.sim.network import DelayModel, ExponentialDelay, FixedDelay, UniformDelay
+from repro.workloads.spec import Params, WorkloadSpec, make_params
 
-#: Extra scenario parameters as a sorted tuple of (name, value) pairs --
-#: tuples (unlike dicts) are hashable and order-canonical after sorting.
-Params = tuple[tuple[str, float], ...]
-
-
-def make_params(**values: float) -> Params:
-    """Canonical (sorted) params tuple from keyword arguments."""
-    return tuple(sorted(values.items()))
+__all__ = [
+    "Params",
+    "SweepCell",
+    "SweepGrid",
+    "delay_model_from_spec",
+    "make_params",
+]
 
 
 def delay_model_from_spec(spec: str) -> DelayModel | None:
@@ -100,6 +100,23 @@ class SweepCell:
     def with_seed(self, seed: int) -> SweepCell:
         """A copy of this cell under another seed (grids sweep seeds this way)."""
         return replace(self, seed=seed)
+
+    def workload_spec(self) -> WorkloadSpec:
+        """This cell's workload as a registry spec.
+
+        The scenario string doubles as the family name; the cell's
+        topology size, seed, duration, and extra params carry over
+        verbatim, so a cell and its spec stay two views of one value.
+        (Cells whose scenario is a runner special-case -- ``ddb-ring``,
+        the ``baseline-*`` lanes -- never reach family resolution.)
+        """
+        return WorkloadSpec(
+            family=self.scenario,
+            n=self.n,
+            seed=self.seed,
+            duration=self.duration,
+            params=self.params,
+        )
 
 
 @dataclass(frozen=True, slots=True)

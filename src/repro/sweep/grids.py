@@ -1,4 +1,4 @@
-"""The shipped sweep grids: E1-E8 re-expressed declaratively.
+"""The shipped sweep grids: E1-E9 re-expressed declaratively.
 
 Each grid enumerates the same parameter axes its experiment module sweeps
 imperatively -- sizes, seeds, delay models, the section 4.3 initiation
@@ -27,6 +27,7 @@ from repro.experiments import (
     e6_wfgd,
     e7_q_optimization,
     e8_baselines,
+    e9_ensembles,
 )
 from repro.sweep.grid import Params, SweepCell, SweepGrid, make_params
 
@@ -177,6 +178,42 @@ def _e8(quick: bool) -> Iterable[SweepCell]:
             )
 
 
+def _e9(quick: bool) -> Iterable[SweepCell]:
+    n = e9_ensembles.QUICK_ENSEMBLE_N if quick else e9_ensembles.ENSEMBLE_N
+    seeds = e9_ensembles.QUICK_SEEDS if quick else e9_ensembles.SEEDS
+    loads = e9_ensembles.QUICK_LOAD_FACTORS if quick else e9_ensembles.LOAD_FACTORS
+    for load in loads:
+        for seed in seeds:
+            yield SweepCell(
+                "e9",
+                "er",
+                n=n,
+                seed=seed,
+                delay="exp:1.0",
+                params=make_params(p=e9_ensembles.er_probability(load, n)),
+            )
+    attachments = (
+        e9_ensembles.QUICK_BA_ATTACHMENTS if quick else e9_ensembles.BA_ATTACHMENTS
+    )
+    for m in attachments:
+        for seed in seeds:
+            yield SweepCell(
+                "e9", "ba", n=n, seed=seed, delay="exp:1.0", params=make_params(m=m)
+            )
+    ddb_loads = e9_ensembles.QUICK_DDB_LOADS if quick else e9_ensembles.DDB_LOADS
+    ddb_seeds = e9_ensembles.QUICK_DDB_SEEDS if quick else e9_ensembles.DDB_SEEDS
+    for load in ddb_loads:
+        for seed in ddb_seeds:
+            yield SweepCell(
+                "e9",
+                "ddb-hot",
+                n=e9_ensembles.DDB_N_SITES,
+                seed=seed,
+                duration=e9_ensembles.DDB_DURATION,
+                params=make_params(load=load, resolve=1),
+            )
+
+
 _BUILDERS: dict[str, tuple[str, Callable[[bool], Iterable[SweepCell]]]] = {
     "e1": ("Theorem 1 completeness: cycles x seeds + random dynamics", _e1),
     "e2": ("Theorem 2 soundness: churn / mixed / near-cycle families", _e2),
@@ -186,6 +223,7 @@ _BUILDERS: dict[str, tuple[str, Callable[[bool], Iterable[SweepCell]]]] = {
     "e6": ("section 5 WFGD: cycles with attached tails", _e6),
     "e7": ("section 6.7 Q-initiation vs naive, DDB rings", _e7),
     "e8": ("probe computation vs 1980-era baselines", _e8),
+    "e9": ("deadlock probability over workload ensembles", _e9),
 }
 
 #: Grid names accepted by ``repro sweep --grid`` (plus ``all``).
@@ -193,7 +231,7 @@ GRIDS: tuple[str, ...] = tuple(_BUILDERS)
 
 
 def build_grid(name: str, quick: bool = False) -> SweepGrid:
-    """Materialise one named grid (``e1`` .. ``e8``)."""
+    """Materialise one named grid (``e1`` .. ``e9``)."""
     try:
         description, builder = _BUILDERS[name.lower()]
     except KeyError:

@@ -28,8 +28,7 @@ from repro.basic.initiation import DelayedInitiation, ImmediateInitiation, Manua
 from repro.core.registry import get_variant, overlay_variants
 from repro.errors import ConfigurationError
 from repro.sweep.grid import SweepCell, delay_model_from_spec
-from repro.workloads import scenarios
-from repro.workloads.basic_random import RandomRequestWorkload
+from repro.workloads.spec import WorkloadFamily, get_family
 
 if TYPE_CHECKING:
     from repro.basic.system import BasicSystem
@@ -60,42 +59,6 @@ def _basic_system(cell: SweepCell, **overrides: Any) -> BasicSystem:
     return system
 
 
-def _start_random_workload(cell: SweepCell, system: BasicSystem) -> None:
-    RandomRequestWorkload(
-        system,
-        mean_think=cell.param("mean_think", 2.0),
-        max_targets=int(cell.param("max_targets", 2)),
-        duration=cell.duration,
-    ).start()
-
-
-def _build_cycle(cell: SweepCell, system: BasicSystem) -> None:
-    scenarios.schedule_cycle(system, list(range(cell.n)))
-
-
-def _build_chain_waves(cell: SweepCell, system: BasicSystem) -> None:
-    period = cell.param("period", 15.0)
-    for wave in range(int(cell.param("waves", 1))):
-        scenarios.schedule_chain(system, list(range(cell.n)), start=wave * period, gap=0.2)
-
-
-def _build_dense(cell: SweepCell, system: BasicSystem) -> None:
-    fan_out = int(cell.param("fan_out"))
-    for i in range(cell.n):
-        targets = sorted({(i + d) % cell.n for d in range(1, fan_out + 1)} - {i})
-        system.schedule_request(0.1 * i, i, targets)
-
-
-def _build_tails(cell: SweepCell, system: BasicSystem) -> None:
-    cycle_size = int(cell.param("cycle"))
-    offset = cycle_size
-    tail_ids: list[list[int]] = []
-    for length in (int(v) for v in cell.param_list("tail")):
-        tail_ids.append(list(range(offset, offset + length)))
-        offset += length
-    scenarios.schedule_cycle_with_tails(system, list(range(cycle_size)), tail_ids)
-
-
 def _collect_basic(cell: SweepCell, system: BasicSystem) -> CellResult:
     histogram = system.metrics.histograms.get("basic.detection.latency")
     latencies = list(histogram.values) if histogram is not None else []
@@ -117,13 +80,9 @@ def _collect_basic(cell: SweepCell, system: BasicSystem) -> CellResult:
     }
 
 
-def _run_structured(cell: SweepCell) -> CellResult:
-    build = {
-        "cycle": _build_cycle,
-        "chain-waves": _build_chain_waves,
-        "dense": _build_dense,
-        "cycle-with-tails": _build_tails,
-    }[cell.scenario]
+def _run_basic_family(cell: SweepCell, family: WorkloadFamily) -> CellResult:
+    """Any basic-model workload family: schedule via the registry, then
+    apply the cell's initiation/WFGD/rounds machinery around the run."""
     wants_wfgd = bool(cell.param("wfgd", 0.0))
     manual = cell.scenario == "dense" or bool(cell.param("rounds", 0.0))
     system = _basic_system(
@@ -131,7 +90,8 @@ def _run_structured(cell: SweepCell) -> CellResult:
         wfgd_on_declare=wants_wfgd,
         **({"initiation": ManualInitiation()} if manual else {}),
     )
-    build(cell, system)
+    spec = cell.workload_spec()
+    handle = family.schedule(spec, system)
     system.run_to_quiescence(max_events=MAX_EVENTS)
     rounds = int(cell.param("rounds", 0.0))
     if cell.scenario == "dense":
@@ -152,6 +112,8 @@ def _run_structured(cell: SweepCell) -> CellResult:
         )
     if wants_wfgd:
         result["extra"].update(_wfgd_extra(system, cell.n))
+    if family.collect is not None:
+        result["extra"].update(family.collect(spec, system, handle))
     return result
 
 
@@ -173,15 +135,34 @@ def _wfgd_extra(system: BasicSystem, n: int) -> dict[str, int]:
     }
 
 
-def _run_random(cell: SweepCell) -> CellResult:
-    system = _basic_system(cell)
-    _start_random_workload(cell, system)
-    system.run_to_quiescence(max_events=MAX_EVENTS)
-    result = _collect_basic(cell, system)
-    result["extra"]["avoided"] = system.metrics.counter_value(
-        "basic.computations.avoided"
+def _run_ddb_family(cell: SweepCell, family: WorkloadFamily) -> CellResult:
+    """A DDB-model workload family (``ddb-mix`` / ``ddb-hot``): the family
+    builds its own system (sites + resource catalogue + resolution)."""
+    assert family.build is not None  # every registered DDB family has one
+    spec = cell.workload_spec()
+    system = family.build(
+        spec, strict=False, delay_model=delay_model_from_spec(cell.delay)
     )
-    return result
+    handle = family.schedule(spec, system)
+    system.run_to_quiescence(max_events=MAX_EVENTS)
+    complete, _ = system.completeness_report()
+    extra: dict[str, Any] = {"complete": int(complete)}
+    if family.collect is not None:
+        extra.update(family.collect(spec, system, handle))
+    return {
+        "cell_id": cell.cell_id,
+        "status": "ok",
+        "outcome": "deadlock" if system.declarations else "clean",
+        "events": system.simulator.events_executed,
+        "quiesced_at": system.simulator.now,
+        "declarations": len(system.declarations),
+        "unsound": len(system.soundness_violations),
+        "probes": system.metrics.counter_value("ddb.probes.sent"),
+        "computations": system.metrics.counter_value("ddb.computations.initiated"),
+        "max_probes_per_computation": 0,
+        "detection_latency_mean": None,
+        "extra": extra,
+    }
 
 
 def _run_ddb_ring(cell: SweepCell) -> CellResult:
@@ -247,16 +228,32 @@ def _run_baseline(cell: SweepCell) -> CellResult:
     return result
 
 
-_SCENARIO_RUNNERS = {
-    "cycle": _run_structured,
-    "chain-waves": _run_structured,
-    "dense": _run_structured,
-    "cycle-with-tails": _run_structured,
-    "random": _run_random,
+#: Scenarios that bypass family resolution: they wrap whole experiment
+#: procedures (multi-detector overlays, the E7 Q-optimisation ring)
+#: rather than a schedulable workload, so the registry has no entry.
+_SPECIAL_RUNNERS = {
     "ddb-ring": _run_ddb_ring,
     "baseline-random": _run_baseline,
     "baseline-ping-pong": _run_baseline,
 }
+
+
+def _dispatch(cell: SweepCell) -> CellResult:
+    special = _SPECIAL_RUNNERS.get(cell.scenario)
+    if special is not None:
+        return special(cell)
+    # Everything else resolves through the workload registry; an unknown
+    # scenario raises ConfigurationError naming the family (error cell).
+    family = get_family(cell.scenario)
+    model = family.models[0]
+    if model == "basic":
+        return _run_basic_family(cell, family)
+    if model == "ddb":
+        return _run_ddb_family(cell, family)
+    raise ConfigurationError(
+        f"workload family {family.name!r} drives model {model!r}, which has "
+        "no sweep runner (basic and ddb families sweep today)"
+    )
 
 
 def run_cell(cell: SweepCell) -> CellResult:
@@ -267,10 +264,7 @@ def run_cell(cell: SweepCell) -> CellResult:
     """
     started = time.perf_counter()
     try:
-        runner = _SCENARIO_RUNNERS.get(cell.scenario)
-        if runner is None:
-            raise ConfigurationError(f"unknown sweep scenario {cell.scenario!r}")
-        result = runner(cell)
+        result = _dispatch(cell)
     except Exception as error:  # noqa: BLE001 - error cells are the contract
         result = {
             "cell_id": cell.cell_id,

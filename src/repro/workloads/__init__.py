@@ -1,33 +1,105 @@
-"""Workload generators for the basic and DDB models.
+"""The workload layer: a registry of workload families behind frozen specs.
 
-* :mod:`repro.workloads.scenarios` -- canned basic-model request patterns
-  (k-cycles, chains, near-cycles, figure-eights) used across tests,
-  examples, and benchmarks.
-* :mod:`repro.workloads.basic_random` -- a random request/reply driver for
-  the basic model, producing both churn (edges that resolve) and genuine
-  deadlocks, with tunable rates.
-* :mod:`repro.workloads.transactions` -- a random transactional workload
-  for the DDB model (sites, resource hotspots, read ratios, think times,
-  abort/restart with randomised backoff).
+Workloads are resolved the way detectors are: a frozen, picklable
+:class:`~repro.workloads.spec.WorkloadSpec` names one workload (family +
+topology/load params + seed + duration, canonical ``workload_id``), and
+a :class:`~repro.workloads.spec.WorkloadFamily` registry -- mirroring
+:class:`~repro.core.registry.DetectorVariant` -- declares which models
+each family can drive, how to schedule it onto a built system, and what
+outcome fields it reports.  Every runner (sweep, cluster, live, monitor,
+the ``repro workloads`` CLI) resolves through this registry.
+
+* :mod:`repro.workloads.spec` -- the seam: specs, families, and the
+  registry (importable from any tier; see lint rule RPX004).
+* :mod:`repro.workloads.families` -- built-in registrations: the canned
+  §2-4 patterns, the randomized basic/DDB drivers, and the graph
+  ensembles.
+* :mod:`repro.workloads.ensembles` -- Erdős–Rényi and Barabási–Albert
+  wait-graph generators plus the hot-resource DDB mix parameters.
+* :mod:`repro.workloads.provision` -- build + schedule + summarise one
+  (variant, spec) pair on any transport backend.
+* :mod:`repro.workloads.scenarios` -- the schedule bodies behind the
+  canned basic-model families (also callable directly with explicit
+  vertex lists).
+* :mod:`repro.workloads.basic_random` -- the random request/reply driver
+  behind the ``random`` family.
+* :mod:`repro.workloads.transactions` -- the single-remote-hop DDB
+  transaction generator behind ``ddb-mix`` / ``ddb-hot``.
+
+This ``__init__`` only loads the seam eagerly; everything that imports
+protocol systems resolves lazily (PEP 562), so core-tier modules can
+``import repro.workloads.spec`` without dragging protocol packages --
+or a circular import -- through the package initialiser.
 """
 
-from repro.workloads.basic_random import RandomRequestWorkload
-from repro.workloads.scenarios import (
-    schedule_chain,
-    schedule_cycle,
-    schedule_cycle_with_tails,
-    schedule_figure_eight,
-    schedule_near_cycle,
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Any
+
+from repro.workloads.spec import (
+    WorkloadFamily,
+    WorkloadSpec,
+    all_families,
+    default_random_family,
+    families_for_model,
+    family_names,
+    get_family,
+    register_family,
+    require_model,
 )
-from repro.workloads.transactions import TransactionWorkload, WorkloadParams
+
+#: Lazily resolved exports: name -> (module, attribute).  These modules
+#: import protocol systems, so loading them from the package initialiser
+#: would defeat the seam (and cycle back through ``repro.basic``).
+_LAZY_EXPORTS: dict[str, tuple[str, str]] = {
+    "ProvisionedWorkload": ("repro.workloads.provision", "ProvisionedWorkload"),
+    "provision_workload": ("repro.workloads.provision", "provision_workload"),
+    "RandomRequestWorkload": ("repro.workloads.basic_random", "RandomRequestWorkload"),
+    "TransactionWorkload": ("repro.workloads.transactions", "TransactionWorkload"),
+    "WorkloadParams": ("repro.workloads.transactions", "WorkloadParams"),
+    "schedule_chain": ("repro.workloads.scenarios", "schedule_chain"),
+    "schedule_cycle": ("repro.workloads.scenarios", "schedule_cycle"),
+    "schedule_cycle_with_tails": (
+        "repro.workloads.scenarios",
+        "schedule_cycle_with_tails",
+    ),
+    "schedule_figure_eight": ("repro.workloads.scenarios", "schedule_figure_eight"),
+    "schedule_near_cycle": ("repro.workloads.scenarios", "schedule_near_cycle"),
+}
 
 __all__ = [
+    "ProvisionedWorkload",
     "RandomRequestWorkload",
     "TransactionWorkload",
+    "WorkloadFamily",
     "WorkloadParams",
+    "WorkloadSpec",
+    "all_families",
+    "default_random_family",
+    "families_for_model",
+    "family_names",
+    "get_family",
+    "provision_workload",
+    "register_family",
+    "require_model",
     "schedule_chain",
     "schedule_cycle",
     "schedule_cycle_with_tails",
     "schedule_figure_eight",
     "schedule_near_cycle",
 ]
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    return getattr(import_module(module_name), attribute)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

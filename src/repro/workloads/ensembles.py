@@ -1,0 +1,125 @@
+"""Random wait-graph ensembles over the basic and DDB models.
+
+The generators here realise the graph-structured resource-sharing models
+from Barbosa, "The combinatorics of resource sharing", and Oliveira &
+Barbosa, "Revisiting deadlock prevention: a probabilistic approach"
+(PAPERS.md): a workload is a random directed wait graph drawn from a
+named ensemble, and the quantity of interest is how deadlock probability
+and time-to-deadlock scale with the ensemble's load factor.
+
+Two graph ensembles drive the basic (AND) model:
+
+* **Erdős–Rényi** ``G(n, p)``: every ordered pair ``(i, j)``, ``i != j``,
+  carries a wait edge independently with probability ``p``.  The expected
+  out-degree ``p * (n - 1)`` is the load factor; directed cycles (and so
+  deadlock) appear with sharply rising probability once it crosses 1.
+* **Barabási–Albert** scale-free: vertices attach ``m`` edges each by
+  preferential attachment, then every undirected edge is oriented by a
+  fair coin.  Hubs concentrate waits the way hot resources do, so the
+  deadlock probability at equal mean degree differs from the ER curve --
+  that contrast is experiment E9's point.
+
+A third ensemble drives the DDB model: a **hot-resource transaction
+mix** where ``load`` transactions per resource contend, a tunable
+fraction of remote hops targeting a small hotspot -- the classic
+database contention pattern from the Menasce-Muntz line of work.
+
+Every draw is a pure function of the :class:`~repro.workloads.spec.
+WorkloadSpec`: graph randomness comes from ``random.Random`` seeded via
+:func:`~repro.sim.rng.derive_seed` on the spec's seed and the family
+name, never from the transport, so the same spec yields the identical
+wait graph on the simulator, the asyncio backend, and the cluster.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import derive_seed
+
+#: A directed wait edge: requester index -> holder index.
+Edge = tuple[int, int]
+
+
+def spec_rng(seed: int, family: str) -> random.Random:
+    """Graph RNG for one (seed, family) pair -- transport-independent."""
+    return random.Random(derive_seed(seed, f"workload.{family}"))
+
+
+def erdos_renyi_edges(n: int, p: float, rng: random.Random) -> list[Edge]:
+    """Directed ``G(n, p)``: each ordered pair is an edge with prob. ``p``.
+
+    Pairs are visited in canonical ``(i, j)`` order so the draw sequence
+    -- and therefore the graph -- is a pure function of the RNG state.
+    """
+    if n < 2:
+        raise ConfigurationError(f"an ER ensemble needs n >= 2, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"edge probability must be in [0, 1], got {p}")
+    return [
+        (i, j)
+        for i in range(n)
+        for j in range(n)
+        if i != j and rng.random() < p
+    ]
+
+
+def barabasi_albert_edges(n: int, m: int, rng: random.Random) -> list[Edge]:
+    """Scale-free wait graph: BA growth, then a fair-coin orientation.
+
+    Growth is the standard repeated-endpoints trick: the seed clique is
+    ``m + 1`` vertices, and every later vertex draws ``m`` distinct
+    neighbours from the multiset of all prior edge endpoints (degree-
+    proportional).  Orientation is drawn per undirected edge so cycles
+    through hubs can form -- an always-toward-the-hub orientation would
+    be acyclic and deadlock-free by construction.
+    """
+    if m < 1:
+        raise ConfigurationError(f"BA attachment needs m >= 1, got {m}")
+    if n < m + 2:
+        raise ConfigurationError(
+            f"a BA ensemble needs n >= m + 2 (got n={n}, m={m})"
+        )
+    undirected: list[Edge] = []
+    # Multiset of endpoints; each edge contributes both ends, so drawing
+    # uniformly from it is degree-proportional attachment.
+    endpoints: list[int] = []
+    for i in range(m + 1):
+        for j in range(i + 1, m + 1):
+            undirected.append((i, j))
+            endpoints.extend((i, j))
+    for v in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(endpoints))
+        for target in sorted(targets):
+            undirected.append((v, target))
+            endpoints.extend((v, target))
+    oriented: list[Edge] = []
+    for u, v in undirected:
+        oriented.append((u, v) if rng.random() < 0.5 else (v, u))
+    return oriented
+
+
+def requests_from_edges(n: int, edges: Iterable[Edge]) -> list[tuple[int, list[int]]]:
+    """Fold a directed edge list into one AND-request batch per requester.
+
+    Returns ``(vertex, sorted targets)`` pairs in vertex order; vertices
+    with no out-edges issue nothing and stay active (they are what lets
+    sub-critical graphs drain).  In the AND model one vertex's waits form
+    a single batch, so the whole graph is realised with at most ``n``
+    requests.
+    """
+    out: dict[int, set[int]] = {}
+    for requester, holder in edges:
+        if not 0 <= requester < n or not 0 <= holder < n:
+            raise ConfigurationError(
+                f"edge ({requester}, {holder}) is outside the vertex range 0..{n - 1}"
+            )
+        if requester != holder:
+            out.setdefault(requester, set()).add(holder)
+    return [
+        (vertex, sorted(out[vertex])) for vertex in sorted(out)
+    ]

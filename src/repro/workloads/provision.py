@@ -1,0 +1,150 @@
+"""Provision a (detector variant, workload spec) pair on any transport.
+
+The one place the "build a system, schedule a workload onto it,
+summarise the run" dance lives.  Runners that used to hard-code a model
+check plus a workload class (the cluster's random lane, ad-hoc test
+harnesses) call :func:`provision_workload` instead: it checks the
+family's capability declaration against the variant's model (typed
+:class:`~repro.errors.ConfigurationError` on mismatch, naming the
+family), builds the system -- through the family's own factory when it
+has one, else through the variant's -- schedules the workload, and
+returns a handle whose ``summarize`` folds the finished run into the
+standard :class:`~repro.core.conformance.ConformanceOutcome` plus the
+family's declared extra outcome fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.core.conformance import ConformanceOutcome
+from repro.core.registry import DetectorVariant
+from repro.workloads.spec import (
+    WorkloadFamily,
+    WorkloadSpec,
+    default_random_family,
+    get_family,
+    require_model,
+)
+
+
+def _completeness(system: Any) -> tuple[bool | None, int]:
+    """Normalise the two completeness-report shapes the models use.
+
+    Basic/OR systems return a report object (``.complete`` /
+    ``.undetected_components``); the DDB system returns a bare
+    ``(complete, undetected_components)`` tuple.
+    """
+    report = system.completeness_report()
+    if isinstance(report, tuple):
+        complete, undetected = report
+        return bool(complete), len(undetected)
+    return report.complete, len(report.undetected_components)
+
+
+@dataclass
+class ProvisionedWorkload:
+    """A built system with its workload scheduled, ready to run."""
+
+    variant: DetectorVariant
+    family: WorkloadFamily
+    spec: WorkloadSpec
+    system: Any
+    #: whatever the family's ``schedule`` returned (driver object, edge
+    #: list, ``None``); fed back to ``collect`` at summary time.
+    handle: Any
+
+    def run_to_quiescence(self, **kwargs: Any) -> None:
+        self.system.run_to_quiescence(**kwargs)
+
+    def extra(self) -> dict[str, Any]:
+        """The family's declared extra outcome fields for this run."""
+        if self.family.collect is None:
+            return {}
+        return self.family.collect(self.spec, self.system, self.handle)
+
+    def summarize(self) -> ConformanceOutcome:
+        complete, undetected = _completeness(self.system)
+        return ConformanceOutcome(
+            variant=self.variant.name,
+            scenario=self.spec.family,
+            declarations=len(self.system.declarations),
+            soundness_violations=len(self.system.soundness_violations),
+            complete=complete,
+            undetected_components=undetected,
+            first_declaration_at=(
+                self.system.declarations[0].time
+                if self.system.declarations
+                else None
+            ),
+        )
+
+
+def resolve_scenario_spec(
+    variant: DetectorVariant,
+    scenario: str,
+    *,
+    seed: int,
+    n_vertices: int | None = None,
+    duration: float | None = None,
+) -> WorkloadSpec:
+    """Turn a runner's scenario string into a concrete workload spec.
+
+    ``random`` picks the variant's model's default randomized family;
+    any other name must be a registered family capable of driving that
+    model (typed :class:`~repro.errors.ConfigurationError` otherwise,
+    naming the family and the models it does drive).  The family's
+    example spec supplies the load parameters; ``seed`` always
+    overrides, ``n_vertices`` / ``duration`` override when given.
+    """
+    model = variant.capabilities.model
+    if scenario == "random":
+        family = default_random_family(model)
+    else:
+        family = get_family(scenario)
+        require_model(family, model)
+    spec = family.example.with_seed(seed)
+    if n_vertices is not None:
+        spec = replace(spec, n=n_vertices)
+    if duration is not None:
+        spec = replace(spec, duration=duration)
+    return spec
+
+
+def provision_workload(
+    variant: DetectorVariant,
+    spec: WorkloadSpec,
+    *,
+    transport: Any | None = None,
+    strict: bool = False,
+    delay_model: Any | None = None,
+) -> ProvisionedWorkload:
+    """Build ``variant``'s system on ``transport`` and schedule ``spec``.
+
+    ``strict`` defaults to ``False`` (runner semantics: violations are
+    recorded, not raised) so completeness/soundness gating stays in the
+    caller's report.  Raises :class:`~repro.errors.ConfigurationError`
+    when the family cannot drive the variant's model or the spec fails
+    the family's own validation.
+    """
+    family = get_family(spec.family)
+    require_model(family, variant.capabilities.model)
+    if family.validate is not None:
+        family.validate(spec)
+    if family.build is not None:
+        system = family.build(
+            spec, transport=transport, strict=strict, delay_model=delay_model
+        )
+    else:
+        system = variant.build(
+            n_vertices=spec.n,
+            seed=spec.seed,
+            strict=strict,
+            transport=transport,
+            **({"delay_model": delay_model} if delay_model is not None else {}),
+        )
+    handle = family.schedule(spec, system)
+    return ProvisionedWorkload(
+        variant=variant, family=family, spec=spec, system=system, handle=handle
+    )

@@ -1,8 +1,16 @@
-"""Canned basic-model request patterns.
+"""Schedule bodies behind the registry's canned basic-model families.
 
-Each function schedules requests on a :class:`~repro.basic.system.BasicSystem`
-and returns immediately; run the system afterwards.  Vertex indices refer
-to the system's vertices, so callers size the system to fit.
+These functions are the *implementations* the workload registry
+(:mod:`repro.workloads.spec`, registrations in
+:mod:`repro.workloads.families`) exposes as the ``cycle``, ``chain``,
+``near-cycle``, ``cycle-with-tails``, ``ping-pong``, and
+``figure-eight`` families: runners resolve a
+:class:`~repro.workloads.spec.WorkloadSpec` to a family and the family
+calls down here.  Each function schedules requests on a
+:class:`~repro.basic.system.BasicSystem` and returns immediately; run
+the system afterwards.  Vertex indices refer to the system's vertices,
+so callers size the system to fit.  Direct calls remain supported for
+tests and examples that want explicit vertex lists rather than specs.
 """
 
 from __future__ import annotations
@@ -47,12 +55,22 @@ def schedule_near_cycle(
     start: float = 0.0,
     gap: float = 0.5,
 ) -> None:
-    """Almost a cycle: the closing request is never issued.
+    """A cycle with the closing request withheld: the adversarial near-miss.
 
-    Builds the chain v0 -> ... -> v_last; the tail vertex stays active, so
-    the chain drains via replies.  Useful for no-false-positive tests.
+    Issues the first ``k - 1`` requests of the standard k-cycle pattern
+    (``vertices[i]`` requests ``vertices[i + 1]`` at ``start + i*gap``)
+    and never the closing one, so the wait graph is the cycle's minus one
+    edge.  The last vertex stays active, every wait eventually drains via
+    replies, and any declaration is a QRP2 soundness violation -- which
+    is the point: unlike :func:`schedule_chain` (a plain waiting chain),
+    this pattern exists to present a detector with *almost* the deadlock
+    it is tuned for.  It shares the cycle's precondition (at least two
+    vertices) rather than the chain's tolerance of degenerate inputs.
     """
-    schedule_chain(system, vertices, start=start, gap=gap)
+    if len(vertices) < 2:
+        raise ConfigurationError("a near-cycle needs at least two vertices")
+    for i in range(len(vertices) - 1):
+        system.schedule_request(start + i * gap, vertices[i], [vertices[i + 1]])
 
 
 def schedule_cycle_with_tails(

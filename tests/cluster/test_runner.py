@@ -73,6 +73,13 @@ class TestReportGates:
         )
         assert not report.ok
 
+    def test_incomplete_family_run_fails(self) -> None:
+        report = _report(
+            scenario="ddb-mix",
+            outcome={"scenario": "ddb-mix", "complete": False, "undetected_components": 1},
+        )
+        assert not report.ok
+
     def test_json_artifact_is_schemad_and_self_contained(self) -> None:
         payload = _report().to_json()
         assert payload["schema"] == "repro.cluster-report/1"
@@ -83,13 +90,55 @@ class TestReportGates:
 
 
 class TestRunnerValidation:
-    def test_random_scenario_requires_the_basic_model(self) -> None:
-        with pytest.raises(ConfigurationError, match="basic model"):
-            run_cluster("ddb", scenario="random")
+    def test_random_needs_a_randomized_family_for_the_model(self) -> None:
+        # The OR model has no randomized workload family registered.
+        with pytest.raises(ConfigurationError, match="'ormodel'"):
+            run_cluster("ormodel", scenario="random")
+
+    def test_family_must_drive_the_variants_model(self) -> None:
+        with pytest.raises(ConfigurationError, match="'ddb-mix' cannot drive"):
+            run_cluster("basic", scenario="ddb-mix")
+
+    def test_unknown_family_is_a_configuration_error(self) -> None:
+        with pytest.raises(ConfigurationError, match="unknown workload family"):
+            run_cluster("basic", scenario="no-such-family")
 
     def test_unknown_variant_is_a_configuration_error(self) -> None:
         with pytest.raises(ConfigurationError, match="unknown detector variant"):
             run_cluster("nope")
+
+
+class TestRegistryWorkloadsOnCluster:
+    def test_random_on_ddb_runs_the_transaction_mix(self) -> None:
+        # The old runner hard-coded the basic model here; the registry
+        # resolves ddb's default randomized family (ddb-mix) instead.
+        report = run_cluster(
+            "ddb",
+            scenario="random",
+            seed=1,
+            n_vertices=2,
+            duration=40.0,
+            time_scale=TIME_SCALE,
+            timeout=30.0,
+        )
+        assert report.sound
+        assert report.outcome.complete
+        assert report.ok
+        assert report.outcome.scenario == "ddb-mix"
+
+    def test_ensemble_family_by_name_on_the_cluster(self) -> None:
+        report = run_cluster(
+            "basic",
+            scenario="er",
+            seed=2,
+            n_vertices=6,
+            duration=0.0,
+            time_scale=TIME_SCALE,
+            timeout=30.0,
+        )
+        assert report.sound
+        assert report.outcome.complete
+        assert report.ok
 
 
 class TestCli:

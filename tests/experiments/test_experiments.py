@@ -14,8 +14,8 @@ from repro.experiments import ALL_EXPERIMENTS
 
 
 class TestRegistry:
-    def test_all_eight_registered(self) -> None:
-        assert sorted(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 9)]
+    def test_all_nine_registered(self) -> None:
+        assert sorted(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 10)]
 
     def test_every_module_has_run(self) -> None:
         for module in ALL_EXPERIMENTS.values():

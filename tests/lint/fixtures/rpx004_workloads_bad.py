@@ -1,0 +1,20 @@
+# lint-as: src/repro/core/fixture.py
+"""RPX004 failing fixture: the seam does not cover its siblings.
+
+Only ``repro.workloads.spec`` is exempt; the package initialiser and the
+schedule-body modules import protocol systems, so a core-tier module
+reaching them would invert the tier stack exactly the way the seam was
+carved to avoid.
+"""
+
+from __future__ import annotations
+
+import repro.workloads  # expect: RPX004
+from repro.workloads import provision  # expect: RPX004
+from repro.workloads.families import ensure_registered  # expect: RPX004
+
+
+def resolve() -> object:
+    from repro.workloads.scenarios import schedule_cycle  # expect: RPX004
+
+    return schedule_cycle, ensure_registered, provision, repro.workloads

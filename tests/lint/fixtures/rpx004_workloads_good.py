@@ -1,0 +1,16 @@
+# lint-as: src/repro/core/fixture.py
+"""RPX004 passing fixture: the workload-spec seam is importable anywhere.
+
+``repro.workloads.spec`` holds only frozen specs and the family registry
+(no protocol imports), so core-tier resolvers -- conformance scenarios,
+variant setup seams -- may import it even though the rest of
+``repro.workloads`` sits in the harness tier above them.
+"""
+
+from __future__ import annotations
+
+import repro.workloads.spec
+from repro.workloads import spec
+from repro.workloads.spec import WorkloadSpec, get_family
+
+__all__ = ["WorkloadSpec", "get_family", "spec", "repro"]

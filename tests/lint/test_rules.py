@@ -214,11 +214,43 @@ class TestTransportSeam:
         )
         assert diagnostic.rule == "RPX004"
 
-    def test_seam_set_is_exactly_the_transport_module(self) -> None:
+
+class TestWorkloadSeam:
+    """RPX004's second seam: repro.workloads.spec is importable anywhere."""
+
+    def test_core_may_import_the_seam_in_every_form(self) -> None:
+        source, logical = load_fixture("rpx004_workloads_good.py")
+        assert logical == "src/repro/core/fixture.py"
+        diagnostics = lint_source(source, logical)
+        assert diagnostics == [], [d.format_text() for d in diagnostics]
+
+    def test_non_seam_workload_modules_stay_flagged(self) -> None:
+        source, logical = load_fixture("rpx004_workloads_bad.py")
+        expected = expected_findings(source)
+        assert expected and {rule for rule, _ in expected} == {"RPX004"}
+        diagnostics = lint_source(source, logical)
+        assert {(d.rule, d.line) for d in diagnostics} == expected
+
+    def test_protocol_tier_gets_the_same_exemption(self) -> None:
+        assert (
+            lint_source(
+                "from repro.workloads.spec import WorkloadSpec\n",
+                "src/repro/basic/fixture.py",
+            )
+            == []
+        )
+        (diagnostic,) = lint_source(
+            "from repro.workloads.provision import provision_workload\n",
+            "src/repro/basic/fixture.py",
+        )
+        assert diagnostic.rule == "RPX004"
+
+    def test_seam_modules_are_exact_paths(self) -> None:
         from repro.lint.rules.layering import SEAM_MODULES
 
-        assert SEAM_MODULES == {("repro", "core", "transport")}
-
+        assert SEAM_MODULES == frozenset(
+            {("repro", "core", "transport"), ("repro", "workloads", "spec")}
+        )
 
 class TestBackendNeutrality:
     """RPX007: protocol packages never name a concrete backend module."""

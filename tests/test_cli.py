@@ -26,6 +26,26 @@ class TestCommands:
         assert "declared deadlock" in out
         assert "verified" in out
 
+    def test_workloads_lists_every_family(self, capsys) -> None:
+        from repro.workloads import family_names
+
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in family_names():
+            assert f"{name}: " in out
+        assert "deadlock-capable" in out
+        assert "example: " in out
+
+    def test_workloads_filters_by_model(self, capsys) -> None:
+        assert main(["workloads", "--model", "ddb"]) == 0
+        out = capsys.readouterr().out
+        assert "ddb-mix: " in out
+        assert "cycle: " not in out
+
+    def test_workloads_unknown_model_exits_1(self, capsys) -> None:
+        assert main(["workloads", "--model", "nope"]) == 1
+        assert "no registered workload family" in capsys.readouterr().out
+
     def test_ddb_demo(self, capsys) -> None:
         assert main(["ddb-demo"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,113 @@
+"""Cross-backend conformance for the ensemble workload families.
+
+Every registered ensemble family runs one deadlock-forming and one clean
+configuration on all three transport backends -- the deterministic
+simulator, the asyncio runtime, and the multi-process cluster.  The
+graph draw is a pure function of the spec (seeded off-transport), so
+each backend sees the same wait graph; QRP2 soundness must hold on all
+of them, QRP1 completeness by quiescence, and on the simulator the
+basic-model runs are additionally checked against the section 4 probe
+bounds span by span.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.transport import ClusterTransport
+from repro.core.registry import get_variant
+from repro.live.transport import AsyncioTransport
+from repro.obs.spans import build_spans
+from repro.workloads.provision import provision_workload
+from repro.workloads.spec import WorkloadSpec, make_params
+
+#: compressed clock for the wall-clock backends: 1 virtual unit = 2 ms.
+TIME_SCALE = 0.002
+TIMEOUT = 30.0
+
+#: (family, kind) -> a spec known to deadlock / known to drain clean.
+CONFIGS: dict[tuple[str, str], WorkloadSpec] = {
+    ("er", "deadlock"): WorkloadSpec(
+        family="er", n=8, seed=0, params=make_params(p=0.35)
+    ),
+    ("er", "clean"): WorkloadSpec(
+        family="er", n=8, seed=8, params=make_params(p=0.35)
+    ),
+    ("ba", "deadlock"): WorkloadSpec(
+        family="ba", n=8, seed=0, params=make_params(m=2)
+    ),
+    # m=1 grows a tree; no orientation of a tree has a cycle.
+    ("ba", "clean"): WorkloadSpec(family="ba", n=8, seed=0, params=make_params(m=1)),
+    ("ddb-mix", "deadlock"): WorkloadSpec(
+        family="ddb-mix", n=2, seed=0, duration=60.0, params=make_params(load=2.0)
+    ),
+    ("ddb-mix", "clean"): WorkloadSpec(
+        family="ddb-mix", n=2, seed=0, duration=60.0, params=make_params(load=0.3)
+    ),
+    ("ddb-hot", "deadlock"): WorkloadSpec(
+        family="ddb-hot", n=2, seed=0, duration=60.0, params=make_params(load=2.0)
+    ),
+    ("ddb-hot", "clean"): WorkloadSpec(
+        family="ddb-hot", n=2, seed=0, duration=60.0, params=make_params(load=0.3)
+    ),
+}
+
+MODEL_VARIANTS = {"er": "basic", "ba": "basic", "ddb-mix": "ddb", "ddb-hot": "ddb"}
+
+
+def _run(spec: WorkloadSpec, backend: str):
+    variant = get_variant(MODEL_VARIANTS[spec.family])
+    if backend == "sim":
+        run = provision_workload(variant, spec)
+        run.run_to_quiescence()
+        return run
+    transport_cls = AsyncioTransport if backend == "live" else ClusterTransport
+    transport = transport_cls(
+        seed=spec.seed, time_scale=TIME_SCALE, max_wall_seconds=TIMEOUT
+    )
+    try:
+        run = provision_workload(variant, spec, transport=transport)
+        run.run_to_quiescence()
+    finally:
+        transport.close()
+    return run
+
+
+@pytest.mark.parametrize("backend", ("sim", "live", "cluster"))
+@pytest.mark.parametrize(
+    "family,kind", sorted(CONFIGS), ids=lambda value: str(value)
+)
+class TestEnsemblesEverywhere:
+    def test_sound_and_complete_on_every_backend(
+        self, family: str, kind: str, backend: str
+    ) -> None:
+        spec = CONFIGS[(family, kind)]
+        run = _run(spec, backend)
+        outcome = run.summarize()
+        assert outcome.soundness_violations == 0, (
+            f"{spec.workload_id} unsound on the {backend} backend"
+        )
+        assert outcome.complete, (
+            f"{spec.workload_id} missed a deadlock on the {backend} backend"
+        )
+        if kind == "deadlock":
+            assert outcome.declarations > 0, (
+                f"{spec.workload_id} failed to deadlock on the {backend} backend"
+            )
+        else:
+            assert outcome.declarations == 0, (
+                f"{spec.workload_id} declared on a clean {backend} run"
+            )
+
+
+@pytest.mark.parametrize(
+    "family,kind", [key for key in sorted(CONFIGS) if MODEL_VARIANTS[key[0]] == "basic"]
+)
+def test_section4_probe_bounds_hold(family: str, kind: str) -> None:
+    spec = CONFIGS[(family, kind)]
+    run = _run(spec, "sim")
+    spans = build_spans(run.system.simulator.tracer)
+    for span in spans:
+        span.check_bounds(n_vertices=spec.n)  # raises BoundViolation on breach
+    if kind == "deadlock":
+        assert spans, "a deadlocked run must have probe computations"

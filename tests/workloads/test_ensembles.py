@@ -1,0 +1,77 @@
+"""Generator properties of the random wait-graph ensembles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.ensembles import (
+    barabasi_albert_edges,
+    erdos_renyi_edges,
+    requests_from_edges,
+    spec_rng,
+)
+
+
+class TestErdosRenyi:
+    def test_same_rng_state_same_graph(self) -> None:
+        a = erdos_renyi_edges(12, 0.2, spec_rng(5, "er"))
+        b = erdos_renyi_edges(12, 0.2, spec_rng(5, "er"))
+        assert a == b
+
+    def test_different_seed_different_graph(self) -> None:
+        a = erdos_renyi_edges(12, 0.2, spec_rng(5, "er"))
+        b = erdos_renyi_edges(12, 0.2, spec_rng(6, "er"))
+        assert a != b
+
+    def test_p_zero_is_empty_and_p_one_is_complete(self) -> None:
+        assert erdos_renyi_edges(8, 0.0, spec_rng(0, "er")) == []
+        assert len(erdos_renyi_edges(8, 1.0, spec_rng(0, "er"))) == 8 * 7
+
+    def test_no_self_loops_and_in_range(self) -> None:
+        for i, j in erdos_renyi_edges(10, 0.5, spec_rng(1, "er")):
+            assert i != j
+            assert 0 <= i < 10 and 0 <= j < 10
+
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError, match="n >= 2"):
+            erdos_renyi_edges(1, 0.5, spec_rng(0, "er"))
+        with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
+            erdos_renyi_edges(4, 1.5, spec_rng(0, "er"))
+
+
+class TestBarabasiAlbert:
+    def test_same_rng_state_same_graph(self) -> None:
+        a = barabasi_albert_edges(16, 2, spec_rng(3, "ba"))
+        b = barabasi_albert_edges(16, 2, spec_rng(3, "ba"))
+        assert a == b
+
+    def test_edge_count_matches_growth(self) -> None:
+        # Seed clique of m+1 vertices plus m edges per later vertex.
+        n, m = 16, 2
+        edges = barabasi_albert_edges(n, m, spec_rng(0, "ba"))
+        assert len(edges) == m * (m + 1) // 2 + m * (n - m - 1)
+
+    def test_no_self_loops_and_in_range(self) -> None:
+        for i, j in barabasi_albert_edges(12, 3, spec_rng(2, "ba")):
+            assert i != j
+            assert 0 <= i < 12 and 0 <= j < 12
+
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError, match="m >= 1"):
+            barabasi_albert_edges(8, 0, spec_rng(0, "ba"))
+        with pytest.raises(ConfigurationError, match="m \\+ 2"):
+            barabasi_albert_edges(3, 2, spec_rng(0, "ba"))
+
+
+class TestRequestsFromEdges:
+    def test_folds_out_edges_into_one_batch_per_requester(self) -> None:
+        requests = requests_from_edges(4, [(0, 1), (0, 2), (2, 3), (1, 0)])
+        assert requests == [(0, [1, 2]), (1, [0]), (2, [3])]
+
+    def test_out_of_range_edge_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="outside the vertex range"):
+            requests_from_edges(3, [(0, 5)])
+
+    def test_duplicate_and_self_edges_collapse(self) -> None:
+        assert requests_from_edges(3, [(0, 1), (0, 1), (1, 1)]) == [(0, [1])]

@@ -1,0 +1,119 @@
+"""The workload seam: specs, ids, and the family registry."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.spec import (
+    WorkloadFamily,
+    WorkloadSpec,
+    all_families,
+    default_random_family,
+    families_for_model,
+    family_names,
+    get_family,
+    make_params,
+    register_family,
+    require_model,
+)
+
+
+class TestWorkloadSpec:
+    def test_pickle_round_trip_preserves_identity(self) -> None:
+        spec = WorkloadSpec(
+            family="er", n=16, seed=7, duration=40.0, params=make_params(p=0.1)
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert hash(clone) == hash(spec)
+        assert clone.workload_id == spec.workload_id
+
+    def test_workload_id_is_stable(self) -> None:
+        # The id format is a published contract (artifact names, cell
+        # keys); these goldens pin it.
+        assert WorkloadSpec(family="cycle", n=4).workload_id == "cycle/n=4/seed=0"
+        assert (
+            WorkloadSpec(
+                family="er", n=16, seed=3, params=make_params(p=0.125)
+            ).workload_id
+            == "er/n=16/seed=3/p=0.125"
+        )
+        assert (
+            WorkloadSpec(
+                family="ddb-hot",
+                n=3,
+                seed=1,
+                duration=200.0,
+                params=make_params(load=1.5, resolve=1.0),
+            ).workload_id
+            == "ddb-hot/n=3/seed=1/dur=200/load=1.5/resolve=1"
+        )
+
+    def test_with_seed_rekeys_only_the_seed(self) -> None:
+        spec = WorkloadSpec(family="ba", n=16, params=make_params(m=2))
+        reseeded = spec.with_seed(9)
+        assert reseeded.seed == 9
+        assert reseeded.family == spec.family
+        assert reseeded.params == spec.params
+
+    def test_param_lookup_and_default(self) -> None:
+        spec = WorkloadSpec(family="dense", n=8, params=make_params(fan_out=3))
+        assert spec.param("fan_out") == 3.0
+        assert spec.param("absent", 1.5) == 1.5
+        with pytest.raises(ConfigurationError, match="absent"):
+            spec.param("absent")
+
+    def test_param_list_collects_repeats(self) -> None:
+        spec = WorkloadSpec(
+            family="cycle-with-tails",
+            n=8,
+            params=(("cycle", 3.0), ("tail", 2.0), ("tail", 3.0)),
+        )
+        assert spec.param_list("tail") == [2.0, 3.0]
+
+
+class TestRegistry:
+    def test_unknown_family_names_the_offender(self) -> None:
+        with pytest.raises(ConfigurationError, match="no-such-scenario"):
+            get_family("no-such-scenario")
+
+    def test_require_model_names_family_and_models(self) -> None:
+        with pytest.raises(ConfigurationError, match="'ddb-mix' cannot drive"):
+            require_model(get_family("ddb-mix"), "basic")
+
+    def test_duplicate_registration_rejected(self) -> None:
+        cycle = get_family("cycle")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_family(
+                WorkloadFamily(
+                    name="cycle",
+                    title=cycle.title,
+                    description=cycle.description,
+                    models=cycle.models,
+                    deadlock_capable=cycle.deadlock_capable,
+                    randomized=cycle.randomized,
+                    source=cycle.source,
+                    schedule=cycle.schedule,
+                    example=cycle.example,
+                )
+            )
+
+    def test_default_random_family_per_model(self) -> None:
+        assert default_random_family("basic").name == "random"
+        assert default_random_family("ddb").name == "ddb-mix"
+        with pytest.raises(ConfigurationError, match="'ormodel'"):
+            default_random_family("ormodel")
+
+    def test_families_for_model_is_capability_filtered(self) -> None:
+        ddb_names = {family.name for family in families_for_model("ddb")}
+        assert "ddb-mix" in ddb_names
+        assert "cycle" not in ddb_names
+
+    def test_every_family_declares_a_runnable_example(self) -> None:
+        for family in all_families():
+            assert family.example.family == family.name
+            assert family.supports_model(family.models[0])
+            assert family.name in family_names()

@@ -27,6 +27,7 @@ FLOORS = {
     "repro.live": 85.0,
     "repro.obs": 85.0,
     "repro.cluster": 85.0,
+    "repro.workloads": 85.0,
 }
 
 
