@@ -71,6 +71,24 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_policies(args: argparse.Namespace) -> int:
+    from repro.core.scheduling import all_policies, policies_for_model
+
+    policies = (
+        policies_for_model(args.model) if args.model else all_policies()
+    )
+    if not policies:
+        print(f"no registered scheduling policy drives model {args.model!r}")
+        return 1
+    for policy in policies:
+        print(f"{policy.name}: {policy.title}")
+        print(f"  {policy.description}")
+        print(f"  models: {', '.join(policy.models)}")
+        print(f"  source: {policy.source}")
+        print(f"  example: --policy {policy.example.policy_id}")
+    return 0
+
+
 def _cmd_timeline(_: argparse.Namespace) -> int:
     from repro.analysis.timeline import render_timeline
     from repro.core import get_variant
@@ -371,6 +389,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             n_vertices=args.n,
             duration=args.duration,
+            policy=args.policy,
         )
     except (ConfigurationError, SimulationError) as error:
         print(f"LIVE RUN FAILED: {error}")
@@ -425,6 +444,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             channel="tcp" if args.tcp else "unix",
             n_vertices=args.n,
             duration=args.duration,
+            policy=args.policy,
         )
     except ClusterError as error:
         print(f"CLUSTER RUN FAILED: {error}")
@@ -498,6 +518,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             spans_out=args.spans_out,
             snapshots_out=args.snapshots_out,
             stream=None if args.json else sys.stdout,
+            policy=args.policy,
         )
     except (ConfigurationError, SimulationError) as error:
         print(f"MONITOR RUN FAILED: {error}")
@@ -573,6 +594,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="only families that can drive this model (basic, ddb, ormodel)",
     )
     workloads.set_defaults(handler=_cmd_workloads)
+
+    policies = subparsers.add_parser(
+        "policies",
+        help="list the registered initiation scheduling policies",
+        description=(
+            "Lists every scheduling policy in the registry: the paper's "
+            "manual/immediate/delayed-T initiation rules (sections 4.2 and "
+            "4.3), the section 6.7 periodic controller scan, and the "
+            "adaptive controller that tunes T online.  Any example shown "
+            "here is a valid --policy for `repro live`, `repro cluster`, "
+            "and `repro monitor` (capability-checked against the "
+            "variant's model)."
+        ),
+    )
+    policies.add_argument(
+        "--model",
+        default=None,
+        help="only policies that can drive this model (basic, ddb, ormodel)",
+    )
+    policies.set_defaults(handler=_cmd_policies)
 
     timeline = subparsers.add_parser(
         "timeline", help="render a protocol timeline of the 3-cycle demo"
@@ -755,6 +796,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     live.add_argument("--seed", type=int, default=0, help="root seed (default: 0)")
     live.add_argument(
+        "--policy",
+        default=None,
+        help=(
+            "initiation scheduling policy id, e.g. delayed/T=2 or adaptive "
+            "(see `repro policies`; default: the variant's built-in rule)"
+        ),
+    )
+    live.add_argument(
         "--time-scale",
         type=float,
         default=0.005,
@@ -793,6 +842,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     cluster.add_argument("--seed", type=int, default=0, help="root seed (default: 0)")
+    cluster.add_argument(
+        "--policy",
+        default=None,
+        help=(
+            "initiation scheduling policy id, e.g. delayed/T=2 or adaptive "
+            "(see `repro policies`; default: the variant's built-in rule)"
+        ),
+    )
     cluster.add_argument(
         "--n",
         type=int,
@@ -854,6 +911,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     monitor.add_argument("--seed", type=int, default=0, help="root seed (default: 0)")
+    monitor.add_argument(
+        "--policy",
+        default=None,
+        help=(
+            "initiation scheduling policy id, e.g. delayed/T=2 or adaptive "
+            "(see `repro policies`; default: the variant's built-in rule)"
+        ),
+    )
     monitor.add_argument(
         "--duration",
         type=float,

@@ -22,8 +22,9 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.cluster.transport import ClusterTransport
-from repro.core.conformance import ConformanceOutcome
+from repro.core.conformance import ConformanceOutcome, conformance_workload
 from repro.core.registry import get_variant
+from repro.core.scheduling import PolicySpec, coerce_policy_spec
 from repro.obs.metrics import telemetry_for_variant
 from repro.workloads.provision import provision_workload, resolve_scenario_spec
 
@@ -107,6 +108,7 @@ def run_cluster(
     n_vertices: int = 8,
     duration: float = 40.0,
     worker_env: dict[str, str] | None = None,
+    policy: PolicySpec | str | None = None,
 ) -> ClusterReport:
     """Run one scenario with every node's channels in its own process.
 
@@ -115,9 +117,13 @@ def run_cluster(
     :class:`~repro.errors.SimulationError`, and a worker death raises
     :class:`~repro.errors.ClusterError` (both via the transport driver).
     ``n_vertices`` and ``duration`` apply to registry-driven scenarios
-    only (``random`` or a workload family name).
+    only (``random`` or a workload family name).  ``policy`` (a
+    :class:`~repro.core.scheduling.PolicySpec` or policy-id string)
+    replaces the variant's default initiation scheduling; with a policy
+    the conformance pair routes through the workload registry too.
     """
     variant = get_variant(variant_name)
+    policy_spec = coerce_policy_spec(policy)
     if scenario not in ("deadlock", "clean"):
         # Resolve before spawning workers so capability mismatches fail
         # fast with the family named, not after cluster bring-up.
@@ -134,7 +140,7 @@ def run_cluster(
     telemetry = telemetry_for_variant(transport, variant.capabilities)
     started = time.perf_counter()
     try:
-        if scenario not in ("deadlock", "clean"):
+        if scenario not in ("deadlock", "clean") or policy_spec is not None:
             outcome = _run_workload(
                 variant_name,
                 transport,
@@ -142,6 +148,7 @@ def run_cluster(
                 seed=seed,
                 n_vertices=n_vertices,
                 duration=duration,
+                policy=policy_spec,
             )
         else:
             outcome = variant.conformance(scenario, seed, transport=transport)
@@ -183,12 +190,20 @@ def _run_workload(
     seed: int,
     n_vertices: int,
     duration: float,
+    policy: PolicySpec | None = None,
 ) -> ConformanceOutcome:
     """A registry-driven workload: churn, then gate on completeness."""
     variant = get_variant(variant_name)
-    spec = resolve_scenario_spec(
-        variant, scenario, seed=seed, n_vertices=n_vertices, duration=duration
-    )
-    run = provision_workload(variant, spec, transport=transport)
+    if scenario in ("deadlock", "clean"):
+        # Only reachable with a policy: the conformance pair's registered
+        # workload, scheduled under the requested initiation policy.
+        spec = conformance_workload(
+            variant.capabilities.model, scenario
+        ).with_seed(seed)
+    else:
+        spec = resolve_scenario_spec(
+            variant, scenario, seed=seed, n_vertices=n_vertices, duration=duration
+        )
+    run = provision_workload(variant, spec, transport=transport, policy=policy)
     run.run_to_quiescence()
     return run.summarize()

@@ -1,0 +1,691 @@
+"""The scheduling seam: *when* a detection computation is initiated.
+
+The paper decouples what a probe computation does (section 3) from when
+one is started (sections 4.2/4.3, 6.7), but until now each model carried
+its own copy of that second half -- ``repro.basic.initiation`` and
+``repro.ddb.initiation`` duplicated the timer bookkeeping, and the OR
+model hard-wired initiate-on-block.  This module is the single home for
+initiation *policies*: transport-neutral controllers that decide, from
+wait lifecycle callbacks and :class:`~repro.core.transport.NodeContext`
+timers alone, when a site should start a computation.
+
+Three pieces, mirroring the detector-variant and workload registries:
+
+* :class:`InitiationPolicy` -- the behaviour contract.  A policy sees
+  waits start and resolve at an :class:`InitiationSite` (a model adapter
+  wrapping a basic vertex, a DDB controller, or an OR vertex) and may
+  schedule timers through the site's context.  One policy instance is
+  shared by every site of a system, exactly like the per-model policies
+  it replaces.
+* :class:`PolicySpec` -- a frozen, picklable value naming a registered
+  policy plus its numeric parameters, with a canonical ``policy_id``
+  (``"delayed/T=2"``); the unit sweep cells and CLIs pass across process
+  boundaries.
+* :class:`SchedulingPolicy` -- one registry record per policy family:
+  ``register_policy`` is the single third-party entry point, the
+  built-ins (``manual`` / ``immediate`` / ``delayed`` / ``periodic`` /
+  ``adaptive``) self-register on first lookup.
+
+The ``adaptive`` policy is the section 4.3 knob closed as a control
+loop: the paper leaves T manual ("if T is too small too many probe
+computations are initiated and if T is too large the time taken to
+detect deadlock (which is at least T) is too large"), while Ling, Chen &
+Chiang ("On Optimal Deadlock Detection Scheduling") derive the optimal
+detection interval ``sqrt(2c / lambda)`` from the detection cost ``c``
+and deadlock formation rate ``lambda``.  :class:`AdaptivePolicy`
+estimates both online -- wait lifetimes from the site callbacks, cost
+and formation rate from probe-computation outcomes streamed off the
+``repro.obs`` span engine -- and re-derives T per wait.
+
+Layering note (lint rule RPX004): this module is interface-plus-values
+only -- policy state machines against the structural transport protocols
+and frozen specs -- and imports nothing above ``repro.errors`` except
+the transport seam itself, so any tier may import it: protocol systems
+resolve their default policies here, and driver-tier runners resolve
+``--policy`` flags through the same registry.  The layering rule
+special-cases it as a seam.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.core.transport import NodeContext, TimerHandle
+from repro.errors import ConfigurationError
+
+#: canonical, hashable, picklable parameter shape (sorted by name).
+Params = tuple[tuple[str, float], ...]
+
+
+def make_params(**values: float) -> Params:
+    """Normalise keyword parameters into the canonical sorted tuple."""
+    return tuple(sorted((name, float(value)) for name, value in values.items()))
+
+
+@runtime_checkable
+class InitiationSite(Protocol):
+    """What a policy may know about one initiating location.
+
+    A *site* is the model-side adapter a policy manipulates: a basic
+    vertex, a DDB controller, or an OR vertex, reduced to the paper's
+    vocabulary -- "a wait on ``subject`` exists here", "start a
+    computation".  Subjects are opaque: the basic model waits on target
+    vertices, the DDB on constituent processes, the OR model on its own
+    dependent set.
+    """
+
+    @property
+    def ctx(self) -> NodeContext:
+        """The site's runtime capabilities (clock, timers, counters)."""
+        ...
+
+    @property
+    def site_key(self) -> Hashable:
+        """Stable identity for per-site policy state."""
+        ...
+
+    def initiate(self, subject: Hashable) -> None:
+        """Start one detection computation about ``subject``."""
+        ...
+
+    def is_waiting(self, subject: Hashable) -> bool:
+        """Whether the wait on ``subject`` still exists."""
+        ...
+
+    def timer_name(self, subject: Hashable) -> str:
+        """Trace name for the delayed-initiation timer of ``subject``."""
+        ...
+
+    def note_avoided(self) -> None:
+        """Record that cancelling a timer avoided one computation."""
+        ...
+
+    def scan(self, optimized: bool) -> None:
+        """Run one periodic scan (DDB section 6.7); optional capability."""
+        ...
+
+    def scan_timer_name(self) -> str:
+        """Trace name for the periodic scan timer."""
+        ...
+
+
+@dataclass(frozen=True)
+class ComputationOutcome:
+    """One settled probe computation, as fed back to adaptive policies.
+
+    The values come from the ``repro.obs`` span engine: ``outcome`` is
+    the span outcome string (``"deadlock"`` / ``"fizzled"`` /
+    ``"superseded"``), ``probes_sent`` the computation's message cost,
+    and the timestamps virtual times.
+    """
+
+    initiator: Hashable
+    outcome: str
+    probes_sent: int
+    initiated_at: float | None
+    settled_at: float
+
+    @property
+    def deadlock(self) -> bool:
+        return self.outcome == "deadlock"
+
+
+class InitiationPolicy:
+    """Base class: notified of wait lifecycle events at sites.
+
+    One instance is shared by all sites of a system.  Subclasses override
+    the callbacks they care about; the base class raises on the two
+    mandatory ones so a half-implemented policy fails loudly rather than
+    silently never initiating.
+    """
+
+    #: set by policies that want :meth:`on_computation_outcome` fed from
+    #: the span engine (runners attach the bridge only when asked).
+    wants_outcomes: bool = False
+
+    def setup(self, site: InitiationSite) -> None:
+        """Called once per site at system construction."""
+
+    def on_waits_started(
+        self, site: InitiationSite, subjects: tuple[Hashable, ...]
+    ) -> None:
+        """``site`` just started waiting on every member of ``subjects``.
+
+        One call per simultaneously created batch (one AND-request, one
+        blocking episode), mirroring the paper's per-event granularity.
+        """
+        raise NotImplementedError
+
+    def on_wait_resolved(self, site: InitiationSite, subject: Hashable) -> None:
+        """The wait on ``subject`` at ``site`` ended (reply/grant/abort)."""
+        raise NotImplementedError
+
+    def on_computation_outcome(self, outcome: ComputationOutcome) -> None:
+        """A probe computation settled (only called when ``wants_outcomes``)."""
+
+
+class ManualPolicy(InitiationPolicy):
+    """Never initiates; for scripted tests and exhaustive exploration."""
+
+    def on_waits_started(
+        self, site: InitiationSite, subjects: tuple[Hashable, ...]
+    ) -> None:
+        pass
+
+    def on_wait_resolved(self, site: InitiationSite, subject: Hashable) -> None:
+        pass
+
+
+class ImmediatePolicy(InitiationPolicy):
+    """Section 4.2: initiate whenever a wait begins.
+
+    A batch of simultaneously created waits triggers a single computation
+    -- A0 probes *all* outgoing edges anyway, so per-subject initiation
+    within one batch would only clone identical computations.
+    """
+
+    def on_waits_started(
+        self, site: InitiationSite, subjects: tuple[Hashable, ...]
+    ) -> None:
+        site.initiate(subjects[0])
+
+    def on_wait_resolved(self, site: InitiationSite, subject: Hashable) -> None:
+        pass
+
+
+class DelayedPolicy(InitiationPolicy):
+    """Section 4.3: initiate after a wait survives for ``T`` time units.
+
+    One timer per wait; resolving the wait cancels its timer and counts
+    an avoided computation.  The basic tradeoff (quoted from the paper):
+    "if T is too small too many probe computations are initiated and if T
+    is too large the time taken to detect deadlock (which is at least T)
+    is too large."
+    """
+
+    def __init__(self, timeout: float) -> None:
+        if timeout < 0:
+            raise ConfigurationError(f"T must be non-negative, got {timeout}")
+        self.timeout = timeout
+        self._timers: dict[tuple[Hashable, Hashable], TimerHandle] = {}
+
+    def delay_for(self, site: InitiationSite, subject: Hashable) -> float:
+        """The T to arm for this wait; the adaptive subclass re-derives it."""
+        return self.timeout
+
+    def on_waits_started(
+        self, site: InitiationSite, subjects: tuple[Hashable, ...]
+    ) -> None:
+        for subject in subjects:
+            key = (site.site_key, subject)
+
+            def fire(
+                site: InitiationSite = site,
+                subject: Hashable = subject,
+                key: tuple[Hashable, Hashable] = key,
+            ) -> None:
+                self._timers.pop(key, None)
+                # The timer is cancelled on resolution, so the wait existed
+                # continuously since creation; re-check defensively anyway.
+                if site.is_waiting(subject):
+                    site.initiate(subject)
+
+            self._timers[key] = site.ctx.set_timer(
+                self.delay_for(site, subject), fire, name=site.timer_name(subject)
+            )
+
+    def on_wait_resolved(self, site: InitiationSite, subject: Hashable) -> None:
+        handle = self._timers.pop((site.site_key, subject), None)
+        if handle is not None:
+            handle.cancel()
+            site.note_avoided()
+
+
+class PeriodicPolicy(InitiationPolicy):
+    """Timer-driven site scans (DDB controllers, sections 6.7).
+
+    Parameters
+    ----------
+    period:
+        Virtual-time interval between scans at each site.
+    optimized:
+        Apply the section 6.7 reduction (local-cycle check, then only
+        processes with incoming black inter-controller edges).
+    horizon:
+        Stop rescheduling scans after this virtual time (experiments run
+        for a bounded time; without a horizon the simulation never
+        quiesces).
+    """
+
+    def __init__(
+        self, period: float, optimized: bool = True, horizon: float = float("inf")
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"scan period must be positive, got {period}")
+        self.period = period
+        self.optimized = optimized
+        self.horizon = horizon
+
+    def setup(self, site: InitiationSite) -> None:
+        self._schedule(site)
+
+    def on_waits_started(
+        self, site: InitiationSite, subjects: tuple[Hashable, ...]
+    ) -> None:
+        pass
+
+    def on_wait_resolved(self, site: InitiationSite, subject: Hashable) -> None:
+        pass
+
+    def _schedule(self, site: InitiationSite) -> None:
+        next_time = site.ctx.now() + self.period
+        if next_time > self.horizon:
+            return
+        site.ctx.set_timer(
+            self.period,
+            lambda: self._scan(site),
+            name=site.scan_timer_name(),
+        )
+
+    def _scan(self, site: InitiationSite) -> None:
+        site.scan(self.optimized)
+        self._schedule(site)
+
+
+class _Ewma:
+    """A tiny exponentially weighted moving average (None until first obs)."""
+
+    __slots__ = ("alpha", "value")
+
+    def __init__(self, alpha: float) -> None:
+        self.alpha = alpha
+        self.value: float | None = None
+
+    def observe(self, sample: float) -> float:
+        if self.value is None:
+            self.value = sample
+        else:
+            self.value += self.alpha * (sample - self.value)
+        return self.value
+
+
+class AdaptivePolicy(DelayedPolicy):
+    """Close the section 4.3 loop: re-derive T online per wait.
+
+    Two signals drive the controller:
+
+    * **Wait lifetimes** (the site callbacks).  Most waits resolve; a T
+      comfortably above the typical lifetime avoids their computations.
+      ``margin * L_hat`` (EWMA of observed lifetimes) is the *guard*
+      term -- it rises during bursts of long contended waits and decays
+      back when traffic quiets down, which is exactly the §4.3 knob the
+      paper leaves manual.
+    * **Computation outcomes** (the ``repro.obs`` span feedback, via
+      :meth:`on_computation_outcome`).  Following Ling, Chen & Chiang,
+      the optimal detection interval is ``T* = sqrt(2c / lambda)`` for
+      per-detection cost ``c`` (EWMA of probes per settled computation)
+      and deadlock formation rate ``lambda`` (reciprocal EWMA of the
+      interval between deadlock outcomes).  When deadlocks are frequent
+      the Ling term *lowers* T below the guard -- latency dominates the
+      cost of extra probes.
+
+    The armed delay is ``clamp(min(guard, T*), t_min, t_max)``; before
+    any lifetime is observed the guard falls back to ``t_init``, and the
+    Ling term stays inactive until both estimates exist.
+    """
+
+    wants_outcomes = True
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.3,
+        margin: float = 3.0,
+        t_min: float = 0.25,
+        t_max: float = 16.0,
+        t_init: float = 2.0,
+    ) -> None:
+        super().__init__(t_init)
+        if not 0 < alpha <= 1:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        if margin <= 0:
+            raise ConfigurationError(f"margin must be positive, got {margin}")
+        if not 0 <= t_min <= t_max:
+            raise ConfigurationError(
+                f"need 0 <= t_min <= t_max, got [{t_min}, {t_max}]"
+            )
+        if t_init < 0:
+            raise ConfigurationError(f"t_init must be non-negative, got {t_init}")
+        self.alpha = alpha
+        self.margin = margin
+        self.t_min = t_min
+        self.t_max = t_max
+        self.t_init = t_init
+        self._lifetime = _Ewma(alpha)
+        self._cost = _Ewma(alpha)
+        self._deadlock_gap = _Ewma(alpha)
+        self._last_deadlock_at: float | None = None
+        self._wait_started: dict[tuple[Hashable, Hashable], float] = {}
+
+    # -- the controller ------------------------------------------------
+
+    def current_t(self) -> float:
+        """The delay the next wait would be armed with."""
+        lifetime = self._lifetime.value
+        guard = self.t_init if lifetime is None else self.margin * lifetime
+        cost = self._cost.value
+        gap = self._deadlock_gap.value
+        if cost is not None and gap is not None and gap > 0:
+            # Ling et al.: T* = sqrt(2 c / lambda) with lambda = 1 / gap.
+            guard = min(guard, math.sqrt(2.0 * max(cost, 1.0) * gap))
+        return min(max(guard, self.t_min), self.t_max)
+
+    def delay_for(self, site: InitiationSite, subject: Hashable) -> float:
+        return self.current_t()
+
+    # -- signal intake -------------------------------------------------
+
+    def on_waits_started(
+        self, site: InitiationSite, subjects: tuple[Hashable, ...]
+    ) -> None:
+        now = site.ctx.now()
+        for subject in subjects:
+            self._wait_started[(site.site_key, subject)] = now
+        super().on_waits_started(site, subjects)
+
+    def on_wait_resolved(self, site: InitiationSite, subject: Hashable) -> None:
+        started = self._wait_started.pop((site.site_key, subject), None)
+        if started is not None:
+            self._lifetime.observe(site.ctx.now() - started)
+        super().on_wait_resolved(site, subject)
+
+    def on_computation_outcome(self, outcome: ComputationOutcome) -> None:
+        self._cost.observe(float(outcome.probes_sent))
+        if not outcome.deadlock:
+            return
+        if self._last_deadlock_at is not None:
+            gap = outcome.settled_at - self._last_deadlock_at
+            if gap > 0:
+                self._deadlock_gap.observe(gap)
+        self._last_deadlock_at = outcome.settled_at
+
+
+# ----------------------------------------------------------------------
+# Specs and the registry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PolicySpec:
+    """A frozen, picklable recipe naming a policy plus its parameters.
+
+    ``policy`` names a registered :class:`SchedulingPolicy`; ``params``
+    is the canonical sorted tuple (:func:`make_params`).  The value is
+    hashable and safe to ship across process boundaries (sweep workers)
+    and to embed in cell ids.
+    """
+
+    policy: str
+    params: Params = ()
+
+    @property
+    def policy_id(self) -> str:
+        """Canonical id: ``"immediate"``, ``"delayed/T=2"``, ..."""
+        parts = [self.policy]
+        parts.extend(f"{name}={value:g}" for name, value in self.params)
+        return "/".join(parts)
+
+    def param(self, name: str, default: float | None = None) -> float:
+        """A parameter by name; ``default`` when absent, else a typed error."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        if default is None:
+            raise ConfigurationError(
+                f"policy spec {self.policy_id!r} needs parameter {name!r}"
+            )
+        return default
+
+
+def parse_policy_spec(text: str) -> PolicySpec:
+    """Parse a ``policy_id``-shaped string back into a :class:`PolicySpec`.
+
+    The inverse of :attr:`PolicySpec.policy_id` -- what ``--policy``
+    flags and sweep cells carry: ``"adaptive"``, ``"delayed/T=2"``,
+    ``"periodic/period=5/optimized=0"``.
+    """
+    pieces = [piece for piece in text.strip().split("/") if piece]
+    if not pieces:
+        raise ConfigurationError("empty policy spec")
+    name, raw_params = pieces[0], pieces[1:]
+    values: dict[str, float] = {}
+    for raw in raw_params:
+        key, sep, value = raw.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(
+                f"malformed policy parameter {raw!r} in {text!r} "
+                "(expected name=value)"
+            )
+        try:
+            values[key] = float(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"policy parameter {key!r} in {text!r} is not a number: {value!r}"
+            ) from None
+    return PolicySpec(policy=name, params=make_params(**values))
+
+
+def coerce_policy_spec(value: PolicySpec | str | None) -> PolicySpec | None:
+    """Normalise a runner's ``policy`` argument.
+
+    Runners and CLIs accept either a ready :class:`PolicySpec` or the
+    ``policy_id`` string spelling; ``None`` passes through (meaning "the
+    variant's default initiation").
+    """
+    if value is None or isinstance(value, PolicySpec):
+        return value
+    return parse_policy_spec(value)
+
+
+@dataclass(frozen=True)
+class SchedulingPolicy:
+    """One registered initiation-policy family.
+
+    ``build`` turns a :class:`PolicySpec` into a live
+    :class:`InitiationPolicy` instance; ``models`` names the detector
+    models the policy can drive (``"basic"`` / ``"ddb"`` /
+    ``"ormodel"``); ``example`` is a runnable spec for docs and the CLI
+    listing.
+    """
+
+    name: str
+    title: str
+    description: str
+    #: paper / literature anchor ("section 4.2", "Ling et al.", ...).
+    source: str
+    models: tuple[str, ...]
+    build: Callable[[PolicySpec], InitiationPolicy]
+    example: PolicySpec
+
+    def supports_model(self, model: str) -> bool:
+        return model in self.models
+
+
+_REGISTRY: dict[str, SchedulingPolicy] = {}
+_builtins_loaded = False
+
+
+def register_policy(policy: SchedulingPolicy) -> SchedulingPolicy:
+    """Add a policy to the registry; duplicate names are configuration bugs."""
+    if policy.name in _REGISTRY:
+        raise ConfigurationError(
+            f"scheduling policy {policy.name!r} is already registered"
+        )
+    _REGISTRY[policy.name] = policy
+    return policy
+
+
+def _build_manual(spec: PolicySpec) -> InitiationPolicy:
+    return ManualPolicy()
+
+
+def _build_immediate(spec: PolicySpec) -> InitiationPolicy:
+    return ImmediatePolicy()
+
+
+def _build_delayed(spec: PolicySpec) -> InitiationPolicy:
+    return DelayedPolicy(spec.param("T"))
+
+
+def _build_periodic(spec: PolicySpec) -> InitiationPolicy:
+    return PeriodicPolicy(
+        spec.param("period"),
+        optimized=bool(spec.param("optimized", 1.0)),
+        horizon=spec.param("horizon", math.inf),
+    )
+
+
+def _build_adaptive(spec: PolicySpec) -> InitiationPolicy:
+    return AdaptivePolicy(
+        alpha=spec.param("alpha", 0.3),
+        margin=spec.param("margin", 3.0),
+        t_min=spec.param("t_min", 0.25),
+        t_max=spec.param("t_max", 16.0),
+        t_init=spec.param("t_init", 2.0),
+    )
+
+
+def ensure_builtin_policies() -> None:
+    """Register the built-in policies (idempotent; called by every lookup)."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    register_policy(
+        SchedulingPolicy(
+            name="manual",
+            title="no automatic initiation",
+            description=(
+                "Never initiates; scripted scenarios and exhaustive tests "
+                "call the model's initiation entry point directly."
+            ),
+            source="harness",
+            models=("basic", "ddb", "ormodel"),
+            build=_build_manual,
+            example=PolicySpec(policy="manual"),
+        )
+    )
+    register_policy(
+        SchedulingPolicy(
+            name="immediate",
+            title="initiate whenever a wait begins",
+            description=(
+                "Section 4.2's rule: every new wait starts a computation, "
+                "so the vertex that closes a dark cycle always detects it."
+            ),
+            source="section 4.2",
+            models=("basic", "ddb", "ormodel"),
+            build=_build_immediate,
+            example=PolicySpec(policy="immediate"),
+        )
+    )
+    register_policy(
+        SchedulingPolicy(
+            name="delayed",
+            title="initiate after a wait survives T time units",
+            description=(
+                "Section 4.3's optimisation: waits resolved before T avoid "
+                "their computations; detection latency is at least T."
+            ),
+            source="section 4.3",
+            models=("basic", "ddb", "ormodel"),
+            build=_build_delayed,
+            example=PolicySpec(policy="delayed", params=make_params(T=2.0)),
+        )
+    )
+    register_policy(
+        SchedulingPolicy(
+            name="periodic",
+            title="timer-driven controller scans",
+            description=(
+                "Controllers scan every `period` time units; optimised "
+                "scans apply the section 6.7 Q-reduction (local-cycle "
+                "check, then incoming black inter-controller edges)."
+            ),
+            source="section 6.7",
+            models=("ddb",),
+            build=_build_periodic,
+            example=PolicySpec(
+                policy="periodic", params=make_params(period=5.0)
+            ),
+        )
+    )
+    register_policy(
+        SchedulingPolicy(
+            name="adaptive",
+            title="online T controller (lifetimes + outcome feedback)",
+            description=(
+                "Re-derives the section 4.3 window per wait from an EWMA "
+                "of observed wait lifetimes (guard = margin * lifetime) "
+                "and Ling et al.'s sqrt(2c/lambda) optimum fed by probe-"
+                "computation outcomes from the span engine."
+            ),
+            source="section 4.3 + Ling, Chen & Chiang",
+            models=("basic", "ddb", "ormodel"),
+            build=_build_adaptive,
+            example=PolicySpec(policy="adaptive"),
+        )
+    )
+
+
+def get_policy(name: str) -> SchedulingPolicy:
+    """Look up one policy; unknown names list what is available."""
+    ensure_builtin_policies()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise ConfigurationError(
+            f"unknown scheduling policy {name!r} (registered: {known})"
+        ) from None
+
+
+def all_policies() -> tuple[SchedulingPolicy, ...]:
+    """Every registered policy, sorted by name."""
+    ensure_builtin_policies()
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def policy_names() -> tuple[str, ...]:
+    """Sorted registered policy names."""
+    ensure_builtin_policies()
+    return tuple(sorted(_REGISTRY))
+
+
+def policies_for_model(model: str) -> tuple[SchedulingPolicy, ...]:
+    """The policies able to drive ``model``, sorted by name."""
+    return tuple(p for p in all_policies() if p.supports_model(model))
+
+
+def require_model(spec: PolicySpec, model: str) -> SchedulingPolicy:
+    """The registered policy behind ``spec`` iff it supports ``model``."""
+    policy = get_policy(spec.policy)
+    if not policy.supports_model(model):
+        supported = ", ".join(p.name for p in policies_for_model(model)) or "none"
+        raise ConfigurationError(
+            f"scheduling policy {spec.policy!r} does not support model "
+            f"{model!r} (policies for {model!r}: {supported})"
+        )
+    return policy
+
+
+def build_policy(spec: PolicySpec, model: str | None = None) -> InitiationPolicy:
+    """Instantiate the policy named by ``spec`` (model-checked when given)."""
+    if model is not None:
+        policy = require_model(spec, model)
+    else:
+        policy = get_policy(spec.policy)
+    return policy.build(spec)

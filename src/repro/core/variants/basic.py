@@ -96,6 +96,7 @@ BASIC_VARIANT = register(
                 "random",
                 "er",
                 "ba",
+                "bursty",
                 "baseline-random",
                 "baseline-ping-pong",
             ),

@@ -1,27 +1,48 @@
-"""Initiation policies for DDB probe computations (sections 4.2, 6.7).
+"""DDB adapters onto the scheduling seam (sections 4.2, 4.3, 6.7).
+
+The timer machinery behind these policies lives in
+:mod:`repro.core.scheduling`, shared with the basic and OR models; this
+module is the thin model adapter.  It translates the DDB's process
+lifecycle (``on_process_blocked`` / ``on_process_unblocked``) into the
+seam's wait vocabulary, exposes one controller as an
+:class:`~repro.core.scheduling.InitiationSite`, and -- uniquely among
+the models -- implements the *scan* capability the ``periodic`` policy
+drives.
+
+The historical class names remain the construction API:
 
 * :class:`DdbImmediateInitiation` -- the section 4.2 rule lifted to the
-  DDB: whenever a process at this controller becomes blocked (gains its
-  first outgoing edge of a blocking episode), initiate a computation about
-  it.  Guarantees the process that closes a dark cycle triggers detection.
-* :class:`DdbPeriodicInitiation` -- controllers scan on a timer.  In
-  *naive* mode a scan initiates one computation per blocked constituent
-  process.  In *optimised* mode (section 6.7) the controller first looks
-  for a purely local intra-controller cycle, and otherwise initiates only
-  Q computations -- one per constituent process with an incoming black
+  DDB (:class:`~repro.core.scheduling.ImmediatePolicy`): whenever a
+  process at this controller becomes blocked (gains its first outgoing
+  edge of a blocking episode), initiate a computation about it.
+* :class:`DdbDelayedInitiation` -- section 4.3's delayed-T rule
+  (:class:`~repro.core.scheduling.DelayedPolicy`): a computation about a
+  process starts only after it has been blocked continuously for ``T``.
+* :class:`DdbPeriodicInitiation` -- controllers scan on a timer
+  (:class:`~repro.core.scheduling.PeriodicPolicy`).  In *naive* mode a
+  scan initiates one computation per blocked constituent process; in
+  *optimised* mode (section 6.7) the controller first looks for a purely
+  local intra-controller cycle, and otherwise initiates only Q
+  computations -- one per constituent process with an incoming black
   inter-controller edge.  Experiment E7 compares the two.
-* :class:`DdbManualInitiation` -- no automatic initiation (scenario tests
-  call :meth:`Controller.initiate_for` directly).
+* :class:`DdbManualInitiation` -- no automatic initiation (scenario
+  tests call :meth:`Controller.initiate_for` directly).
+
+Registry-driven callers (sweep cells, ``--policy`` flags) resolve any
+registered policy -- including ``adaptive`` -- via
+:func:`from_policy_spec`.
 """
 
 from __future__ import annotations
 
+from collections.abc import Hashable
 from typing import TYPE_CHECKING
 
 from repro._ids import ProcessId
-from repro.errors import ConfigurationError
+from repro.core import scheduling
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.transport import NodeContext
     from repro.ddb.controller import Controller
 
 
@@ -38,18 +59,94 @@ class DdbInitiationPolicy:
         """Called once per controller at system construction."""
 
 
-class DdbManualInitiation(DdbInitiationPolicy):
-    """Never initiates automatically."""
+class _ControllerSite:
+    """One DDB controller, in the seam's site vocabulary.
+
+    Subjects are constituent :class:`~repro._ids.ProcessId`\\ s; the scan
+    capability carries the section 6.7 reduction, so the shared
+    ``periodic`` policy stays model-neutral.
+    """
+
+    __slots__ = ("controller",)
+
+    def __init__(self, controller: "Controller") -> None:
+        self.controller = controller
+
+    @property
+    def ctx(self) -> "NodeContext":
+        return self.controller.ctx
+
+    @property
+    def site_key(self) -> Hashable:
+        return self.controller.site
+
+    def initiate(self, subject: Hashable) -> None:
+        self.controller.initiate_for(subject)
+
+    def is_waiting(self, subject: Hashable) -> bool:
+        return self.controller.is_process_blocked(subject)
+
+    def timer_name(self, subject: Hashable) -> str:
+        return f"ddb T-timer {subject}"
+
+    def note_avoided(self) -> None:
+        self.controller.ctx.counter("ddb.computations.avoided").increment()
+
+    def scan(self, optimized: bool) -> None:
+        controller = self.controller
+        controller.ctx.counter("ddb.scans").increment()
+        blocked = controller.blocked_processes()
+        if optimized:
+            # Section 6.7: any constituent process on a local cycle is
+            # found by one local check; otherwise every dark cycle through
+            # this site enters through an incoming black inter-controller
+            # edge, so Q computations (one per such process) suffice.
+            controller.ctx.counter("ddb.scan.naive_candidates").increment(len(blocked))
+            local_cycle_member = controller.find_local_cycle_member()
+            if local_cycle_member is not None:
+                controller.initiate_for(local_cycle_member)
+            else:
+                for process in controller.processes_with_incoming_black_inter_edges():
+                    controller.initiate_for(process)
+        else:
+            for process in blocked:
+                controller.initiate_for(process)
+
+    def scan_timer_name(self) -> str:
+        return f"ddb scan C{self.controller.site}"
 
 
-class DdbImmediateInitiation(DdbInitiationPolicy):
-    """Initiate about each process the moment it blocks."""
+class DdbPolicyInitiation(DdbInitiationPolicy):
+    """Drive DDB controllers from a core scheduling policy instance."""
+
+    def __init__(self, policy: scheduling.InitiationPolicy) -> None:
+        self.policy = policy
+
+    def setup(self, controller: "Controller") -> None:
+        self.policy.setup(_ControllerSite(controller))
 
     def on_process_blocked(self, controller: "Controller", process: ProcessId) -> None:
-        controller.initiate_for(process)
+        self.policy.on_waits_started(_ControllerSite(controller), (process,))
+
+    def on_process_unblocked(self, controller: "Controller", process: ProcessId) -> None:
+        self.policy.on_wait_resolved(_ControllerSite(controller), process)
 
 
-class DdbDelayedInitiation(DdbInitiationPolicy):
+class DdbManualInitiation(DdbPolicyInitiation):
+    """Never initiates automatically."""
+
+    def __init__(self) -> None:
+        super().__init__(scheduling.ManualPolicy())
+
+
+class DdbImmediateInitiation(DdbPolicyInitiation):
+    """Initiate about each process the moment it blocks."""
+
+    def __init__(self) -> None:
+        super().__init__(scheduling.ImmediatePolicy())
+
+
+class DdbDelayedInitiation(DdbPolicyInitiation):
     """Section 4.3's delayed-T rule lifted to the DDB.
 
     A probe computation about a process starts only after the process has
@@ -57,34 +154,21 @@ class DdbDelayedInitiation(DdbInitiationPolicy):
     sooner cancels the timer ("has avoided initiating a probe
     computation").  Deadlocked processes stay blocked forever, so their
     timers always fire -- completeness is preserved at latency >= T, the
-    same tradeoff as the basic model's
-    :class:`~repro.basic.initiation.DelayedInitiation`.
+    same tradeoff the shared :class:`~repro.core.scheduling.DelayedPolicy`
+    applies at basic-model vertices.
     """
 
     def __init__(self, timeout: float) -> None:
-        if timeout < 0:
-            raise ConfigurationError(f"T must be non-negative, got {timeout}")
-        self.timeout = timeout
-        self._timers: dict[ProcessId, "object"] = {}
+        super().__init__(scheduling.DelayedPolicy(timeout))
 
-    def on_process_blocked(self, controller: "Controller", process: ProcessId) -> None:
-        def fire() -> None:
-            self._timers.pop(process, None)
-            if controller.is_process_blocked(process):
-                controller.initiate_for(process)
-
-        self._timers[process] = controller.ctx.set_timer(
-            self.timeout, fire, name=f"ddb T-timer {process}"
-        )
-
-    def on_process_unblocked(self, controller: "Controller", process: ProcessId) -> None:
-        handle = self._timers.pop(process, None)
-        if handle is not None:
-            handle.cancel()
-            controller.ctx.counter("ddb.computations.avoided").increment()
+    @property
+    def timeout(self) -> float:
+        delayed = self.policy
+        assert isinstance(delayed, scheduling.DelayedPolicy)
+        return delayed.timeout
 
 
-class DdbPeriodicInitiation(DdbInitiationPolicy):
+class DdbPeriodicInitiation(DdbPolicyInitiation):
     """Timer-driven controller scans, naive or 6.7-optimised.
 
     Parameters
@@ -100,42 +184,24 @@ class DdbPeriodicInitiation(DdbInitiationPolicy):
         quiesces).
     """
 
-    def __init__(self, period: float, optimized: bool = True, horizon: float = float("inf")) -> None:
-        if period <= 0:
-            raise ConfigurationError(f"scan period must be positive, got {period}")
-        self.period = period
-        self.optimized = optimized
-        self.horizon = horizon
+    def __init__(
+        self, period: float, optimized: bool = True, horizon: float = float("inf")
+    ) -> None:
+        super().__init__(scheduling.PeriodicPolicy(period, optimized, horizon))
 
-    def setup(self, controller: "Controller") -> None:
-        self._schedule(controller)
+    @property
+    def period(self) -> float:
+        periodic = self.policy
+        assert isinstance(periodic, scheduling.PeriodicPolicy)
+        return periodic.period
 
-    def _schedule(self, controller: "Controller") -> None:
-        next_time = controller.now + self.period
-        if next_time > self.horizon:
-            return
-        controller.ctx.set_timer(
-            self.period,
-            lambda: self._scan(controller),
-            name=f"ddb scan C{controller.site}",
-        )
+    @property
+    def optimized(self) -> bool:
+        periodic = self.policy
+        assert isinstance(periodic, scheduling.PeriodicPolicy)
+        return periodic.optimized
 
-    def _scan(self, controller: "Controller") -> None:
-        controller.ctx.counter("ddb.scans").increment()
-        blocked = controller.blocked_processes()
-        if self.optimized:
-            # Section 6.7: any constituent process on a local cycle is
-            # found by one local check; otherwise every dark cycle through
-            # this site enters through an incoming black inter-controller
-            # edge, so Q computations (one per such process) suffice.
-            controller.ctx.counter("ddb.scan.naive_candidates").increment(len(blocked))
-            local_cycle_member = controller.find_local_cycle_member()
-            if local_cycle_member is not None:
-                controller.initiate_for(local_cycle_member)
-            else:
-                for process in controller.processes_with_incoming_black_inter_edges():
-                    controller.initiate_for(process)
-        else:
-            for process in blocked:
-                controller.initiate_for(process)
-        self._schedule(controller)
+
+def from_policy_spec(spec: scheduling.PolicySpec) -> DdbPolicyInitiation:
+    """Resolve a registered policy spec into a DDB initiation."""
+    return DdbPolicyInitiation(scheduling.build_policy(spec, model="ddb"))

@@ -1,4 +1,4 @@
-"""The experiment harness: one module per paper claim (E1-E9).
+"""The experiment harness: one module per paper claim (E1-E10).
 
 The paper (PODC '82) publishes theorems and complexity claims rather than
 numbered tables; DESIGN.md assigns each quantitative claim an experiment
@@ -18,6 +18,7 @@ the numbers in EXPERIMENTS.md are regenerable from either entry point.
 | E7 | §6.7: Q-initiation beats naive per-process scans  | e7_q_optimization |
 | E8 | §1: correctness/cost vs 1980-era baselines        | e8_baselines |
 | E9 | §4 bounds on random wait-graph ensembles          | e9_ensembles |
+| E10 | §4.3 T-scheduling: static curve vs adaptive      | e10_scheduling |
 """
 
 from repro.experiments import (
@@ -30,6 +31,7 @@ from repro.experiments import (
     e7_q_optimization,
     e8_baselines,
     e9_ensembles,
+    e10_scheduling,
 )
 
 ALL_EXPERIMENTS = {
@@ -42,6 +44,7 @@ ALL_EXPERIMENTS = {
     "E7": e7_q_optimization,
     "E8": e8_baselines,
     "E9": e9_ensembles,
+    "E10": e10_scheduling,
 }
 
 __all__ = ["ALL_EXPERIMENTS"]

@@ -52,11 +52,17 @@ DRIVER_PACKAGES = frozenset({"sweep", "live", "cluster"})
 #: registry, importing nothing above ``repro.errors``, so core-tier
 #: variant registrations may *name* workloads while the generator
 #: implementations (``repro.workloads.families``, loaded lazily by the
-#: registry) stay harness-tier.  Judged at full-module granularity,
-#: unlike ordinary targets.
+#: registry) stay harness-tier.  The scheduling seam
+#: (``repro.core.scheduling``) completes the trio: the InitiationPolicy
+#: protocol and the frozen PolicySpec / SchedulingPolicy registry import
+#: nothing above ``repro.errors``, so protocol-tier initiation adapters
+#: and driver-tier CLIs alike may name a policy without pulling in the
+#: tiers between them.  Judged at full-module granularity, unlike
+#: ordinary targets.
 SEAM_MODULES = frozenset(
     {
         ("repro", "core", "transport"),
+        ("repro", "core", "scheduling"),
         ("repro", "workloads", "spec"),
     }
 )
@@ -94,7 +100,7 @@ class LayeringRule(Rule):
         "(sharding, multi-process backends, remote workers) without touching\n"
         "the tiers below.  The simulator's profiling hook is a structural\n"
         "Protocol for this reason: obs implements it without sim ever\n"
-        "importing obs.  Two modules are exempt as seams: repro.core.transport\n"
+        "importing obs.  Three modules are exempt as seams: repro.core.transport\n"
         "is interface-only (structural NodeContext/Transport protocols, no\n"
         "runtime imports above the protocol tier), so any tier may name it --\n"
         "that is how protocol code stays portable across the simulator and\n"
@@ -104,7 +110,10 @@ class LayeringRule(Rule):
         "repro.errors), so core-tier variant registrations may resolve the\n"
         "conformance workloads by name while the generators themselves\n"
         "(repro.workloads.families, loaded lazily at first lookup) stay in\n"
-        "the harness tier."
+        "the harness tier.  repro.core.scheduling completes the trio: the\n"
+        "InitiationPolicy protocol and the frozen PolicySpec registry import\n"
+        "nothing above repro.errors, so protocol-tier initiation adapters\n"
+        "and driver CLIs name initiation policies through the same seam."
     )
 
     def applies_to(self, ctx: FileContext) -> bool:

@@ -28,8 +28,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Any
 
-from repro.core.conformance import ConformanceOutcome
+from repro.core.conformance import ConformanceOutcome, conformance_workload
 from repro.core.registry import MonitorSetup, get_variant
+from repro.core.scheduling import PolicySpec, coerce_policy_spec
 from repro.errors import ConfigurationError
 from repro.live.transport import AsyncioTransport
 from repro.obs.metrics import TransportTelemetry, telemetry_for_variant
@@ -171,20 +172,33 @@ def _render_tick(
 
 
 def _setup_scenario(
-    variant: Any, scenario: str, seed: int, transport: AsyncioTransport
+    variant: Any,
+    scenario: str,
+    seed: int,
+    transport: AsyncioTransport,
+    policy: PolicySpec | None = None,
 ) -> MonitorSetup:
     """Assemble the system to monitor without running it.
 
     The ``deadlock`` / ``clean`` conformance pair goes through the
     variant's monitor seam; anything else resolves through the workload
     registry (``random`` or a family name driving the variant's model).
+    A ``policy`` routes the conformance pair through the registry too,
+    so the requested initiation scheduling applies everywhere.
     """
     if scenario in ("deadlock", "clean"):
-        assert variant.monitor is not None  # gated by run_monitor
-        setup: MonitorSetup = variant.monitor(scenario, seed, transport=transport)
-        return setup
-    spec = resolve_scenario_spec(variant, scenario, seed=seed)
-    run = provision_workload(variant, spec, transport=transport)
+        if policy is None:
+            assert variant.monitor is not None  # gated by run_monitor
+            setup: MonitorSetup = variant.monitor(
+                scenario, seed, transport=transport
+            )
+            return setup
+        spec = conformance_workload(
+            variant.capabilities.model, scenario
+        ).with_seed(seed)
+    else:
+        spec = resolve_scenario_spec(variant, scenario, seed=seed)
+    run = provision_workload(variant, spec, transport=transport, policy=policy)
     return MonitorSetup(system=run.system, summarize=run.summarize, n_nodes=spec.n)
 
 
@@ -201,6 +215,7 @@ def run_monitor(
     spans_out: str | Path | None = None,
     snapshots_out: str | Path | None = None,
     stream: IO[str] | None = None,
+    policy: PolicySpec | str | None = None,
 ) -> MonitorReport:
     """Run one scenario live and observe it tick by tick.
 
@@ -221,12 +236,16 @@ def run_monitor(
         stream, and metrics-snapshot JSONL stream.
     stream:
         Console destination; ``None`` renders nothing.
+    policy:
+        A :class:`~repro.core.scheduling.PolicySpec` or policy-id string
+        replacing the variant's default initiation scheduling.
     """
     if duration <= 0:
         raise ConfigurationError(f"duration must be positive, got {duration}")
     if interval <= 0:
         raise ConfigurationError(f"interval must be positive, got {interval}")
     variant = get_variant(variant_name)
+    policy_spec = coerce_policy_spec(policy)
     if scenario in ("deadlock", "clean") and variant.monitor is None:
         raise ConfigurationError(
             f"variant {variant_name!r} does not support live monitoring"
@@ -248,7 +267,9 @@ def run_monitor(
     ticks = 0
     started = time.perf_counter()
     try:
-        setup = _setup_scenario(variant, scenario, seed, transport)
+        setup = _setup_scenario(
+            variant, scenario, seed, transport, policy=policy_spec
+        )
 
         def on_span(span: ProbeComputationSpan) -> None:
             exports.write_span(span_to_json(span))

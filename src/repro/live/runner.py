@@ -14,8 +14,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.core.conformance import ConformanceOutcome
+from repro.core.conformance import ConformanceOutcome, conformance_workload
 from repro.core.registry import get_variant
+from repro.core.scheduling import PolicySpec, coerce_policy_spec
 from repro.live.transport import AsyncioTransport
 from repro.workloads.provision import provision_workload, resolve_scenario_spec
 
@@ -49,6 +50,7 @@ def run_live(
     timeout: float = 30.0,
     n_vertices: int | None = None,
     duration: float | None = None,
+    policy: PolicySpec | str | None = None,
 ) -> LiveReport:
     """Run one scenario on the wall clock.
 
@@ -57,9 +59,14 @@ def run_live(
     :class:`~repro.errors.SimulationError` (via the transport's driver).
     ``n_vertices`` / ``duration`` override the family example's topology
     size and horizon for registry-driven scenarios (ignored by the
-    ``deadlock`` / ``clean`` conformance pair).
+    ``deadlock`` / ``clean`` conformance pair).  ``policy`` (a
+    :class:`~repro.core.scheduling.PolicySpec` or policy-id string)
+    replaces the variant's default initiation scheduling; with a policy,
+    the conformance pair also routes through the workload registry so
+    the policy applies there too.
     """
     variant = get_variant(variant_name)
+    policy_spec = coerce_policy_spec(policy)
     if scenario not in ("deadlock", "clean"):
         # Fail fast on capability mismatches before the transport starts.
         resolve_scenario_spec(variant, scenario, seed=seed)
@@ -68,17 +75,24 @@ def run_live(
     )
     started = time.perf_counter()
     try:
-        if scenario in ("deadlock", "clean"):
+        if scenario in ("deadlock", "clean") and policy_spec is None:
             outcome = variant.conformance(scenario, seed, transport=transport)
         else:
-            spec = resolve_scenario_spec(
-                variant,
-                scenario,
-                seed=seed,
-                n_vertices=n_vertices,
-                duration=duration,
+            if scenario in ("deadlock", "clean"):
+                spec = conformance_workload(
+                    variant.capabilities.model, scenario
+                ).with_seed(seed)
+            else:
+                spec = resolve_scenario_spec(
+                    variant,
+                    scenario,
+                    seed=seed,
+                    n_vertices=n_vertices,
+                    duration=duration,
+                )
+            run = provision_workload(
+                variant, spec, transport=transport, policy=policy_spec
             )
-            run = provision_workload(variant, spec, transport=transport)
             run.run_to_quiescence()
             outcome = run.summarize()
     finally:

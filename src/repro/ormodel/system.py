@@ -30,6 +30,7 @@ from repro._ids import ProbeTag, VertexId
 from repro.core.assembly import build_runtime, require_fleet
 from repro.core.transport import Transport, TransportFactory
 from repro.core.engine import CompletenessReport, DeclarationLog
+from repro.ormodel.initiation import OrInitiationPolicy
 from repro.ormodel.vertex import OrVertexProcess
 from repro.sim import categories
 from repro.sim.network import DelayModel
@@ -94,7 +95,11 @@ class OrSystem:
     Parameters parallel :class:`BasicSystem`; ``auto_initiate`` runs a
     query computation the moment a vertex blocks (the section 4.2 rule
     transplanted: the last member of a deadlocked closure to block detects
-    it).
+    it).  Passing ``initiation`` (an
+    :class:`~repro.ormodel.initiation.OrInitiationPolicy`) replaces the
+    hard-wired rule with a registered scheduling policy -- ``immediate``
+    reproduces ``auto_initiate``, ``delayed``/``adaptive`` transplant the
+    section 4.3 window.
     """
 
     def __init__(
@@ -109,6 +114,7 @@ class OrSystem:
         trace: bool = True,
         fifo: bool = True,
         transport: Transport | TransportFactory | None = None,
+        initiation: OrInitiationPolicy | None = None,
     ) -> None:
         require_fleet(n_vertices, "vertex")
         runtime = build_runtime(
@@ -120,6 +126,7 @@ class OrSystem:
         self.network = runtime.network
         self.oracle = OrWaitGraph()
         self.auto_initiate = auto_initiate
+        self.initiation = initiation
         self._log: DeclarationLog[OrDeclaration] = DeclarationLog(strict=strict)
         self.declarations = self._log.declarations
         self.soundness_violations = self._log.violations
@@ -142,6 +149,9 @@ class OrSystem:
                 on_declare=self._handle_declare,
             )
             self.transport.register(vertex)
+            if self.initiation is not None:
+                vertex.initiation_unblocked = self._on_initiation_unblocked
+                self.initiation.setup(vertex)
             self.vertices[vid] = vertex
 
     # ------------------------------------------------------------------
@@ -168,8 +178,15 @@ class OrSystem:
     def request_any(self, source: int, targets: Iterable[int]) -> None:
         vertex = self.vertex(source)
         vertex.request_any([VertexId(t) for t in targets])
-        if self.auto_initiate:
+        if self.initiation is not None:
+            if vertex.blocked:
+                self.initiation.on_vertex_blocked(vertex)
+        elif self.auto_initiate:
             vertex.initiate_detection()
+
+    def _on_initiation_unblocked(self, vertex: OrVertexProcess) -> None:
+        assert self.initiation is not None
+        self.initiation.on_vertex_unblocked(vertex)
 
     def schedule_request(self, time: float, source: int, targets: Iterable[int]) -> None:
         frozen = list(targets)

@@ -75,6 +75,9 @@ class OrVertexProcess(Process):
         self.declared: list[ProbeTag] = []
         #: workload hook
         self.unblocked_callback: Callable[["OrVertexProcess"], None] | None = None
+        #: system hook for policy-driven initiation (fires on unblock,
+        #: before the workload hook; None under hard-wired auto_initiate)
+        self.initiation_unblocked: Callable[["OrVertexProcess"], None] | None = None
 
     # ------------------------------------------------------------------
     # State
@@ -179,6 +182,8 @@ class OrVertexProcess(Process):
         # Unblocking wipes every computation's state: stale queries and
         # replies must find nothing to act on (soundness).
         self._computations.clear()
+        if self.initiation_unblocked is not None:
+            self.initiation_unblocked(self)
         if self.auto_grant:
             self._schedule_grants()
         if self.unblocked_callback is not None:

@@ -56,6 +56,15 @@ class SweepCell:
     batch-level immediate rule, any float selects ``DelayedInitiation(T)``
     (``0.0`` is the per-edge left end of the T sweep, not the same rule as
     ``None`` -- see E5).
+
+    ``policy`` subsumes ``timeout_t``: a :mod:`repro.core.scheduling`
+    policy-id string (``"delayed/T=2"``, ``"adaptive"``,
+    ``"adaptive/margin=4"``) selects any registered scheduling policy, the
+    same way ``delay`` encodes the delay model -- a compact string that
+    pickles trivially and reads well in cell ids.  A cell sets at most one
+    of the two (:exc:`~repro.errors.ConfigurationError` otherwise, at run
+    time); ``timeout_t`` survives as the legacy spelling so every
+    committed grid's ``cell_id`` stays byte-identical.
     """
 
     grid: str
@@ -66,6 +75,7 @@ class SweepCell:
     timeout_t: float | None = None
     duration: float = 0.0
     params: Params = ()
+    policy: str | None = None
 
     @property
     def cell_id(self) -> str:
@@ -79,6 +89,8 @@ class SweepCell:
             f"delay={self.delay}",
             f"T={timeout}",
         ]
+        if self.policy is not None:
+            parts.append(f"policy={self.policy}")
         if self.duration:
             parts.append(f"dur={self.duration:g}")
         parts.extend(f"{name}={value:g}" for name, value in self.params)

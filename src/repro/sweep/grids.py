@@ -1,4 +1,4 @@
-"""The shipped sweep grids: E1-E9 re-expressed declaratively.
+"""The shipped sweep grids: E1-E10 re-expressed declaratively.
 
 Each grid enumerates the same parameter axes its experiment module sweeps
 imperatively -- sizes, seeds, delay models, the section 4.3 initiation
@@ -28,6 +28,7 @@ from repro.experiments import (
     e7_q_optimization,
     e8_baselines,
     e9_ensembles,
+    e10_scheduling,
 )
 from repro.sweep.grid import Params, SweepCell, SweepGrid, make_params
 
@@ -214,6 +215,19 @@ def _e9(quick: bool) -> Iterable[SweepCell]:
             )
 
 
+def _e10(quick: bool) -> Iterable[SweepCell]:
+    seeds = e10_scheduling.QUICK_SEEDS if quick else e10_scheduling.SEEDS
+    for policy in e10_scheduling.policy_axis(quick):
+        for seed in seeds:
+            yield SweepCell(
+                "e10",
+                "bursty",
+                n=e10_scheduling.N_VERTICES,
+                seed=seed,
+                policy=policy,
+            )
+
+
 _BUILDERS: dict[str, tuple[str, Callable[[bool], Iterable[SweepCell]]]] = {
     "e1": ("Theorem 1 completeness: cycles x seeds + random dynamics", _e1),
     "e2": ("Theorem 2 soundness: churn / mixed / near-cycle families", _e2),
@@ -224,6 +238,7 @@ _BUILDERS: dict[str, tuple[str, Callable[[bool], Iterable[SweepCell]]]] = {
     "e7": ("section 6.7 Q-initiation vs naive, DDB rings", _e7),
     "e8": ("probe computation vs 1980-era baselines", _e8),
     "e9": ("deadlock probability over workload ensembles", _e9),
+    "e10": ("static-T initiation vs the adaptive controller", _e10),
 }
 
 #: Grid names accepted by ``repro sweep --grid`` (plus ``all``).
@@ -231,7 +246,7 @@ GRIDS: tuple[str, ...] = tuple(_BUILDERS)
 
 
 def build_grid(name: str, quick: bool = False) -> SweepGrid:
-    """Materialise one named grid (``e1`` .. ``e9``)."""
+    """Materialise one named grid (``e1`` .. ``e10``)."""
     try:
         description, builder = _BUILDERS[name.lower()]
     except KeyError:

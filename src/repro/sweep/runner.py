@@ -26,8 +26,10 @@ from repro._ids import VertexId
 from repro.analysis.stats import mean
 from repro.basic.initiation import DelayedInitiation, ImmediateInitiation, ManualInitiation
 from repro.core.registry import get_variant, overlay_variants
+from repro.core.scheduling import parse_policy_spec
 from repro.errors import ConfigurationError
 from repro.sweep.grid import SweepCell, delay_model_from_spec
+from repro.workloads.provision import attach_policy_feedback, build_initiation
 from repro.workloads.spec import WorkloadFamily, get_family
 
 if TYPE_CHECKING:
@@ -39,7 +41,14 @@ MAX_EVENTS = 2_000_000
 CellResult = dict[str, Any]
 
 
-def _initiation(cell: SweepCell) -> ImmediateInitiation | DelayedInitiation:
+def _initiation(cell: SweepCell) -> Any:
+    if cell.policy is not None:
+        if cell.timeout_t is not None:
+            raise ConfigurationError(
+                f"cell {cell.cell_id} sets both timeout_t and policy; "
+                "timeout_t is the legacy spelling of policy='delayed/T=...'"
+            )
+        return build_initiation(parse_policy_spec(cell.policy), "basic")
     if cell.timeout_t is None:
         return ImmediateInitiation()
     return DelayedInitiation(cell.timeout_t)
@@ -85,11 +94,9 @@ def _run_basic_family(cell: SweepCell, family: WorkloadFamily) -> CellResult:
     apply the cell's initiation/WFGD/rounds machinery around the run."""
     wants_wfgd = bool(cell.param("wfgd", 0.0))
     manual = cell.scenario == "dense" or bool(cell.param("rounds", 0.0))
-    system = _basic_system(
-        cell,
-        wfgd_on_declare=wants_wfgd,
-        **({"initiation": ManualInitiation()} if manual else {}),
-    )
+    initiation = ManualInitiation() if manual else _initiation(cell)
+    system = _basic_system(cell, wfgd_on_declare=wants_wfgd, initiation=initiation)
+    attach_policy_feedback(system, initiation, n_vertices=cell.n)
     spec = cell.workload_spec()
     handle = family.schedule(spec, system)
     system.run_to_quiescence(max_events=MAX_EVENTS)
@@ -140,9 +147,19 @@ def _run_ddb_family(cell: SweepCell, family: WorkloadFamily) -> CellResult:
     builds its own system (sites + resource catalogue + resolution)."""
     assert family.build is not None  # every registered DDB family has one
     spec = cell.workload_spec()
-    system = family.build(
-        spec, strict=False, delay_model=delay_model_from_spec(cell.delay)
+    initiation = (
+        None
+        if cell.policy is None
+        else build_initiation(parse_policy_spec(cell.policy), "ddb")
     )
+    system = family.build(
+        spec,
+        strict=False,
+        delay_model=delay_model_from_spec(cell.delay),
+        **({"initiation": initiation} if initiation is not None else {}),
+    )
+    if initiation is not None:
+        attach_policy_feedback(system, initiation)
     handle = family.schedule(spec, system)
     system.run_to_quiescence(max_events=MAX_EVENTS)
     complete, _ = system.completeness_report()

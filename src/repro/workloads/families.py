@@ -8,7 +8,9 @@ importing this module registers every shipped family.  Three groups:
   §2-4 shapes, previously re-implemented inline by each runner;
 * randomized drivers (``random`` on the basic model, ``ddb-mix`` /
   ``ddb-hot`` on the DDB model) wrapping the existing workload classes;
-* graph ensembles (``er``, ``ba``) from :mod:`repro.workloads.ensembles`.
+* graph ensembles (``er``, ``ba``) from :mod:`repro.workloads.ensembles`;
+* the ``bursty`` storms-then-quiet workload behind the E10 scheduling
+  study (static-T curves vs the adaptive controller).
 
 Registration order is part of the contract:
 :func:`~repro.workloads.spec.default_random_family` picks the *first*
@@ -131,10 +133,18 @@ def _collect_random(
 
 
 # ----------------------------------------------------------------------
-# graph ensembles (basic model)
+# graph ensembles (basic + OR models)
+#
+# Both system wrappers expose the same ``schedule_request(time, source,
+# targets)`` surface; the per-vertex batch becomes an AND-request on the
+# basic model and an any-of dependent set on the OR model.  Each vertex
+# requests at most once (one batch per requester at its own instant), so
+# the OR model's "may not request while blocked" rule is never tripped.
 
 
-def _schedule_er(spec: WorkloadSpec, system: BasicSystem) -> list[ensembles.Edge]:
+def _schedule_er(
+    spec: WorkloadSpec, system: BasicSystem | OrSystem
+) -> list[ensembles.Edge]:
     rng = ensembles.spec_rng(spec.seed, "er")
     edges = ensembles.erdos_renyi_edges(spec.n, spec.param("p"), rng)
     for vertex, targets in ensembles.requests_from_edges(spec.n, edges):
@@ -142,7 +152,9 @@ def _schedule_er(spec: WorkloadSpec, system: BasicSystem) -> list[ensembles.Edge
     return edges
 
 
-def _schedule_ba(spec: WorkloadSpec, system: BasicSystem) -> list[ensembles.Edge]:
+def _schedule_ba(
+    spec: WorkloadSpec, system: BasicSystem | OrSystem
+) -> list[ensembles.Edge]:
     rng = ensembles.spec_rng(spec.seed, "ba")
     edges = ensembles.barabasi_albert_edges(
         spec.n, int(spec.param("m", 2)), rng
@@ -153,11 +165,89 @@ def _schedule_ba(spec: WorkloadSpec, system: BasicSystem) -> list[ensembles.Edge
 
 
 def _collect_ensemble(
-    spec: WorkloadSpec, system: BasicSystem, handle: Any
+    spec: WorkloadSpec, system: BasicSystem | OrSystem, handle: Any
 ) -> dict[str, Any]:
     edges = handle if isinstance(handle, list) else []
     requesters = {requester for requester, _ in edges}
     return {"graph_edges": len(edges), "graph_requesters": len(requesters)}
+
+
+# ----------------------------------------------------------------------
+# bursty load (the E10 scheduling study)
+
+
+def _bursty_layout(spec: WorkloadSpec) -> tuple[list[int], list[int], list[int]]:
+    """Partition the vertex range into (storm pool, servers, planted cycle)."""
+    if spec.n < 9:
+        raise ConfigurationError(
+            f"the bursty family needs n >= 9 (a storm pool of at least "
+            f"four, two servers, and the planted 3-cycle), got {spec.n}"
+        )
+    cycle = list(range(spec.n - 3, spec.n))
+    servers = [spec.n - 5, spec.n - 4]
+    pool = list(range(spec.n - 5))
+    return pool, servers, cycle
+
+
+def _validate_bursty(spec: WorkloadSpec) -> None:
+    _bursty_layout(spec)
+
+
+def _schedule_bursty(spec: WorkloadSpec, system: BasicSystem) -> dict[str, float]:
+    """Contention storms, a quiet tail, then one planted deadlock.
+
+    Three phases on disjoint vertex roles:
+
+    * **Quiet lead-in and tail**: sparse single requests against two
+      always-active server vertices -- short ~3-unit waits bracketing
+      the storms.  The lead-in gives an adaptive policy its baseline
+      lifetime estimate before the first burst; the tail pulls the
+      estimate back down after the storms.
+    * **Storms**: every `period`, the storm pool is shuffled (seeded)
+      and partitioned into waiting chains of `chain_len`; every chain
+      drains on its own well before the next burst, so the long waits
+      are churn, never deadlock.
+    * **Planted cycle**: the standard 3-cycle on vertices no other phase
+      touches, closing at the returned ``cycle_closed_at`` so E10 can
+      measure detection latency from the instant the deadlock exists.
+    """
+    pool, servers, cycle = _bursty_layout(spec)
+    rng = ensembles.spec_rng(spec.seed, "bursty")
+    bursts = int(spec.param("bursts", 6))
+    period = spec.param("period", 40.0)
+    chain_len = max(2, int(spec.param("chain_len", 6)))
+    lead = int(spec.param("lead", 2))
+    quiet = int(spec.param("quiet", 16))
+    quiet_gap = spec.param("quiet_gap", 6.0)
+
+    def trickle(start: float, count: int, offset: int) -> float:
+        for q in range(count):
+            client = pool[(offset + q) % len(pool)]
+            server = servers[(offset + q) % len(servers)]
+            system.schedule_request(start + q * quiet_gap, client, [server])
+        return start + count * quiet_gap
+
+    storms_start = trickle(0.0, lead, 0)
+    for burst in range(bursts):
+        order = list(pool)
+        rng.shuffle(order)
+        start = storms_start + burst * period
+        for i in range(0, len(order) - chain_len + 1, chain_len):
+            scenarios.schedule_chain(
+                system, order[i : i + chain_len], start=start, gap=0.2
+            )
+    cycle_start = trickle(storms_start + bursts * period, quiet, lead)
+    scenarios.schedule_cycle(system, cycle, start=cycle_start, gap=0.5)
+    return {"cycle_closed_at": cycle_start + (len(cycle) - 1) * 0.5}
+
+
+def _collect_bursty(
+    spec: WorkloadSpec, system: BasicSystem, handle: Any
+) -> dict[str, Any]:
+    return {
+        "cycle_closed_at": handle["cycle_closed_at"],
+        "avoided": system.metrics.counter_value("basic.computations.avoided"),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -178,6 +268,7 @@ def _build_ddb(
     transport: Any | None = None,
     strict: bool = True,
     delay_model: Any | None = None,
+    initiation: Any | None = None,
 ) -> DdbSystem:
     if spec.n < 2:
         raise ConfigurationError(
@@ -192,6 +283,7 @@ def _build_ddb(
         resolution=_ddb_resolution(spec),
         strict=strict,
         transport=transport,
+        **({"initiation": initiation} if initiation is not None else {}),
     )
 
 
@@ -207,6 +299,7 @@ def _ddb_workload_params(spec: WorkloadSpec, hot_default: float) -> WorkloadPara
         read_ratio=spec.param("read_ratio", 0.2),
         hotspot_probability=spec.param("hot", hot_default),
         hotspot_size=int(spec.param("hot_size", 2)),
+        zipf_s=spec.param("zipf_s", 0.0),
         mean_think=spec.param("think", 1.0),
         arrival_window=spec.param("window", 20.0),
         restart_aborted=bool(spec.param("resolve", 0.0)),
@@ -252,6 +345,7 @@ def _build_two_site(
     transport: Any | None = None,
     strict: bool = True,
     delay_model: Any | None = None,
+    initiation: Any | None = None,
 ) -> DdbSystem:
     resources = {ResourceId("r0"): SiteId(0), ResourceId("r1"): SiteId(1)}
     return DdbSystem(
@@ -261,6 +355,7 @@ def _build_two_site(
         delay_model=delay_model,
         strict=strict,
         transport=transport,
+        **({"initiation": initiation} if initiation is not None else {}),
     )
 
 
@@ -482,9 +577,10 @@ ERDOS_RENYI = register_family(
         description=(
             "Each ordered vertex pair waits independently with "
             "probability `p`; expected out-degree p*(n-1) is the load "
-            "factor, and deadlock probability rises sharply past load 1."
+            "factor, and deadlock probability rises sharply past load 1. "
+            "On the OR model each batch is an any-of dependent set."
         ),
-        models=("basic",),
+        models=("basic", "ormodel"),
         deadlock_capable=True,
         randomized=True,
         source="Barbosa, combinatorics of resource sharing (PAPERS.md)",
@@ -502,9 +598,10 @@ BARABASI_ALBERT = register_family(
         description=(
             "Preferential-attachment growth with `m` edges per vertex "
             "and fair-coin orientation: hub vertices concentrate waits "
-            "the way hot resources do."
+            "the way hot resources do. On the OR model each batch is an "
+            "any-of dependent set."
         ),
-        models=("basic",),
+        models=("basic", "ormodel"),
         deadlock_capable=True,
         randomized=True,
         source="Oliveira & Barbosa, probabilistic deadlock prevention (PAPERS.md)",
@@ -512,6 +609,29 @@ BARABASI_ALBERT = register_family(
         example=WorkloadSpec(family="ba", n=16, params=make_params(m=2)),
         outcome_fields=("graph_edges", "graph_requesters"),
         collect=_collect_ensemble,
+    )
+)
+
+BURSTY = register_family(
+    WorkloadFamily(
+        name="bursty",
+        title="contention storms + quiet tail + one planted deadlock",
+        description=(
+            "Periodic bursts of seeded waiting chains that always drain, "
+            "a quiet stretch of short server waits, then a planted "
+            "3-cycle on untouched vertices: the E10 workload where "
+            "static-T initiation pays for the storms on every burst "
+            "while the adaptive controller learns them once."
+        ),
+        models=("basic",),
+        deadlock_capable=True,
+        randomized=True,
+        source="Ling, Chen & Chiang detection scheduling (PAPERS.md)",
+        schedule=_schedule_bursty,
+        example=WorkloadSpec(family="bursty", n=17),
+        outcome_fields=("cycle_closed_at", "avoided"),
+        collect=_collect_bursty,
+        validate=_validate_bursty,
     )
 )
 
@@ -582,7 +702,9 @@ DDB_HOT = register_family(
         description=(
             "The `ddb-mix` shape with most remote hops landing on a "
             "small hotspot and victim resolution on by default: sustained "
-            "contention churn exercising abort, backoff, and restart."
+            "contention churn exercising abort, backoff, and restart. "
+            "`zipf_s` > 0 skews the non-hotspot remote picks by Zipf "
+            "popularity rank (seed-deterministic; 0 keeps them uniform)."
         ),
         models=("ddb",),
         deadlock_capable=True,

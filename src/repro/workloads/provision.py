@@ -15,11 +15,14 @@ family's declared extra outcome fields.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.core.conformance import ConformanceOutcome
 from repro.core.registry import DetectorVariant
+from repro.core.scheduling import ComputationOutcome, PolicySpec
+from repro.core.scheduling import require_model as require_policy_model
+from repro.errors import ConfigurationError
 from repro.workloads.spec import (
     WorkloadFamily,
     WorkloadSpec,
@@ -43,6 +46,83 @@ def _completeness(system: Any) -> tuple[bool | None, int]:
     return report.complete, len(report.undetected_components)
 
 
+def build_initiation(policy: PolicySpec, model: str) -> Any:
+    """Resolve ``policy`` into the model's initiation adapter.
+
+    Each model package carries a thin adapter over the scheduling seam
+    (``repro.<model>.initiation.from_policy_spec``); this is the one
+    dispatch point runners share.  Raises a typed
+    :class:`~repro.errors.ConfigurationError` when the policy cannot
+    drive ``model``.
+    """
+    require_policy_model(policy, model)
+    if model == "basic":
+        from repro.basic.initiation import from_policy_spec
+    elif model == "ddb":
+        from repro.ddb.initiation import from_policy_spec
+    elif model == "ormodel":
+        from repro.ormodel.initiation import from_policy_spec
+    else:  # pragma: no cover - registry models are closed over the three
+        raise ConfigurationError(f"no initiation adapter for model {model!r}")
+    return from_policy_spec(policy)
+
+
+def attach_policy_feedback(
+    system: Any, initiation: Any, *, n_vertices: int | None = None
+) -> Any | None:
+    """Stream probe-computation outcomes from the span engine to a policy.
+
+    The adaptive policy learns from settled computations (fizzled vs
+    deadlock, probe cost -- Ling et al.'s signals); this bridges the
+    ``repro.obs`` streaming span engine onto the policy's
+    ``on_computation_outcome`` hook.  A no-op (returns ``None``) for
+    policies that do not ask for outcomes, so default runs attach no
+    subscriber at all.
+    """
+    policy = getattr(initiation, "policy", None)
+    if policy is None or not getattr(policy, "wants_outcomes", False):
+        return None
+    from repro.obs.spans import SCHEMAS_BY_MODEL
+    from repro.obs.stream import StreamingSpanEngine
+
+    model = system_model(system)
+    schema = SCHEMAS_BY_MODEL.get(model)
+    if schema is None:
+        # The OR variant reports no probe taxonomy (its query/reply
+        # computations are not section 4 probe computations), so its
+        # adaptive policy learns from wait lifetimes alone.
+        return None
+
+    def feed(span: Any) -> None:
+        policy.on_computation_outcome(
+            ComputationOutcome(
+                initiator=span.initiator,
+                outcome=span.outcome.value,
+                probes_sent=span.probes_sent,
+                initiated_at=span.initiated_at,
+                settled_at=span.end_time,
+            )
+        )
+
+    engine = StreamingSpanEngine(
+        schema,
+        n_vertices=n_vertices if model == "basic" else None,
+        on_span=feed,
+    )
+    engine.attach(system.transport.tracer)
+    return engine
+
+
+def system_model(system: Any) -> str:
+    """The registry model a built system instance belongs to."""
+    module = type(system).__module__
+    if module.startswith("repro.ddb"):
+        return "ddb"
+    if module.startswith("repro.ormodel"):
+        return "ormodel"
+    return "basic"
+
+
 @dataclass
 class ProvisionedWorkload:
     """A built system with its workload scheduled, ready to run."""
@@ -54,6 +134,11 @@ class ProvisionedWorkload:
     #: whatever the family's ``schedule`` returned (driver object, edge
     #: list, ``None``); fed back to ``collect`` at summary time.
     handle: Any
+    #: the resolved scheduling policy, when one was requested.
+    policy: PolicySpec | None = None
+    #: the span engine bridging outcomes to an adaptive policy (``None``
+    #: unless the policy asked for outcome feedback).
+    feedback: Any | None = field(default=None, repr=False)
 
     def run_to_quiescence(self, **kwargs: Any) -> None:
         self.system.run_to_quiescence(**kwargs)
@@ -119,22 +204,40 @@ def provision_workload(
     transport: Any | None = None,
     strict: bool = False,
     delay_model: Any | None = None,
+    policy: PolicySpec | None = None,
 ) -> ProvisionedWorkload:
     """Build ``variant``'s system on ``transport`` and schedule ``spec``.
 
     ``strict`` defaults to ``False`` (runner semantics: violations are
     recorded, not raised) so completeness/soundness gating stays in the
-    caller's report.  Raises :class:`~repro.errors.ConfigurationError`
-    when the family cannot drive the variant's model or the spec fails
-    the family's own validation.
+    caller's report.  ``policy`` swaps the variant's default initiation
+    scheduling for a registered :class:`PolicySpec`; when that policy
+    learns from outcomes (``adaptive``), the span-feedback bridge is
+    attached automatically and exposed as ``.feedback``.  Raises
+    :class:`~repro.errors.ConfigurationError` when the family cannot
+    drive the variant's model, the spec fails the family's own
+    validation, or the policy cannot drive the model.
     """
     family = get_family(spec.family)
-    require_model(family, variant.capabilities.model)
+    model = variant.capabilities.model
+    require_model(family, model)
     if family.validate is not None:
         family.validate(spec)
+    if policy is not None and variant.capabilities.kind == "overlay":
+        raise ConfigurationError(
+            f"variant '{variant.name}' is an overlay bound to a host system; "
+            "overlays have no initiation seam, so a scheduling policy "
+            f"cannot apply (requested {policy.policy_id!r})"
+        )
+    initiation = None if policy is None else build_initiation(policy, model)
+    policy_kwargs = {} if initiation is None else {"initiation": initiation}
     if family.build is not None:
         system = family.build(
-            spec, transport=transport, strict=strict, delay_model=delay_model
+            spec,
+            transport=transport,
+            strict=strict,
+            delay_model=delay_model,
+            **policy_kwargs,
         )
     else:
         system = variant.build(
@@ -143,8 +246,20 @@ def provision_workload(
             strict=strict,
             transport=transport,
             **({"delay_model": delay_model} if delay_model is not None else {}),
+            **policy_kwargs,
         )
+    feedback = (
+        None
+        if initiation is None
+        else attach_policy_feedback(system, initiation, n_vertices=spec.n)
+    )
     handle = family.schedule(spec, system)
     return ProvisionedWorkload(
-        variant=variant, family=family, spec=spec, system=system, handle=handle
+        variant=variant,
+        family=family,
+        spec=spec,
+        system=system,
+        handle=handle,
+        policy=policy,
+        feedback=feedback,
     )

@@ -76,6 +76,10 @@ class WorkloadParams:
     hotspot_probability: float = 0.0
     #: number of resources forming the hotspot (the first in sorted order)
     hotspot_size: int = 2
+    #: Zipf exponent for remote-hop resource popularity: the k-th
+    #: resource in global sorted order is picked with weight 1/k**s.
+    #: 0 keeps the uniform pick (and its exact RNG draw sequence).
+    zipf_s: float = 0.0
     #: mean think time between lock steps
     mean_think: float = 1.0
     #: arrival: transactions begin uniformly over [0, arrival_window]
@@ -98,6 +102,10 @@ class WorkloadParams:
             raise ConfigurationError("read_ratio must be in [0, 1]")
         if not 0 <= self.hotspot_probability <= 1:
             raise ConfigurationError("hotspot_probability must be in [0, 1]")
+        if self.zipf_s < 0:
+            raise ConfigurationError(
+                f"zipf_s must be non-negative, got {self.zipf_s}"
+            )
         if self.mean_think < 0 or self.mean_backoff <= 0:
             raise ConfigurationError("think/backoff parameters out of range")
 
@@ -132,6 +140,12 @@ class TransactionWorkload:
         self._by_site: dict[SiteId, list[ResourceId]] = {}
         for resource, site in sorted(system.resource_home.items()):
             self._by_site.setdefault(site, []).append(resource)
+        #: global popularity rank (0 = most popular): resources in sorted
+        #: order, matching the hotspot's "first in sorted order" rule.
+        self._zipf_rank = {
+            resource: rank
+            for rank, resource in enumerate(sorted(system.resource_home))
+        }
 
     # ------------------------------------------------------------------
 
@@ -172,6 +186,12 @@ class TransactionWorkload:
             ]
             if hotspot and self._rng.random() < params.hotspot_probability:
                 remote = self._rng.choice(hotspot)
+            elif params.zipf_s > 0:
+                weights = [
+                    (self._zipf_rank[resource] + 1) ** -params.zipf_s
+                    for resource in remote_pool
+                ]
+                remote = self._rng.choices(remote_pool, weights=weights, k=1)[0]
             else:
                 remote = self._rng.choice(remote_pool)
             operations.append(Acquire(items=((remote, self._mode()),)))

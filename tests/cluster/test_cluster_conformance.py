@@ -67,6 +67,22 @@ class TestEveryVariantOnCluster:
         assert report.detection_latency_seconds is None
 
 
+def test_adaptive_policy_passes_conformance_on_cluster() -> None:
+    """The cluster-transport lane of the three-transport adaptive matrix
+    (sim lane: tests/core/test_scheduling.py; live lane:
+    tests/transport/test_live_conformance.py)."""
+    report = run_cluster(
+        "basic",
+        scenario="deadlock",
+        seed=0,
+        time_scale=TIME_SCALE,
+        timeout=TIMEOUT,
+        policy="adaptive",
+    )
+    assert report.detected
+    assert report.sound
+
+
 def test_tcp_channel_passes_conformance() -> None:
     """Loopback TCP instead of Unix sockets: same contract, same outcome."""
     report = run_cluster(

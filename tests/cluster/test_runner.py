@@ -90,10 +90,15 @@ class TestReportGates:
 
 
 class TestRunnerValidation:
-    def test_random_needs_a_randomized_family_for_the_model(self) -> None:
-        # The OR model has no randomized workload family registered.
-        with pytest.raises(ConfigurationError, match="'ormodel'"):
-            run_cluster("ormodel", scenario="random")
+    def test_random_resolves_for_every_registered_model(self) -> None:
+        # Since the er/ba ensembles learned the OR model, every protocol
+        # model has a randomized default; the spec resolver is the
+        # gate run_cluster delegates to.
+        from repro.core.registry import get_variant
+        from repro.workloads.provision import resolve_scenario_spec
+
+        spec = resolve_scenario_spec(get_variant("ormodel"), "random", seed=0)
+        assert spec.family == "er"
 
     def test_family_must_drive_the_variants_model(self) -> None:
         with pytest.raises(ConfigurationError, match="'ddb-mix' cannot drive"):

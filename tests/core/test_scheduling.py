@@ -1,0 +1,363 @@
+"""The scheduling seam: registry contract, spec stability, the controller.
+
+Four concerns, mirroring the detector-variant and workload-family
+registry tests:
+
+* the :class:`~repro.core.scheduling.SchedulingPolicy` registry contract
+  (built-ins present, duplicate rejection, one-call third-party
+  registration runnable end to end);
+* :class:`~repro.core.scheduling.PolicySpec` golden stability -- the
+  ``policy_id`` spelling and its pickle round-trip are wire formats
+  (sweep workers, cell ids), so their shape is pinned here;
+* the :class:`~repro.core.scheduling.AdaptivePolicy` controller's unit
+  behaviour against a scripted fake site (guard, clamps, Ling term);
+* per-policy trace determinism on the simulator backend, and the
+  adaptive policy's conformance on all three transports (the sim lane
+  here; the live and cluster lanes ride the cross-runtime suites).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import scheduling
+from repro.core.registry import get_variant
+from repro.core.scheduling import (
+    AdaptivePolicy,
+    ComputationOutcome,
+    DelayedPolicy,
+    ImmediatePolicy,
+    InitiationPolicy,
+    PolicySpec,
+    SchedulingPolicy,
+    all_policies,
+    build_policy,
+    coerce_policy_spec,
+    get_policy,
+    make_params,
+    parse_policy_spec,
+    policies_for_model,
+    policy_names,
+    register_policy,
+    require_model,
+)
+from repro.errors import ConfigurationError
+from repro.workloads.provision import provision_workload
+from repro.workloads.spec import WorkloadSpec
+
+BUILTINS = ("adaptive", "delayed", "immediate", "manual", "periodic")
+
+
+class TestRegistry:
+    def test_builtins_register_on_first_lookup(self) -> None:
+        assert policy_names() == BUILTINS
+        for name in BUILTINS:
+            assert get_policy(name).name == name
+        assert tuple(p.name for p in all_policies()) == BUILTINS
+
+    def test_unknown_policy_is_a_typed_error_naming_the_options(self) -> None:
+        with pytest.raises(ConfigurationError, match="adaptive"):
+            get_policy("nosuch")
+
+    def test_duplicate_registration_rejected(self) -> None:
+        delayed = get_policy("delayed")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_policy(delayed)
+
+    def test_model_filtering(self) -> None:
+        ddb = {p.name for p in policies_for_model("ddb")}
+        basic = {p.name for p in policies_for_model("basic")}
+        assert "periodic" in ddb
+        assert "periodic" not in basic
+        with pytest.raises(ConfigurationError, match="'periodic'"):
+            require_model(PolicySpec(policy="periodic"), "basic")
+
+    def test_every_builtin_example_builds(self) -> None:
+        for policy in all_policies():
+            instance = build_policy(policy.example)
+            assert isinstance(instance, InitiationPolicy)
+            assert parse_policy_spec(policy.example.policy_id) == policy.example
+
+    def test_third_party_registration_is_one_call(self) -> None:
+        """One ``register_policy`` call makes a policy resolvable by
+        name, parseable from a policy-id string, and runnable through
+        the provisioning path -- the whole seam, no other hook."""
+
+        class EagerThirdParty(ImmediatePolicy):
+            pass
+
+        register_policy(
+            SchedulingPolicy(
+                name="test-eager",
+                title="third-party test policy",
+                description="registers in one call, runs everywhere",
+                source="this test",
+                models=("basic",),
+                build=lambda spec: EagerThirdParty(),
+                example=PolicySpec(policy="test-eager"),
+            )
+        )
+        try:
+            assert "test-eager" in policy_names()
+            spec = parse_policy_spec("test-eager")
+            run = provision_workload(
+                get_variant("basic"),
+                WorkloadSpec(family="cycle", n=4),
+                policy=spec,
+            )
+            run.run_to_quiescence()
+            outcome = run.summarize()
+            assert outcome.declarations > 0
+            assert outcome.soundness_violations == 0
+        finally:
+            scheduling._REGISTRY.pop("test-eager")
+
+    def test_overlay_variants_reject_policies(self) -> None:
+        # Overlays bind to a host system and have no initiation seam.
+        with pytest.raises(ConfigurationError, match="overlay"):
+            provision_workload(
+                get_variant("centralized"),
+                WorkloadSpec(family="cycle", n=4),
+                policy=PolicySpec(policy="adaptive"),
+            )
+
+
+class TestPolicySpecGoldens:
+    #: the wire spellings are load-bearing (cell ids, --policy flags,
+    #: sweep workers); changing any of these is a format break.
+    GOLDEN_IDS = {
+        PolicySpec(policy="manual"): "manual",
+        PolicySpec(policy="immediate"): "immediate",
+        PolicySpec(policy="delayed", params=make_params(T=2.0)): "delayed/T=2",
+        PolicySpec(policy="delayed", params=make_params(T=0.5)): "delayed/T=0.5",
+        PolicySpec(
+            policy="periodic", params=make_params(period=5.0, optimized=0.0)
+        ): "periodic/optimized=0/period=5",
+        PolicySpec(policy="adaptive"): "adaptive",
+        PolicySpec(
+            policy="adaptive", params=make_params(margin=2.0, t_max=8.0)
+        ): "adaptive/margin=2/t_max=8",
+    }
+
+    def test_policy_id_spelling_is_stable(self) -> None:
+        for spec, expected in self.GOLDEN_IDS.items():
+            assert spec.policy_id == expected
+
+    def test_parse_is_the_inverse_of_policy_id(self) -> None:
+        for spec, text in self.GOLDEN_IDS.items():
+            assert parse_policy_spec(text) == spec
+
+    def test_pickle_round_trip_preserves_identity(self) -> None:
+        for spec in self.GOLDEN_IDS:
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+            assert hash(clone) == hash(spec)
+            assert clone.policy_id == spec.policy_id
+
+    @pytest.mark.parametrize("text", ["", "delayed/T", "delayed/=2", "delayed/T=x"])
+    def test_malformed_specs_raise(self, text: str) -> None:
+        with pytest.raises(ConfigurationError):
+            parse_policy_spec(text)
+
+    def test_coerce_accepts_spec_string_and_none(self) -> None:
+        spec = PolicySpec(policy="delayed", params=make_params(T=2.0))
+        assert coerce_policy_spec(None) is None
+        assert coerce_policy_spec(spec) is spec
+        assert coerce_policy_spec("delayed/T=2") == spec
+
+    def test_param_lookup_typed_error(self) -> None:
+        with pytest.raises(ConfigurationError, match="'T'"):
+            PolicySpec(policy="delayed").param("T")
+
+
+class _FakeTimer:
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class _FakeCtx:
+    def __init__(self) -> None:
+        self.time = 0.0
+        self.timers: list[tuple[float, object]] = []
+
+    def now(self) -> float:
+        return self.time
+
+    def set_timer(self, delay, callback, name=""):  # noqa: ANN001, ANN201
+        timer = _FakeTimer()
+        self.timers.append((delay, timer))
+        return timer
+
+
+class _FakeSite:
+    """The minimal InitiationSite a policy unit test needs."""
+
+    def __init__(self) -> None:
+        self.ctx = _FakeCtx()
+        self.site_key = "site"
+        self.initiated: list[object] = []
+        self.avoided = 0
+
+    def initiate(self, subject) -> None:  # noqa: ANN001
+        self.initiated.append(subject)
+
+    def is_waiting(self, subject) -> bool:  # noqa: ANN001
+        return True
+
+    def timer_name(self, subject) -> str:  # noqa: ANN001
+        return f"T-timer {subject}"
+
+    def note_avoided(self) -> None:
+        self.avoided += 1
+
+    def scan(self, optimized: bool) -> None:
+        raise AssertionError("unit tests never scan")
+
+    def scan_timer_name(self) -> str:
+        return "scan"
+
+
+def _observe_lifetime(policy: AdaptivePolicy, site: _FakeSite, length: float) -> None:
+    policy.on_waits_started(site, ("w",))
+    site.ctx.time += length
+    policy.on_wait_resolved(site, "w")
+
+
+class TestAdaptiveController:
+    def test_starts_from_t_init(self) -> None:
+        assert AdaptivePolicy().current_t() == 2.0
+
+    def test_guard_tracks_lifetimes_with_margin(self) -> None:
+        policy = AdaptivePolicy()
+        site = _FakeSite()
+        _observe_lifetime(policy, site, 3.0)
+        # First observation sets the EWMA exactly; guard = margin * 3.
+        assert policy.current_t() == pytest.approx(9.0)
+
+    def test_clamped_to_t_max_and_t_min(self) -> None:
+        policy = AdaptivePolicy(t_min=1.0, t_max=10.0)
+        site = _FakeSite()
+        _observe_lifetime(policy, site, 100.0)
+        assert policy.current_t() == 10.0
+        policy = AdaptivePolicy(t_min=1.0, t_max=10.0)
+        site = _FakeSite()
+        _observe_lifetime(policy, site, 0.01)
+        assert policy.current_t() == 1.0
+
+    def test_ling_term_needs_cost_and_gap_then_lowers_t(self) -> None:
+        policy = AdaptivePolicy()
+        site = _FakeSite()
+        _observe_lifetime(policy, site, 5.0)  # guard = 15
+        # Fizzles feed cost only: the Ling term must stay inactive.
+        policy.on_computation_outcome(
+            ComputationOutcome("v", "fizzled", 8, 0.0, 1.0)
+        )
+        assert policy.current_t() == 15.0
+        # Two deadlocks 4 units apart: gap EWMA exists, cost EWMA ~8.
+        policy.on_computation_outcome(
+            ComputationOutcome("v", "deadlock", 8, 1.0, 2.0)
+        )
+        policy.on_computation_outcome(
+            ComputationOutcome("v", "deadlock", 8, 5.0, 6.0)
+        )
+        # T* = sqrt(2 * 8 * 4) = 8, below the 15-unit guard.
+        assert policy.current_t() == pytest.approx(8.0)
+
+    def test_resolution_cancels_timer_and_counts_avoided(self) -> None:
+        policy = AdaptivePolicy()
+        site = _FakeSite()
+        policy.on_waits_started(site, ("w",))
+        assert len(site.ctx.timers) == 1
+        policy.on_wait_resolved(site, "w")
+        assert site.ctx.timers[0][1].cancelled
+        assert site.avoided == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+            {"margin": 0.0},
+            {"t_min": -1.0},
+            {"t_min": 5.0, "t_max": 1.0},
+            {"t_init": -1.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs: dict[str, float]) -> None:
+        with pytest.raises(ConfigurationError):
+            AdaptivePolicy(**kwargs)
+
+    def test_delayed_t_must_be_non_negative(self) -> None:
+        with pytest.raises(ConfigurationError):
+            DelayedPolicy(-1.0)
+
+
+def _sim_fingerprint(model: str, spec: WorkloadSpec, policy: str):  # noqa: ANN202
+    run = provision_workload(
+        get_variant(model), spec, policy=parse_policy_spec(policy)
+    )
+    run.run_to_quiescence(max_events=2_000_000)
+    outcome = run.summarize()
+    assert outcome.soundness_violations == 0
+    from repro.obs.spans import build_spans
+
+    spans = tuple(
+        (span.initiator, span.outcome.value, span.probes_sent, span.end_time)
+        for span in build_spans(run.system.simulator.tracer)
+    )
+    return outcome.declarations, outcome.first_declaration_at, spans
+
+
+class TestTraceDeterminism:
+    """Same spec + same policy -> byte-identical span trace on the sim."""
+
+    @pytest.mark.parametrize(
+        "policy", ["immediate", "delayed/T=2", "adaptive"]
+    )
+    def test_basic_random_policy_runs_are_reproducible(self, policy: str) -> None:
+        spec = WorkloadSpec(family="random", n=8, seed=3, duration=40.0)
+        first = _sim_fingerprint("basic", spec, policy)
+        second = _sim_fingerprint("basic", spec, policy)
+        assert first == second
+
+    def test_adaptive_ddb_runs_are_reproducible(self) -> None:
+        spec = WorkloadSpec(family="ddb-mix", n=3, seed=1)
+        first = _sim_fingerprint("ddb", spec, "adaptive")
+        second = _sim_fingerprint("ddb", spec, "adaptive")
+        assert first == second
+
+
+class TestAdaptiveConformanceSim:
+    """The sim-transport lane of the three-transport adaptive matrix."""
+
+    @pytest.mark.parametrize("model", ["basic", "ddb", "ormodel"])
+    def test_conformance_deadlock_detected_soundly(self, model: str) -> None:
+        from repro.core.conformance import conformance_workload
+
+        spec = conformance_workload(model, "deadlock")
+        run = provision_workload(
+            get_variant(model), spec, policy=parse_policy_spec("adaptive")
+        )
+        run.run_to_quiescence()
+        outcome = run.summarize()
+        assert outcome.declarations > 0
+        assert outcome.soundness_violations == 0
+        assert outcome.complete
+
+    @pytest.mark.parametrize("model", ["basic", "ddb", "ormodel"])
+    def test_conformance_clean_stays_silent(self, model: str) -> None:
+        from repro.core.conformance import conformance_workload
+
+        spec = conformance_workload(model, "clean")
+        run = provision_workload(
+            get_variant(model), spec, policy=parse_policy_spec("adaptive")
+        )
+        run.run_to_quiescence()
+        outcome = run.summarize()
+        assert outcome.declarations == 0
+        assert outcome.soundness_violations == 0

@@ -14,8 +14,8 @@ from repro.experiments import ALL_EXPERIMENTS
 
 
 class TestRegistry:
-    def test_all_nine_registered(self) -> None:
-        assert sorted(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 10)]
+    def test_all_ten_registered(self) -> None:
+        assert sorted(ALL_EXPERIMENTS) == sorted(f"E{i}" for i in range(1, 11))
 
     def test_every_module_has_run(self) -> None:
         for module in ALL_EXPERIMENTS.values():
@@ -55,3 +55,10 @@ class TestShapeHighlights:
         }
         for label in naive:
             assert optimised[label] < naive[label]
+
+    def test_e10_adaptive_on_the_frontier(self) -> None:
+        _, results = ALL_EXPERIMENTS["E10"].run(quick=True)
+        adaptive = next(r for r in results if r.is_adaptive)
+        statics = [r for r in results if not r.is_adaptive]
+        assert any(adaptive.dominates(static) for static in statics)
+        assert all(r.bound_violations == 0 for r in results)

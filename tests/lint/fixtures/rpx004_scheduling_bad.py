@@ -1,0 +1,20 @@
+# lint-as: src/repro/basic/fixture.py
+"""RPX004 failing fixture: the scheduling seam does not cover ``core``.
+
+Only ``repro.core.scheduling`` is exempt; the engine, registry, and the
+package initialiser assemble systems a tier above the protocol logic,
+so a protocol module reaching them would smuggle core bookkeeping into
+protocol decisions -- the shared-knowledge cheating axiom P3 forbids.
+"""
+
+from __future__ import annotations
+
+import repro.core.engine  # expect: RPX004
+from repro import core  # expect: RPX004
+from repro.core.registry import get_variant  # expect: RPX004
+
+
+def resolve() -> object:
+    from repro.core.conformance import ConformanceOutcome  # expect: RPX004
+
+    return ConformanceOutcome, get_variant, core, repro.core.engine

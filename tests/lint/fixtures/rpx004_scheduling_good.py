@@ -1,0 +1,16 @@
+# lint-as: src/repro/basic/fixture.py
+"""RPX004 passing fixture: the scheduling seam is importable anywhere.
+
+``repro.core.scheduling`` holds only the InitiationPolicy protocol and
+the frozen PolicySpec / SchedulingPolicy registry (it imports nothing
+above ``repro.errors``), so protocol-tier initiation adapters may name
+it even though the rest of ``repro.core`` sits a tier above them.
+"""
+
+from __future__ import annotations
+
+import repro.core.scheduling
+from repro.core import scheduling
+from repro.core.scheduling import InitiationPolicy, PolicySpec
+
+__all__ = ["InitiationPolicy", "PolicySpec", "scheduling", "repro"]

@@ -249,8 +249,38 @@ class TestWorkloadSeam:
         from repro.lint.rules.layering import SEAM_MODULES
 
         assert SEAM_MODULES == frozenset(
-            {("repro", "core", "transport"), ("repro", "workloads", "spec")}
+            {
+                ("repro", "core", "transport"),
+                ("repro", "core", "scheduling"),
+                ("repro", "workloads", "spec"),
+            }
         )
+
+
+class TestSchedulingSeam:
+    """RPX004's third seam: repro.core.scheduling is importable anywhere."""
+
+    def test_protocol_may_import_the_seam_in_every_form(self) -> None:
+        source, logical = load_fixture("rpx004_scheduling_good.py")
+        assert logical == "src/repro/basic/fixture.py"
+        diagnostics = lint_source(source, logical)
+        assert diagnostics == [], [d.format_text() for d in diagnostics]
+
+    def test_non_seam_core_modules_stay_flagged(self) -> None:
+        source, logical = load_fixture("rpx004_scheduling_bad.py")
+        expected = expected_findings(source)
+        assert expected and {rule for rule, _ in expected} == {"RPX004"}
+        diagnostics = lint_source(source, logical)
+        assert {(d.rule, d.line) for d in diagnostics} == expected
+
+    def test_mixed_alias_import_is_still_flagged(self) -> None:
+        # naming the seam alongside a non-seam sibling gives no cover
+        (diagnostic,) = lint_source(
+            "from repro.core import scheduling, registry\n",
+            "src/repro/basic/fixture.py",
+        )
+        assert diagnostic.rule == "RPX004"
+
 
 class TestBackendNeutrality:
     """RPX007: protocol packages never name a concrete backend module."""

@@ -76,7 +76,9 @@ class TestDelaySpecs:
 
 class TestShippedGrids:
     def test_one_grid_per_experiment(self) -> None:
-        assert GRIDS == ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9")
+        assert GRIDS == (
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+        )
 
     @pytest.mark.parametrize("name", GRIDS)
     def test_grid_builds_nonempty_with_unique_cell_ids(self, name: str) -> None:

@@ -27,6 +27,16 @@ def _variant_ids() -> list[str]:
     return [variant.name for variant in all_variants()]
 
 
+def _policy_variant_ids() -> list[str]:
+    """Variants with an initiation seam: overlays bind to a host system
+    and take no policy (provision_workload rejects the combination)."""
+    return [
+        variant.name
+        for variant in all_variants()
+        if variant.capabilities.kind != "overlay"
+    ]
+
+
 @pytest.fixture(scope="module", autouse=True)
 def _warm_up() -> None:
     """One throwaway live run before any timed assertion.
@@ -61,3 +71,51 @@ class TestEveryVariantLive:
         assert report.sound
         assert report.outcome.first_declaration_at is None
         assert report.detection_latency_seconds is None
+
+
+@pytest.mark.parametrize("name", _policy_variant_ids())
+class TestAdaptivePolicyLive:
+    """The live-transport lane of the three-transport adaptive matrix
+    (sim lane: tests/core/test_scheduling.py; cluster lane:
+    tests/cluster/test_cluster_conformance.py)."""
+
+    def test_adaptive_deadlock_detects_soundly(self, name: str) -> None:
+        report = run_live(
+            name,
+            scenario="deadlock",
+            seed=0,
+            time_scale=TIME_SCALE,
+            timeout=TIMEOUT,
+            policy="adaptive",
+        )
+        assert report.detected, f"{name} missed a deadlock under the adaptive policy"
+        assert report.sound
+
+    def test_adaptive_clean_stays_silent(self, name: str) -> None:
+        report = run_live(
+            name,
+            scenario="clean",
+            seed=0,
+            time_scale=TIME_SCALE,
+            timeout=TIMEOUT,
+            policy="adaptive",
+        )
+        assert not report.detected
+        assert report.sound
+
+
+@pytest.mark.parametrize("family", ("er", "ba"))
+def test_or_model_runs_the_graph_ensembles_live(family: str) -> None:
+    """Cross-backend half of the ensembles-on-OR capability: the same
+    family names that drive the basic model resolve and run on the OR
+    model's live runtime (the sim half lives in
+    tests/workloads/test_families.py)."""
+    report = run_live(
+        "ormodel",
+        scenario=family,
+        seed=1,
+        time_scale=TIME_SCALE,
+        timeout=TIMEOUT,
+    )
+    assert report.sound
+    assert report.outcome.complete

@@ -47,6 +47,50 @@ class TestEveryFamily:
         assert set(extra) == set(family.outcome_fields)
 
 
+@pytest.mark.parametrize("name", ("er", "ba"))
+class TestEnsemblesOnTheOrModel:
+    """The same ensemble family drives both models (sim half; the live
+    half rides tests/transport/test_live_conformance.py)."""
+
+    def test_family_declares_both_models(self, name: str) -> None:
+        family = get_family(name)
+        assert family.supports_model("basic")
+        assert family.supports_model("ormodel")
+
+    def test_example_runs_on_the_or_model(self, name: str) -> None:
+        family = get_family(name)
+        run = provision_workload(get_variant("ormodel"), family.example)
+        run.run_to_quiescence()
+        outcome = run.summarize()
+        assert outcome.soundness_violations == 0
+        assert outcome.complete
+        extra = run.extra()
+        assert set(extra) == set(family.outcome_fields)
+
+    def test_or_model_random_scenario_resolves(self, name: str) -> None:
+        from repro.workloads.spec import default_random_family
+
+        assert default_random_family("ormodel").name == "er"
+
+
+class TestBurstySemantics:
+    def test_planted_cycle_is_the_only_deadlock(self) -> None:
+        run = _run_example("bursty")
+        outcome = run.summarize()
+        extra = run.extra()
+        # Exactly the planted 3-cycle declares, after the cycle closes.
+        assert outcome.declarations == 3
+        assert outcome.first_declaration_at is not None
+        assert outcome.first_declaration_at > extra["cycle_closed_at"]
+
+    def test_too_small_layouts_rejected(self) -> None:
+        from repro.errors import ConfigurationError
+        from repro.workloads.spec import WorkloadSpec
+
+        with pytest.raises(ConfigurationError, match="n >= 9"):
+            get_family("bursty").validate(WorkloadSpec(family="bursty", n=8))
+
+
 class TestNearCycleSemantics:
     def test_near_cycle_is_not_an_alias_of_cycle(self) -> None:
         # The adversarial near-miss: same topology size, closing request

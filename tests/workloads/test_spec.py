@@ -104,8 +104,10 @@ class TestRegistry:
     def test_default_random_family_per_model(self) -> None:
         assert default_random_family("basic").name == "random"
         assert default_random_family("ddb").name == "ddb-mix"
-        with pytest.raises(ConfigurationError, match="'ormodel'"):
-            default_random_family("ormodel")
+        # The ensembles drive the OR model too; `er` registers first.
+        assert default_random_family("ormodel").name == "er"
+        with pytest.raises(ConfigurationError, match="'nosuch'"):
+            default_random_family("nosuch")
 
     def test_families_for_model_is_capability_filtered(self) -> None:
         ddb_names = {family.name for family in families_for_model("ddb")}

@@ -124,6 +124,56 @@ class TestSpecGeneration:
         assert modes == {LockMode.SHARED}
 
 
+class TestZipfPopularity:
+    def test_zipf_s_must_be_non_negative(self) -> None:
+        with pytest.raises(ConfigurationError, match="zipf_s"):
+            WorkloadParams(zipf_s=-0.5).validate()
+
+    @staticmethod
+    def _remote_counts(zipf_s: float, seed: int = 0) -> dict[str, int]:
+        params = WorkloadParams(
+            remote_probability=1.0,
+            hotspot_probability=0.0,
+            zipf_s=zipf_s,
+            mean_think=0.0,
+        )
+        _, workload = build(seed=seed, params=params)
+        counts: dict[str, int] = {}
+        for tid in range(1, 600):
+            spec = workload.generate_spec(tid)
+            acquires = [op for op in spec.operations if isinstance(op, Acquire)]
+            remote = str(acquires[-1].items[0][0])
+            counts[remote] = counts.get(remote, 0) + 1
+        return counts
+
+    def test_zipf_skews_remote_picks_by_rank(self) -> None:
+        skewed = self._remote_counts(zipf_s=1.5)
+        uniform = self._remote_counts(zipf_s=0.0)
+        # Rank 1 (r0) dominates under Zipf but not under the uniform pick.
+        assert skewed["r0"] > 2 * uniform["r0"]
+        assert skewed["r0"] > skewed.get("r8", 0)
+
+    def test_zipf_zero_preserves_the_uniform_rng_path(self) -> None:
+        # zipf_s=0 must consume the RNG exactly as the historical uniform
+        # branch did, so committed ddb grids stay byte-identical.
+        explicit = self._remote_counts(zipf_s=0.0)
+        params = WorkloadParams(
+            remote_probability=1.0, hotspot_probability=0.0, mean_think=0.0
+        )
+        _, workload = build(params=params)
+        default: dict[str, int] = {}
+        for tid in range(1, 600):
+            spec = workload.generate_spec(tid)
+            acquires = [op for op in spec.operations if isinstance(op, Acquire)]
+            remote = str(acquires[-1].items[0][0])
+            default[remote] = default.get(remote, 0) + 1
+        assert explicit == default
+
+    def test_zipf_is_seed_deterministic(self) -> None:
+        assert self._remote_counts(1.2, seed=7) == self._remote_counts(1.2, seed=7)
+        assert self._remote_counts(1.2, seed=7) != self._remote_counts(1.2, seed=8)
+
+
 class TestExecution:
     def test_workload_runs_and_commits(self) -> None:
         params = WorkloadParams(

@@ -18,8 +18,10 @@ from collections import defaultdict
 # Soft floors: packages whose correctness arguments lean on tests.
 # repro.sim carries the deterministic substrate every result depends on;
 # repro.sweep carries the byte-identical merge contract; repro.core holds
-# the transport seam and repro.live the wall-clock backend the contract
-# suite licenses.
+# the transport and scheduling seams (repro.core.scheduling's policy
+# registry decides when probe computations start, so its floor is part
+# of the seam contract) and repro.live the wall-clock backend the
+# contract suite licenses.
 FLOORS = {
     "repro.sim": 85.0,
     "repro.core": 85.0,
